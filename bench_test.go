@@ -1,0 +1,309 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 4) plus the DESIGN.md ablations. Each benchmark runs the
+// corresponding experiment and reports the headline shape metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the study's
+// qualitative results alongside the cost of producing them. The full
+// high-fidelity sweeps (paper-scale simulation durations, text tables, CSV)
+// are produced by cmd/experiments.
+package nashlb_test
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/experiments"
+)
+
+// BenchmarkTable1Configuration regenerates Table 1 (system configuration).
+func BenchmarkTable1Configuration(b *testing.B) {
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1().Rows()
+	}
+	b.ReportMetric(float64(rows), "computer-types")
+}
+
+// BenchmarkFig2NashConvergenceNorm regenerates Figure 2 (norm vs iteration
+// for NASH_0 and NASH_P, Table-1 system at 60% utilization).
+func BenchmarkFig2NashConvergenceNorm(b *testing.B) {
+	var res *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig2(0.6, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.NormsZero)), "nash0-iters")
+	b.ReportMetric(float64(len(res.NormsProp)), "nashP-iters")
+	b.ReportMetric(res.NormsZero[0], "nash0-initial-norm")
+	b.ReportMetric(res.NormsProp[0], "nashP-initial-norm")
+}
+
+// BenchmarkFig3IterationsVsUsers regenerates Figure 3 (iterations to
+// equilibrium for 4..32 users under both initializations).
+func BenchmarkFig3IterationsVsUsers(b *testing.B) {
+	var res *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig3(0.6, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(last.RoundsZero), "nash0-iters-32users")
+	b.ReportMetric(float64(last.RoundsProp), "nashP-iters-32users")
+}
+
+// BenchmarkFig4UtilizationSweep regenerates Figure 4 (response time and
+// fairness vs utilization for NASH/GOS/IOS/PS). The benchmark runs the
+// analytic sweep; key paper shapes are reported as metrics: the NASH/GOS
+// and NASH/PS overall-time ratios at 50% load and the GOS fairness at 90%.
+func BenchmarkFig4UtilizationSweep(b *testing.B) {
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig4(experiments.QuickSim(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nash50, gos50, ps50, gosFair90 float64
+	for _, pt := range res.Points {
+		rho := math.Round(pt.Utilization * 10)
+		switch {
+		case rho == 5 && pt.Scheme == "NASH":
+			nash50 = pt.AnalyticTime
+		case rho == 5 && pt.Scheme == "GOS":
+			gos50 = pt.AnalyticTime
+		case rho == 5 && pt.Scheme == "PS":
+			ps50 = pt.AnalyticTime
+		case rho == 9 && pt.Scheme == "GOS":
+			gosFair90 = pt.AnalyticFairness
+		}
+	}
+	b.ReportMetric(nash50/gos50, "nash-vs-gos-at-50pct")
+	b.ReportMetric(nash50/ps50, "nash-vs-ps-at-50pct")
+	b.ReportMetric(gosFair90, "gos-fairness-at-90pct")
+}
+
+// BenchmarkFig4SimulatedPoint regenerates one simulated cell of Figure 4
+// (all four schemes at 60% utilization with replicated DES runs), reporting
+// the sim-vs-analytic agreement for NASH.
+func BenchmarkFig4SimulatedPoint(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig5(0.6, experiments.QuickSim(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range res.Metrics {
+		if m.Scheme == "NASH" {
+			b.ReportMetric(m.SimTime.Mean/m.AnalyticTime, "nash-sim-vs-analytic")
+		}
+	}
+}
+
+// BenchmarkFig5PerUser regenerates Figure 5 (per-user expected response
+// time of every scheme at 60% utilization), reporting the user-time spread
+// of GOS vs NASH that makes GOS unfair and NASH user-optimal.
+func BenchmarkFig5PerUser(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig5(0.6, experiments.QuickSim(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	spread := func(xs []float64) float64 {
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return hi - lo
+	}
+	for _, m := range res.Metrics {
+		switch m.Scheme {
+		case "NASH":
+			b.ReportMetric(spread(m.AnalyticUsers), "nash-user-spread-s")
+		case "GOS":
+			b.ReportMetric(spread(m.AnalyticUsers), "gos-user-spread-s")
+		}
+	}
+}
+
+// BenchmarkFig6SkewnessSweep regenerates Figure 6 (effect of heterogeneity),
+// reporting the NASH/GOS and PS/GOS ratios at skewness 20.
+func BenchmarkFig6SkewnessSweep(b *testing.B) {
+	var res *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig6(0.6, nil, experiments.QuickSim(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nash, gos, ps, ios float64
+	for _, pt := range res.Points {
+		if pt.Skewness != 20 {
+			continue
+		}
+		switch pt.Scheme {
+		case "NASH":
+			nash = pt.AnalyticTime
+		case "GOS":
+			gos = pt.AnalyticTime
+		case "PS":
+			ps = pt.AnalyticTime
+		case "IOS":
+			ios = pt.AnalyticTime
+		}
+	}
+	b.ReportMetric(nash/gos, "nash-vs-gos-at-skew20")
+	b.ReportMetric(ps/gos, "ps-vs-gos-at-skew20")
+	b.ReportMetric(ios/gos, "ios-vs-gos-at-skew20")
+}
+
+// BenchmarkAblationInitialization regenerates ABL1 (NASH_0 vs NASH_P round
+// counts across tolerances).
+func BenchmarkAblationInitialization(b *testing.B) {
+	var res *experiments.Abl1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Abl1(0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tight := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(tight.RoundsZero), "nash0-rounds-eps1e-6")
+	b.ReportMetric(float64(tight.RoundsProp), "nashP-rounds-eps1e-6")
+}
+
+// BenchmarkAblationWardropSolvers regenerates ABL2 (closed form vs bisection
+// vs Frank–Wolfe for the IOS equilibrium).
+func BenchmarkAblationWardropSolvers(b *testing.B) {
+	var res *experiments.Abl2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Abl2(0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows[2].Iterations), "frank-wolfe-iters")
+	b.ReportMetric(res.Rows[1].MaxLoadErr, "bisection-load-err")
+}
+
+// BenchmarkAblationGOSAssignment regenerates ABL3 (sequential-fill vs
+// uniform GOS split), reporting the fairness gap at the heaviest load.
+func BenchmarkAblationGOSAssignment(b *testing.B) {
+	var res *experiments.Abl3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Abl3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.FairnessSequential, "gos-seq-fairness")
+	b.ReportMetric(last.FairnessUniform, "gos-uniform-fairness")
+}
+
+// BenchmarkAblationDistributedVsSequential regenerates ABL4 (sequential vs
+// channel-ring vs TCP-ring execution of NASH).
+func BenchmarkAblationDistributedVsSequential(b *testing.B) {
+	var res *experiments.Abl4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Abl4(0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows[0].Rounds), "rounds")
+	b.ReportMetric(res.Rows[2].Elapsed.Seconds()/res.Rows[0].Elapsed.Seconds(), "tcp-over-seq-slowdown")
+}
+
+// BenchmarkAblationUpdateOrder regenerates ABL6 (round-robin vs random vs
+// damped-Jacobi best-reply dynamics), reporting the NASH_P round savings
+// under the ring and under Jacobi (the Figure-2 gap diagnosis).
+func BenchmarkAblationUpdateOrder(b *testing.B) {
+	var res *experiments.Abl6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Abl6(0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		if !row.Converged {
+			continue
+		}
+		saving := 1 - float64(row.RoundsProp)/float64(row.RoundsZero)
+		switch {
+		case row.Order == "round-robin":
+			b.ReportMetric(saving, "ring-nashP-saving")
+		case row.Order == "jacobi":
+			b.ReportMetric(saving, "jacobi-nashP-saving")
+		}
+	}
+}
+
+// BenchmarkExtPriceOfAnarchy regenerates EXT1 (coordination ratio of NASH,
+// Wardrop and PS vs the global optimum across utilizations), reporting the
+// worst ratios over the sweep.
+func BenchmarkExtPriceOfAnarchy(b *testing.B) {
+	var res *experiments.Ext1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Ext1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worstNash, worstIOS float64
+	for _, row := range res.Rows {
+		worstNash = math.Max(worstNash, row.PoANash)
+		worstIOS = math.Max(worstIOS, row.PoAWardrop)
+	}
+	b.ReportMetric(worstNash, "worst-nash-poa")
+	b.ReportMetric(worstIOS, "worst-wardrop-poa")
+}
+
+// BenchmarkExtBurstinessRobustness regenerates EXT2 (the NASH equilibrium
+// simulated under non-Poisson traffic), reporting the response-time
+// inflation at SCV 16 relative to the Poisson analytic model.
+func BenchmarkExtBurstinessRobustness(b *testing.B) {
+	var res *experiments.Ext2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Ext2(0.6, experiments.QuickSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[len(res.Rows)-1].Inflation, "inflation-at-scv16")
+}
+
+// BenchmarkAblationRateEstimation regenerates ABL5 (best responses from
+// run-queue-estimated rates), reporting the suboptimality at the shortest
+// and longest observation windows.
+func BenchmarkAblationRateEstimation(b *testing.B) {
+	var res *experiments.Abl5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Abl5(0.6, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].Suboptimality, "subopt-short-window")
+	b.ReportMetric(res.Rows[len(res.Rows)-1].Suboptimality, "subopt-long-window")
+}

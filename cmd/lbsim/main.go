@@ -1,0 +1,141 @@
+// Command lbsim runs the discrete-event simulator on a system under a
+// chosen load-balancing scheme and reports replicated measurements with 95%
+// confidence intervals — the same pipeline the paper used via Sim++.
+//
+// Usage:
+//
+//	lbsim -rates 6x10,5x20,3x50,2x100 -arrivals 10x30.6 -scheme NASH
+//	      [-duration 4000] [-warmup 400] [-reps 5] [-seed 2002]
+//	      [-arrival-model poisson|deterministic|bursty] [-arrival-scv 4]
+//	      [-service-model exponential|deterministic|bursty] [-service-scv 4]
+//	      [-trace jobs.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nashlb"
+	"nashlb/internal/cli"
+	"nashlb/internal/cluster"
+	"nashlb/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbsim: ")
+	var (
+		ratesFlag    = flag.String("rates", "6x10,5x20,3x50,2x100", "computer processing rates (jobs/s)")
+		arrivalsFlag = flag.String("arrivals", "10x30.6", "user arrival rates (jobs/s)")
+		schemeFlag   = flag.String("scheme", "NASH", "load-balancing scheme: NASH, GOS, IOS or PS")
+		durationFlag = flag.Float64("duration", 4000, "measured simulated seconds per replication")
+		warmupFlag   = flag.Float64("warmup", 400, "warmup seconds excluded from statistics")
+		repsFlag     = flag.Int("reps", 5, "number of independent replications")
+		seedFlag     = flag.Uint64("seed", 2002, "random seed")
+		arrivalFlag  = flag.String("arrival-model", "poisson", "arrival process: poisson, deterministic or bursty")
+		scvFlag      = flag.Float64("arrival-scv", 4, "squared coefficient of variation for bursty arrivals")
+		serviceFlag  = flag.String("service-model", "exponential", "service process: exponential, deterministic or bursty")
+		sscvFlag     = flag.Float64("service-scv", 4, "squared coefficient of variation for bursty service")
+		traceFlag    = flag.String("trace", "", "write a per-job CSV trace of one extra replication to this file")
+	)
+	flag.Parse()
+
+	rates, err := cli.ParseFloats(*ratesFlag)
+	if err != nil {
+		log.Fatalf("-rates: %v", err)
+	}
+	arrivals, err := cli.ParseFloats(*arrivalsFlag)
+	if err != nil {
+		log.Fatalf("-arrivals: %v", err)
+	}
+	sys, err := nashlb.NewSystem(rates, arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var scheme nashlb.Scheme
+	for _, s := range nashlb.AllSchemes() {
+		if strings.EqualFold(s.Name(), *schemeFlag) {
+			scheme = s
+		}
+	}
+	if scheme == nil {
+		log.Fatalf("-scheme: unknown scheme %q (want NASH, GOS, IOS or PS)", *schemeFlag)
+	}
+
+	ev, err := nashlb.RunScheme(scheme, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := nashlb.SimConfig{
+		Rates:    sys.Rates,
+		Arrivals: sys.Arrivals,
+		Profile:  ev.Profile,
+		Duration: *durationFlag,
+		Warmup:   *warmupFlag,
+		Seed:     *seedFlag,
+	}
+	switch strings.ToLower(*arrivalFlag) {
+	case "poisson":
+	case "deterministic":
+		cfg.Arrival = cluster.DeterministicArrivals
+	case "bursty":
+		cfg.Arrival = cluster.BurstyArrivals
+		cfg.SCV = *scvFlag
+	default:
+		log.Fatalf("-arrival-model: unknown model %q", *arrivalFlag)
+	}
+	switch strings.ToLower(*serviceFlag) {
+	case "exponential":
+	case "deterministic":
+		cfg.Service = cluster.DeterministicService
+	case "bursty":
+		cfg.Service = cluster.BurstyService
+		cfg.ServiceSCV = *sscvFlag
+	default:
+		log.Fatalf("-service-model: unknown model %q", *serviceFlag)
+	}
+	sum, err := nashlb.Replicate(cfg, *repsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %d computers / %d users at %.1f%% utilization — %d replications x %.0f s (+%.0f warmup), %d jobs measured\n",
+		ev.Scheme, sys.Computers(), sys.Users(), 100*sys.Utilization(),
+		sum.Replications, *durationFlag, *warmupFlag, sum.Completed)
+	fmt.Printf("overall expected response time: %s s  (analytic %.6g s)\n",
+		report.CI(sum.OverallTime.Mean, sum.OverallTime.HalfWide, 6), ev.OverallTime)
+	fmt.Printf("fairness index: %s  (analytic %.4f)\n",
+		report.CI(sum.Fairness.Mean, sum.Fairness.HalfWide, 4), ev.Fairness)
+	fmt.Printf("max relative CI half-width: %.2f%% (paper acceptance: < 5%%)\n", 100*sum.MaxRelativeError())
+
+	t := report.NewTable("Per-user expected response time", "user", "simulated D_i (s)", "analytic D_i (s)")
+	for i, iv := range sum.UserTime {
+		t.AddRow(fmt.Sprint(i+1), report.CI(iv.Mean, iv.HalfWide, 6), report.F(ev.UserTimes[i], 6))
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw := cluster.NewTraceWriter(f)
+		tcfg := cfg
+		tcfg.OnJob = tw.Record
+		if _, err := nashlb.Simulate(tcfg); err != nil {
+			log.Fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("per-job trace (%d jobs) written to %s\n", tw.Count(), *traceFlag)
+	}
+}

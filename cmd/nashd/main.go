@@ -1,0 +1,157 @@
+// Command nashd runs the paper's NASH algorithm as an actual distributed
+// protocol. Three modes:
+//
+// demo (default) — one process, one goroutine per user, loopback TCP ring:
+//
+//	nashd -rates 6x10,5x20,3x50,2x100 -arrivals 10x30.6 [-eps 1e-9] [-verify]
+//
+// state — the cluster-state service (the deployment analogue of the paper's
+// "inspect the run queue of each computer"):
+//
+//	nashd -mode state -listen 127.0.0.1:7000 -rates ... -arrivals ...
+//
+// node — one user node; point it at the state service, give it a listen
+// address and its successor's ring address. Start the nodes in any order
+// (node 0 retries dialing its successor); node 0 leads:
+//
+//	nashd -mode node -id 0 -users 3 -arrival 30 -state 127.0.0.1:7000 \
+//	      -listen 127.0.0.1:7100 -next 127.0.0.1:7101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"nashlb"
+	"nashlb/internal/cli"
+	"nashlb/internal/dist"
+	"nashlb/internal/game"
+	"nashlb/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nashd: ")
+	var (
+		modeFlag     = flag.String("mode", "demo", "demo, state or node")
+		ratesFlag    = flag.String("rates", "6x10,5x20,3x50,2x100", "computer processing rates (jobs/s; demo and state modes)")
+		arrivalsFlag = flag.String("arrivals", "10x30.6", "user arrival rates (jobs/s; demo and state modes)")
+		epsFlag      = flag.Float64("eps", 0, "norm acceptance tolerance (0 = library default)")
+		verifyFlag   = flag.Bool("verify", false, "verify the result is a Nash equilibrium (demo mode)")
+		listenFlag   = flag.String("listen", "127.0.0.1:0", "listen address (state and node modes)")
+		stateFlag    = flag.String("state", "", "state service address (node mode)")
+		nextFlag     = flag.String("next", "", "successor node's ring address (node mode)")
+		idFlag       = flag.Int("id", 0, "this node's 0-based id (node mode)")
+		usersFlag    = flag.Int("users", 0, "ring size (node mode)")
+		arrivalFlag  = flag.Float64("arrival", 0, "this user's arrival rate (node mode)")
+	)
+	flag.Parse()
+
+	switch *modeFlag {
+	case "demo":
+		runDemo(*ratesFlag, *arrivalsFlag, *epsFlag, *verifyFlag)
+	case "state":
+		runState(*ratesFlag, *arrivalsFlag, *listenFlag)
+	case "node":
+		runNode(*idFlag, *usersFlag, *arrivalFlag, *stateFlag, *listenFlag, *nextFlag, *epsFlag)
+	default:
+		log.Fatalf("-mode: unknown mode %q (want demo, state or node)", *modeFlag)
+	}
+}
+
+func parseSystem(rates, arrivals string) *nashlb.System {
+	rs, err := cli.ParseFloats(rates)
+	if err != nil {
+		log.Fatalf("-rates: %v", err)
+	}
+	as, err := cli.ParseFloats(arrivals)
+	if err != nil {
+		log.Fatalf("-arrivals: %v", err)
+	}
+	sys, err := nashlb.NewSystem(rs, as)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func runDemo(rates, arrivals string, eps float64, verify bool) {
+	sys := parseSystem(rates, arrivals)
+	fmt.Printf("starting a TCP token ring of %d user nodes on loopback...\n", sys.Users())
+	start := time.Now()
+	res, err := nashlb.SolveNashTCP(sys, nashlb.RingOptions{Epsilon: eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged after %d token circulations in %v\n", res.Rounds, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("overall expected response time %.6g s, fairness %.4f\n",
+		res.OverallTime, nashlb.JainFairness(res.UserTimes))
+
+	t := report.NewTable("Per-user expected response time at the equilibrium", "user", "D_i (s)")
+	for i, d := range res.UserTimes {
+		t.AddRow(fmt.Sprint(i+1), report.F(d, 6))
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+
+	if verify {
+		ok, impr, err := nashlb.VerifyEquilibrium(sys, res.Profile, 1e-6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			fmt.Println("\nverified: no user can improve by a unilateral deviation")
+		} else {
+			log.Fatalf("NOT an equilibrium: best deviation improves %g s", impr)
+		}
+	}
+}
+
+func runState(rates, arrivals, listen string) {
+	sys := parseSystem(rates, arrivals)
+	store := dist.NewMemoryStore(sys, nil)
+	srv, err := dist.ServeState(store, listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state service for %d computers / %d users listening on %s\n",
+		sys.Computers(), sys.Users(), srv.Addr())
+	fmt.Println("press Ctrl-C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	// Print the final profile so an operator sees where the ring landed.
+	p := store.Snapshot()
+	fmt.Println("\nfinal strategy profile:")
+	for i, s := range p {
+		fmt.Printf("  user %d: %v\n", i+1, []float64(s))
+	}
+}
+
+func runNode(id, users int, arrival float64, stateAddr, listen, next string, eps float64) {
+	if stateAddr == "" || next == "" || users < 1 {
+		log.Fatal("node mode needs -state, -next, -users, -id and -arrival")
+	}
+	tr, err := dist.NewTCPNode(listen, next)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	fmt.Printf("node %d/%d listening on %s, successor %s, state %s\n",
+		id, users, dist.NodeAddr(tr), next, stateAddr)
+	client := dist.DialState(stateAddr)
+	defer client.Close()
+	res, err := dist.RunNode(dist.NodeConfig{
+		ID: id, Users: users, Arrival: arrival, Epsilon: eps,
+	}, client, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node %d done: %d rounds, converged=%v\n", id, res.Rounds, res.Converged)
+	fmt.Printf("final strategy: %v\n", []float64(game.Strategy(res.Strategy)))
+}

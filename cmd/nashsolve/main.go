@@ -1,0 +1,164 @@
+// Command nashsolve computes the Nash equilibrium of a load-balancing game
+// and, optionally, compares it against the PS, GOS and IOS baselines.
+//
+// Usage:
+//
+//	nashsolve -rates 6x10,5x20,3x50,2x100 -arrivals 10x30.6 [-init P|0]
+//	          [-eps 1e-9] [-compare] [-profile]
+//
+// Rates and arrivals are comma-separated jobs/second, with the COUNTxVALUE
+// repetition shorthand.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nashlb"
+	"nashlb/internal/cli"
+	"nashlb/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nashsolve: ")
+	var (
+		ratesFlag    = flag.String("rates", "6x10,5x20,3x50,2x100", "computer processing rates (jobs/s, comma list, COUNTxVALUE allowed)")
+		arrivalsFlag = flag.String("arrivals", "10x30.6", "user arrival rates (jobs/s, comma list, COUNTxVALUE allowed)")
+		initFlag     = flag.String("init", "P", "initialization: P (NASH_P, proportional) or 0 (NASH_0)")
+		epsFlag      = flag.Float64("eps", 0, "convergence tolerance (0 = library default)")
+		compareFlag  = flag.Bool("compare", false, "also evaluate the PS, GOS and IOS baselines")
+		profileFlag  = flag.Bool("profile", false, "print the full equilibrium strategy profile")
+		jsonFlag     = flag.Bool("json", false, "emit the result as JSON instead of tables")
+	)
+	flag.Parse()
+
+	rates, err := cli.ParseFloats(*ratesFlag)
+	if err != nil {
+		log.Fatalf("-rates: %v", err)
+	}
+	arrivals, err := cli.ParseFloats(*arrivalsFlag)
+	if err != nil {
+		log.Fatalf("-arrivals: %v", err)
+	}
+	sys, err := nashlb.NewSystem(rates, arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	init := nashlb.InitProportional
+	switch *initFlag {
+	case "P", "p":
+	case "0":
+		init = nashlb.InitZero
+	default:
+		log.Fatalf("-init: unknown initialization %q", *initFlag)
+	}
+
+	res, err := nashlb.SolveNash(sys, nashlb.NashOptions{Init: init, Epsilon: *epsFlag})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonFlag {
+		out := jsonResult{
+			Computers:   sys.Rates,
+			Arrivals:    sys.Arrivals,
+			Utilization: sys.Utilization(),
+			Init:        init.String(),
+			Rounds:      res.Rounds,
+			OverallTime: res.OverallTime,
+			UserTimes:   res.UserTimes,
+			Fairness:    nashlb.JainFairness(res.UserTimes),
+		}
+		if *profileFlag {
+			out.Profile = make([][]float64, len(res.Profile))
+			for i := range res.Profile {
+				out.Profile[i] = res.Profile[i]
+			}
+		}
+		if *compareFlag {
+			for _, s := range nashlb.AllSchemes() {
+				ev, err := nashlb.RunScheme(s, sys)
+				if err != nil {
+					log.Fatalf("%s: %v", s.Name(), err)
+				}
+				out.Schemes = append(out.Schemes, jsonScheme{
+					Name: ev.Scheme, OverallTime: ev.OverallTime, Fairness: ev.Fairness,
+				})
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("system: %d computers (%.4g jobs/s total), %d users (%.4g jobs/s, utilization %.1f%%)\n",
+		sys.Computers(), sys.TotalCapacity(), sys.Users(), sys.TotalArrival(), 100*sys.Utilization())
+	fmt.Printf("equilibrium (%s): %d rounds, overall expected response time %.6g s, fairness %.4f\n",
+		init, res.Rounds, res.OverallTime, nashlb.JainFairness(res.UserTimes))
+
+	ut := report.NewTable("Per-user expected response time", "user", "phi (jobs/s)", "D_i (s)")
+	for i, d := range res.UserTimes {
+		ut.AddRow(fmt.Sprint(i+1), report.F(sys.Arrivals[i], 5), report.F(d, 6))
+	}
+	fmt.Println()
+	fmt.Print(ut.String())
+
+	if *profileFlag {
+		pt := report.NewTable("Equilibrium strategy profile (rows = users, columns = computers)", "user", "fractions")
+		for i, s := range res.Profile {
+			row := ""
+			for j, f := range s {
+				if j > 0 {
+					row += " "
+				}
+				row += report.Fix(f, 4)
+			}
+			pt.AddRow(fmt.Sprint(i+1), row)
+		}
+		fmt.Println()
+		fmt.Print(pt.String())
+	}
+
+	if *compareFlag {
+		ct := report.NewTable("Scheme comparison (analytic)", "scheme", "overall D (s)", "fairness")
+		for _, s := range nashlb.AllSchemes() {
+			ev, err := nashlb.RunScheme(s, sys)
+			if err != nil {
+				log.Fatalf("%s: %v", s.Name(), err)
+			}
+			ct.AddRow(ev.Scheme, report.F(ev.OverallTime, 6), report.Fix(ev.Fairness, 4))
+		}
+		fmt.Println()
+		fmt.Print(ct.String())
+	}
+	os.Exit(0)
+}
+
+// jsonResult is the machine-readable output of -json.
+type jsonResult struct {
+	Computers   []float64    `json:"computers"`
+	Arrivals    []float64    `json:"arrivals"`
+	Utilization float64      `json:"utilization"`
+	Init        string       `json:"init"`
+	Rounds      int          `json:"rounds"`
+	OverallTime float64      `json:"overall_time_s"`
+	UserTimes   []float64    `json:"user_times_s"`
+	Fairness    float64      `json:"fairness"`
+	Profile     [][]float64  `json:"profile,omitempty"`
+	Schemes     []jsonScheme `json:"schemes,omitempty"`
+}
+
+// jsonScheme is one baseline's evaluation in the -json output.
+type jsonScheme struct {
+	Name        string  `json:"name"`
+	OverallTime float64 `json:"overall_time_s"`
+	Fairness    float64 `json:"fairness"`
+}

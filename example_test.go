@@ -1,0 +1,79 @@
+package nashlb_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb"
+)
+
+// ExampleSolveNash computes the Nash equilibrium of a small heterogeneous
+// system and prints each user's expected response time.
+func ExampleSolveNash() {
+	sys, err := nashlb.NewSystem(
+		[]float64{100, 50, 20}, // computer rates (jobs/s)
+		[]float64{60, 40},      // user arrival rates (jobs/s)
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nashlb.SolveNash(sys, nashlb.NashOptions{Init: nashlb.InitProportional})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range res.UserTimes {
+		fmt.Printf("user %d: %.4f s\n", i+1, d)
+	}
+	// Output:
+	// user 1: 0.0372 s
+	// user 2: 0.0356 s
+}
+
+// ExampleOptimal runs the paper's OPTIMAL water-filling best response for a
+// single user: note the slow computer receives nothing at this load.
+func ExampleOptimal() {
+	s, err := nashlb.Optimal([]float64{4, 1}, 1) // available rates; own arrival rate
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fractions: %.2f\n", s)
+	// Output:
+	// fractions: [1.00 0.00]
+}
+
+// ExampleVerifyEquilibrium demonstrates checking that no user can gain by
+// unilaterally deviating from a computed profile.
+func ExampleVerifyEquilibrium() {
+	sys, _ := nashlb.NewSystem([]float64{30, 10}, []float64{12, 12})
+	res, _ := nashlb.SolveNash(sys, nashlb.NashOptions{})
+	ok, _, _ := nashlb.VerifyEquilibrium(sys, res.Profile, 1e-6)
+	fmt.Println("equilibrium:", ok)
+	// Output:
+	// equilibrium: true
+}
+
+// ExampleRunScheme compares the four schemes' overall response times on the
+// same system.
+func ExampleRunScheme() {
+	sys, _ := nashlb.NewSystem([]float64{100, 50, 20, 10}, []float64{40, 30, 20})
+	for _, s := range nashlb.AllSchemes() {
+		ev, err := nashlb.RunScheme(s, sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s D=%.4f s fairness=%.3f\n", ev.Scheme, ev.OverallTime, ev.Fairness)
+	}
+	// Output:
+	// NASH D=0.0317 s fairness=1.000
+	// GOS  D=0.0311 s fairness=0.962
+	// IOS  D=0.0333 s fairness=1.000
+	// PS   D=0.0444 s fairness=1.000
+}
+
+// ExampleJainFairness computes Jain's index for a vector of per-user
+// response times.
+func ExampleJainFairness() {
+	fmt.Printf("%.2f\n", nashlb.JainFairness([]float64{4, 2}))
+	// Output:
+	// 0.90
+}

@@ -1,0 +1,47 @@
+// Quickstart: three computers, two selfish users, one Nash equilibrium.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb"
+)
+
+func main() {
+	// A small heterogeneous system: one fast, one medium, one slow
+	// computer (rates in jobs/second)...
+	rates := []float64{100, 50, 20}
+	// ...shared by two users with different traffic volumes.
+	arrivals := []float64{60, 40}
+
+	sys, err := nashlb.NewSystem(rates, arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compute the Nash equilibrium with the paper's NASH algorithm
+	// (proportional initialization: the faster NASH_P variant).
+	res, err := nashlb.SolveNash(sys, nashlb.NashOptions{Init: nashlb.InitProportional})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged in %d best-reply rounds\n\n", res.Rounds)
+	for i, s := range res.Profile {
+		fmt.Printf("user %d (%.0f jobs/s) sends fractions %.3f to the computers; expected response time %.4f s\n",
+			i+1, arrivals[i], s, res.UserTimes[i])
+	}
+	fmt.Printf("\noverall expected response time: %.4f s\n", res.OverallTime)
+
+	// No user can do better by unilaterally re-routing its jobs:
+	ok, improvement, err := nashlb.VerifyEquilibrium(sys, res.Profile, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("equilibrium verified: %v (best possible unilateral gain: %.2g s)\n", ok, improvement)
+}

@@ -1,0 +1,3 @@
+module nashlb
+
+go 1.22

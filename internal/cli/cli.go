@@ -1,0 +1,43 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFloats parses a comma-separated list of numbers ("10,20,50").
+// Entries may use the repetition shorthand "COUNTxVALUE" ("6x10,5x20"),
+// matching how the paper's Table 1 describes computer groups.
+func ParseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cli: empty list")
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cli: empty entry in %q", s)
+		}
+		count := 1
+		if i := strings.IndexByte(part, 'x'); i > 0 {
+			c, err := strconv.Atoi(strings.TrimSpace(part[:i]))
+			if err == nil {
+				if c < 1 {
+					return nil, fmt.Errorf("cli: non-positive repetition in %q", part)
+				}
+				count = c
+				part = strings.TrimSpace(part[i+1:])
+			}
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad number %q: %w", part, err)
+		}
+		for k := 0; k < count; k++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

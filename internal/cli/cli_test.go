@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []float64
+		ok   bool
+	}{
+		{"10,20,50", []float64{10, 20, 50}, true},
+		{" 1.5 , 2 ", []float64{1.5, 2}, true},
+		{"6x10,2x100", []float64{10, 10, 10, 10, 10, 10, 100, 100}, true},
+		{"2x1.5", []float64{1.5, 1.5}, true},
+		{"1e2", []float64{100}, true},
+		{"", nil, false},
+		{"a,b", nil, false},
+		{"1,,2", nil, false},
+		{"0x10", nil, false},
+		{"-1x10", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFloats(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("%q: err = %v, ok = %v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: got %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

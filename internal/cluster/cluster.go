@@ -1,0 +1,646 @@
+// Package cluster simulates the paper's distributed system model
+// (Section 4.1): jobs generated per user by Poisson processes are dispatched
+// to computers according to a load-balancing strategy profile; each computer
+// is an M/M/1 station serving jobs FCFS, run-to-completion (no preemption).
+//
+// The package replaces the authors' Sim++ setup: single runs collect
+// per-user and per-computer response-time statistics with warmup deletion;
+// Replicate runs independent replications in parallel (one goroutine each)
+// and reports Student-t confidence intervals, mirroring the paper's "each
+// run was replicated five times with different random number streams".
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"nashlb/internal/des"
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+	"nashlb/internal/stats"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Rates holds the computers' service rates mu_j (jobs/second).
+	Rates []float64
+	// Arrivals holds the users' job generation rates phi_i (jobs/second).
+	Arrivals []float64
+	// Profile is the strategy profile used for dispatching: a job of user i
+	// goes to computer j with probability Profile[i][j].
+	Profile game.Profile
+	// Duration is the measured simulated time in seconds (after warmup).
+	Duration float64
+	// Warmup is the initial simulated time whose jobs are excluded from
+	// statistics (measured by arrival time).
+	Warmup float64
+	// Seed roots the random streams; the same seed reproduces the run
+	// exactly.
+	Seed uint64
+	// SampleEvery, when positive, samples every computer's run-queue length
+	// (jobs in system) with this period; the samples feed the run-queue
+	// based rate estimator in internal/estimate.
+	SampleEvery float64
+	// Arrival selects the interarrival process (default PoissonArrivals,
+	// the paper's model). The non-Poisson options probe how robust an
+	// equilibrium computed under M/M/1 assumptions is to real traffic.
+	Arrival ArrivalModel
+	// SCV is the squared coefficient of variation for BurstyArrivals
+	// (>= 1; ignored otherwise).
+	SCV float64
+	// Service selects the service-time distribution (default
+	// ExponentialService, the paper's M/M/1 model).
+	Service ServiceModel
+	// ServiceSCV is the squared coefficient of variation for
+	// BurstyService (>= 1; ignored otherwise).
+	ServiceSCV float64
+	// OnJob, when non-nil, is invoked for every measured (post-warmup)
+	// job completion, in completion order. It enables trace recording and
+	// custom statistics without touching the model.
+	OnJob func(JobRecord)
+	// Rebalance, when non-nil, lets a load-balancing policy rewrite the
+	// dispatch profile while the simulation runs — the paper's "the
+	// execution of this algorithm is initiated periodically" made
+	// concrete. See RebalancePolicy.
+	Rebalance *RebalancePolicy
+	// Dispatch selects how each job picks its computer (default
+	// ProbabilisticDispatch, the paper's static model). The dynamic
+	// alternatives are classical baselines requiring global instantaneous
+	// state per job, which static schemes deliberately avoid.
+	Dispatch DispatchPolicy
+}
+
+// DispatchPolicy selects the per-job routing rule.
+type DispatchPolicy int
+
+const (
+	// ProbabilisticDispatch routes a job of user i to computer j with
+	// probability Profile[i][j] — the paper's static splitting.
+	ProbabilisticDispatch DispatchPolicy = iota
+	// ShortestQueueDispatch routes every job to the computer with the
+	// fewest jobs in system, breaking ties toward the fastest rate (JSQ).
+	// The Profile is ignored (beyond shape validation).
+	ShortestQueueDispatch
+	// ShortestDelayDispatch routes every job to the computer minimizing
+	// (jobs in system + 1)/mu — shortest-expected-delay (SED), the
+	// heterogeneity-aware variant of JSQ.
+	ShortestDelayDispatch
+)
+
+// String names the policy.
+func (d DispatchPolicy) String() string {
+	switch d {
+	case ProbabilisticDispatch:
+		return "probabilistic"
+	case ShortestQueueDispatch:
+		return "jsq"
+	case ShortestDelayDispatch:
+		return "sed"
+	default:
+		return fmt.Sprintf("DispatchPolicy(%d)", int(d))
+	}
+}
+
+// RebalancePolicy periodically hands the live cluster state to a policy
+// function that may install a new dispatch profile.
+type RebalancePolicy struct {
+	// Every is the re-balancing period in simulated seconds (> 0).
+	Every float64
+	// Do receives the current simulation time, each computer's current
+	// run-queue length (jobs in system), and a copy of the profile in
+	// effect. A non-nil feasible return value replaces the dispatch
+	// profile from this instant; nil keeps the current one.
+	Do func(now float64, queueLens []int, current game.Profile) game.Profile
+}
+
+// JobRecord describes one completed job, for tracing and custom analysis.
+type JobRecord struct {
+	// User generated the job; Computer executed it.
+	User, Computer int
+	// Arrival, Start and Completion are simulation timestamps: when the
+	// job entered the system, began service, and finished.
+	Arrival, Start, Completion float64
+}
+
+// ResponseTime returns Completion - Arrival.
+func (r JobRecord) ResponseTime() float64 { return r.Completion - r.Arrival }
+
+// WaitingTime returns Start - Arrival (time in queue).
+func (r JobRecord) WaitingTime() float64 { return r.Start - r.Arrival }
+
+// ServiceTime returns Completion - Start.
+func (r JobRecord) ServiceTime() float64 { return r.Completion - r.Start }
+
+// ServiceModel selects the per-job service-time distribution at every
+// computer. Non-exponential options turn each computer into an M/G/1
+// station, letting the Pollaczek–Khinchine formula validate the simulator
+// and letting experiments probe the equilibrium's sensitivity to the
+// exponential-service assumption.
+type ServiceModel int
+
+const (
+	// ExponentialService is the paper's model (M/M/1).
+	ExponentialService ServiceModel = iota
+	// DeterministicService gives every job exactly 1/mu seconds (M/D/1).
+	DeterministicService
+	// BurstyService draws hyperexponential service times with the
+	// configured ServiceSCV (heavy-tailed-ish job sizes).
+	BurstyService
+)
+
+// String names the model.
+func (s ServiceModel) String() string {
+	switch s {
+	case ExponentialService:
+		return "exponential"
+	case DeterministicService:
+		return "deterministic"
+	case BurstyService:
+		return "bursty"
+	default:
+		return fmt.Sprintf("ServiceModel(%d)", int(s))
+	}
+}
+
+// ArrivalModel selects the job interarrival process of every user.
+type ArrivalModel int
+
+const (
+	// PoissonArrivals is the paper's model: exponential interarrivals.
+	PoissonArrivals ArrivalModel = iota
+	// DeterministicArrivals spaces each user's jobs exactly 1/phi apart
+	// (smoother than Poisson; response times improve).
+	DeterministicArrivals
+	// BurstyArrivals draws hyperexponential interarrivals with the
+	// configured SCV (burstier than Poisson; response times degrade).
+	BurstyArrivals
+)
+
+// String names the model.
+func (a ArrivalModel) String() string {
+	switch a {
+	case PoissonArrivals:
+		return "poisson"
+	case DeterministicArrivals:
+		return "deterministic"
+	case BurstyArrivals:
+		return "bursty"
+	default:
+		return fmt.Sprintf("ArrivalModel(%d)", int(a))
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if len(c.Rates) == 0 || len(c.Arrivals) == 0 {
+		return errors.New("cluster: need at least one computer and one user")
+	}
+	for j, mu := range c.Rates {
+		if !(mu > 0) {
+			return fmt.Errorf("cluster: invalid rate mu[%d]=%g", j, mu)
+		}
+	}
+	for i, phi := range c.Arrivals {
+		if !(phi > 0) {
+			return fmt.Errorf("cluster: invalid arrival phi[%d]=%g", i, phi)
+		}
+	}
+	if len(c.Profile) != len(c.Arrivals) {
+		return fmt.Errorf("cluster: profile has %d rows, want %d", len(c.Profile), len(c.Arrivals))
+	}
+	for i := range c.Profile {
+		if err := game.CheckStrategy(c.Profile[i], len(c.Rates)); err != nil {
+			return fmt.Errorf("cluster: user %d: %w", i, err)
+		}
+	}
+	if !(c.Duration > 0) {
+		return fmt.Errorf("cluster: non-positive duration %g", c.Duration)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("cluster: negative warmup %g", c.Warmup)
+	}
+	switch c.Arrival {
+	case PoissonArrivals, DeterministicArrivals:
+	case BurstyArrivals:
+		if c.SCV < 1 {
+			return fmt.Errorf("cluster: bursty arrivals need SCV >= 1, got %g", c.SCV)
+		}
+	default:
+		return fmt.Errorf("cluster: unknown arrival model %d", int(c.Arrival))
+	}
+	switch c.Service {
+	case ExponentialService, DeterministicService:
+	case BurstyService:
+		if c.ServiceSCV < 1 {
+			return fmt.Errorf("cluster: bursty service needs ServiceSCV >= 1, got %g", c.ServiceSCV)
+		}
+	default:
+		return fmt.Errorf("cluster: unknown service model %d", int(c.Service))
+	}
+	if c.Rebalance != nil {
+		if !(c.Rebalance.Every > 0) {
+			return fmt.Errorf("cluster: rebalance period %g must be positive", c.Rebalance.Every)
+		}
+		if c.Rebalance.Do == nil {
+			return fmt.Errorf("cluster: rebalance policy has nil Do")
+		}
+	}
+	switch c.Dispatch {
+	case ProbabilisticDispatch, ShortestQueueDispatch, ShortestDelayDispatch:
+	default:
+		return fmt.Errorf("cluster: unknown dispatch policy %d", int(c.Dispatch))
+	}
+	return nil
+}
+
+// serviceTime draws a job's service time at a computer with rate mu.
+func (c *Config) serviceTime(stream *rng.Stream, mu float64) float64 {
+	switch c.Service {
+	case DeterministicService:
+		return 1 / mu
+	case BurstyService:
+		return stream.HyperExp(mu, c.ServiceSCV)
+	default:
+		return stream.Exp(mu)
+	}
+}
+
+// interarrival draws the next interarrival time for a user with rate phi.
+func (c *Config) interarrival(stream *rng.Stream, phi float64) float64 {
+	switch c.Arrival {
+	case DeterministicArrivals:
+		return 1 / phi
+	case BurstyArrivals:
+		return stream.HyperExp(phi, c.SCV)
+	default:
+		return stream.Exp(phi)
+	}
+}
+
+// RunResult holds the measurements of a single simulation run.
+type RunResult struct {
+	// PerUser accumulates response times of completed jobs by user.
+	PerUser []stats.Running
+	// PerComputer accumulates response times of completed jobs by computer.
+	PerComputer []stats.Running
+	// QueueLengths accumulates sampled run-queue lengths (jobs in system,
+	// including the one in service) per computer; empty unless
+	// Config.SampleEvery > 0.
+	QueueLengths []stats.Running
+	// Generated and Completed count measured jobs (post-warmup arrivals).
+	Generated, Completed int64
+	// Rebalances counts how many times a RebalancePolicy installed a new
+	// profile during the run.
+	Rebalances int
+	// BusyTime accumulates each computer's total in-service time within
+	// the measurement window, so BusyTime[j]/(EndTime-Warmup) estimates
+	// the utilization rho_j.
+	BusyTime []float64
+	// EndTime is the simulated time at which the run stopped.
+	EndTime float64
+	// Warmup echoes the configured warmup for utilization computations.
+	Warmup float64
+}
+
+// Utilization returns the measured busy fraction of computer j over the
+// measurement window.
+func (r *RunResult) Utilization(j int) float64 {
+	window := r.EndTime - r.Warmup
+	if window <= 0 {
+		return 0
+	}
+	return r.BusyTime[j] / window
+}
+
+// UserMeans returns the per-user mean response times.
+func (r *RunResult) UserMeans() []float64 {
+	out := make([]float64, len(r.PerUser))
+	for i := range r.PerUser {
+		out[i] = r.PerUser[i].Mean()
+	}
+	return out
+}
+
+// OverallMean returns the completion-weighted mean response time over all
+// jobs, the paper's "expected response time" metric.
+func (r *RunResult) OverallMean() float64 {
+	var n int64
+	var sum float64
+	for i := range r.PerUser {
+		n += r.PerUser[i].N()
+		sum += r.PerUser[i].Mean() * float64(r.PerUser[i].N())
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fairness returns Jain's fairness index over the per-user mean response
+// times.
+func (r *RunResult) Fairness() float64 {
+	return stats.JainFairness(r.UserMeans())
+}
+
+// job is a unit of work flowing through the model.
+type job struct {
+	user    int
+	arrival float64
+	start   float64
+	counted bool
+}
+
+// station is one computer: an M/M/1 FCFS queue plus its server state.
+type station struct {
+	queue   []job
+	busy    bool
+	current job
+}
+
+// Simulate performs one discrete-event run of the model and returns its
+// measurements.
+func Simulate(cfg Config) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(cfg.Rates), len(cfg.Arrivals)
+	sim := des.New()
+	src := rng.NewSource(cfg.Seed)
+
+	arrivalStreams := make([]*rng.Stream, m)
+	routeStreams := make([]*rng.Stream, m)
+	for i := 0; i < m; i++ {
+		arrivalStreams[i] = src.Stream(fmt.Sprintf("arrival/%d", i))
+		routeStreams[i] = src.Stream(fmt.Sprintf("route/%d", i))
+	}
+	serviceStreams := make([]*rng.Stream, n)
+	for j := 0; j < n; j++ {
+		serviceStreams[j] = src.Stream(fmt.Sprintf("service/%d", j))
+	}
+
+	res := &RunResult{
+		PerUser:     make([]stats.Running, m),
+		PerComputer: make([]stats.Running, n),
+		BusyTime:    make([]float64, n),
+		Warmup:      cfg.Warmup,
+	}
+	stations := make([]station, n)
+	horizon := cfg.Warmup + cfg.Duration
+
+	var schedErr error
+	schedule := func(delay float64, action func()) {
+		if _, err := sim.Schedule(delay, action); err != nil && schedErr == nil {
+			schedErr = err
+		}
+	}
+
+	var startService func(j int)
+	startService = func(j int) {
+		st := &stations[j]
+		if st.busy || len(st.queue) == 0 {
+			return
+		}
+		st.current = st.queue[0]
+		st.current.start = sim.Now()
+		st.queue = st.queue[1:]
+		st.busy = true
+		service := cfg.serviceTime(serviceStreams[j], cfg.Rates[j])
+		jj := j
+		schedule(service, func() {
+			st := &stations[jj]
+			done := st.current
+			st.busy = false
+			if busyFrom := math.Max(done.start, cfg.Warmup); sim.Now() > busyFrom {
+				res.BusyTime[jj] += sim.Now() - busyFrom
+			}
+			if done.counted {
+				rt := sim.Now() - done.arrival
+				res.PerUser[done.user].Add(rt)
+				res.PerComputer[jj].Add(rt)
+				res.Completed++
+				if cfg.OnJob != nil {
+					cfg.OnJob(JobRecord{
+						User: done.user, Computer: jj,
+						Arrival: done.arrival, Start: done.start, Completion: sim.Now(),
+					})
+				}
+			}
+			startService(jj)
+		})
+	}
+
+	profile := cfg.Profile.Clone()
+	pick := func(i int) int {
+		switch cfg.Dispatch {
+		case ShortestQueueDispatch, ShortestDelayDispatch:
+			best, bestScore := 0, math.Inf(1)
+			for j := range stations {
+				l := float64(len(stations[j].queue))
+				if stations[j].busy {
+					l++
+				}
+				var score float64
+				if cfg.Dispatch == ShortestQueueDispatch {
+					// Tie-break toward faster computers.
+					score = l - 1e-9*cfg.Rates[j]
+				} else {
+					score = (l + 1) / cfg.Rates[j]
+				}
+				if score < bestScore {
+					best, bestScore = j, score
+				}
+			}
+			return best
+		default:
+			return routeStreams[i].Choose(profile[i])
+		}
+	}
+	dispatch := func(i int) {
+		j := pick(i)
+		counted := sim.Now() >= cfg.Warmup
+		if counted {
+			res.Generated++
+		}
+		stations[j].queue = append(stations[j].queue, job{user: i, arrival: sim.Now(), counted: counted})
+		startService(j)
+	}
+
+	// Per-user job sources (Poisson by default; see ArrivalModel).
+	for i := 0; i < m; i++ {
+		i := i
+		var tick func()
+		tick = func() {
+			dispatch(i)
+			schedule(cfg.interarrival(arrivalStreams[i], cfg.Arrivals[i]), tick)
+		}
+		schedule(cfg.interarrival(arrivalStreams[i], cfg.Arrivals[i]), tick)
+	}
+
+	// Optional periodic re-balancing policy.
+	if cfg.Rebalance != nil {
+		queueLens := func() []int {
+			lens := make([]int, n)
+			for j := range stations {
+				lens[j] = len(stations[j].queue)
+				if stations[j].busy {
+					lens[j]++
+				}
+			}
+			return lens
+		}
+		var rebalance func()
+		rebalance = func() {
+			if next := cfg.Rebalance.Do(sim.Now(), queueLens(), profile.Clone()); next != nil {
+				ok := len(next) == m
+				for i := 0; ok && i < m; i++ {
+					ok = game.CheckStrategy(next[i], n) == nil
+				}
+				if ok {
+					profile = next.Clone()
+					res.Rebalances++
+				}
+			}
+			schedule(cfg.Rebalance.Every, rebalance)
+		}
+		schedule(cfg.Rebalance.Every, rebalance)
+	}
+
+	// Optional queue-length sampler.
+	if cfg.SampleEvery > 0 {
+		res.QueueLengths = make([]stats.Running, n)
+		var sample func()
+		sample = func() {
+			if sim.Now() >= cfg.Warmup {
+				for j := range stations {
+					l := len(stations[j].queue)
+					if stations[j].busy {
+						l++
+					}
+					res.QueueLengths[j].Add(float64(l))
+				}
+			}
+			schedule(cfg.SampleEvery, sample)
+		}
+		schedule(cfg.SampleEvery, sample)
+	}
+
+	sim.Run(horizon)
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	res.EndTime = sim.Now()
+	return res, nil
+}
+
+// Summary aggregates replicated runs into confidence intervals, the form in
+// which the paper reports every simulated number.
+type Summary struct {
+	// Replications is the number of independent runs.
+	Replications int
+	// UserTime[i] is the CI for user i's mean response time.
+	UserTime []stats.Interval
+	// OverallTime is the CI for the job-weighted mean response time.
+	OverallTime stats.Interval
+	// Fairness is the CI for Jain's index of the per-user means.
+	Fairness stats.Interval
+	// Completed is the total number of measured jobs across replications.
+	Completed int64
+	// Runs keeps the individual replication results for inspection.
+	Runs []*RunResult
+}
+
+// MaxRelativeError returns the worst relative CI half-width across the
+// overall time and all per-user times — the paper's "standard error less
+// than 5%" acceptance check.
+func (s *Summary) MaxRelativeError() float64 {
+	worst := s.OverallTime.RelativeError()
+	for _, iv := range s.UserTime {
+		if re := iv.RelativeError(); re > worst {
+			worst = re
+		}
+	}
+	return worst
+}
+
+// Replicate runs `reps` independent replications of cfg in parallel (each on
+// its own goroutine with streams derived from the replication index) and
+// summarizes them. reps must be at least 2 for confidence intervals.
+func Replicate(cfg Config, reps int) (*Summary, error) {
+	if reps < 2 {
+		return nil, errors.New("cluster: need at least 2 replications")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	runs := make([]*RunResult, reps)
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	for r := 0; r < reps; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cfg
+			// Independent streams per replication.
+			c.Seed = rng.NewSource(cfg.Seed).Replication(r).Stream("root").Uint64()
+			runs[r], errs[r] = Simulate(c)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := len(cfg.Arrivals)
+	sum := &Summary{Replications: reps, UserTime: make([]stats.Interval, m), Runs: runs}
+	overall := make([]float64, reps)
+	fair := make([]float64, reps)
+	perUser := make([][]float64, m)
+	for i := range perUser {
+		perUser[i] = make([]float64, reps)
+	}
+	for r, run := range runs {
+		overall[r] = run.OverallMean()
+		fair[r] = run.Fairness()
+		means := run.UserMeans()
+		for i := 0; i < m; i++ {
+			perUser[i][r] = means[i]
+		}
+		sum.Completed += run.Completed
+	}
+	var err error
+	if sum.OverallTime, err = stats.MeanCI95(overall); err != nil {
+		return nil, err
+	}
+	if sum.Fairness, err = stats.MeanCI95(fair); err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		if sum.UserTime[i], err = stats.MeanCI95(perUser[i]); err != nil {
+			return nil, err
+		}
+	}
+	return sum, nil
+}
+
+// PredictedUserTimes returns the analytic M/M/1 predictions D_i for the
+// configuration, the values the simulation estimates. Saturated
+// configurations yield +Inf entries.
+func PredictedUserTimes(cfg Config) []float64 {
+	sys := &game.System{Rates: cfg.Rates, Arrivals: cfg.Arrivals}
+	return sys.UserResponseTimes(cfg.Profile)
+}
+
+// PredictedOverallTime returns the analytic job-weighted mean response time.
+func PredictedOverallTime(cfg Config) float64 {
+	sys := &game.System{Rates: cfg.Rates, Arrivals: cfg.Arrivals}
+	d := sys.OverallResponseTime(cfg.Profile)
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return d
+}

@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/game"
+	"nashlb/internal/queueing"
+	"nashlb/internal/stats"
+)
+
+func singleQueueConfig(mu, lambda float64) Config {
+	return Config{
+		Rates:    []float64{mu},
+		Arrivals: []float64{lambda},
+		Profile:  game.Profile{{1}},
+		Duration: 4000,
+		Warmup:   400,
+		Seed:     42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := singleQueueConfig(10, 5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no computers", func(c *Config) { c.Rates = nil }},
+		{"no users", func(c *Config) { c.Arrivals = nil }},
+		{"zero rate", func(c *Config) { c.Rates[0] = 0 }},
+		{"zero arrival", func(c *Config) { c.Arrivals[0] = 0 }},
+		{"profile rows", func(c *Config) { c.Profile = game.Profile{{1}, {1}} }},
+		{"profile sum", func(c *Config) { c.Profile = game.Profile{{0.5}} }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"negative warmup", func(c *Config) { c.Warmup = -1 }},
+	}
+	for _, c := range cases {
+		cfg := singleQueueConfig(10, 5)
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+}
+
+func TestSimulateMatchesMM1ClosedForm(t *testing.T) {
+	// The central substrate validation: the DES reproduces the M/M/1
+	// sojourn time 1/(mu - lambda) that the whole paper is built on.
+	for _, tc := range []struct{ mu, lambda float64 }{
+		{10, 3},
+		{10, 7},
+		{50, 45},
+	} {
+		res, err := Simulate(singleQueueConfig(tc.mu, tc.lambda))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := queueing.MM1{Mu: tc.mu, Lambda: tc.lambda}.ResponseTime()
+		got := res.PerUser[0].Mean()
+		if math.Abs(got-want) > 0.08*want {
+			t.Errorf("mu=%v lambda=%v: simulated T=%v, closed form %v", tc.mu, tc.lambda, got, want)
+		}
+		if res.Completed < int64(0.8*tc.lambda*4000) {
+			t.Errorf("completed only %d jobs", res.Completed)
+		}
+	}
+}
+
+func TestSimulateDeterministicGivenSeed(t *testing.T) {
+	cfg := singleQueueConfig(10, 6)
+	cfg.Duration = 200
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.PerUser[0].Mean() != b.PerUser[0].Mean() {
+		t.Fatal("same seed produced different runs")
+	}
+	cfg.Seed = 43
+	c, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed == c.Completed && a.PerUser[0].Mean() == c.PerUser[0].Mean() {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestSimulateMultiUserMultiComputer(t *testing.T) {
+	// Two users on two computers with asymmetric strategies; compare the
+	// per-user means against the analytic D_i.
+	cfg := Config{
+		Rates:    []float64{20, 10},
+		Arrivals: []float64{8, 6},
+		Profile: game.Profile{
+			{0.8, 0.2},
+			{0.5, 0.5},
+		},
+		Duration: 6000,
+		Warmup:   500,
+		Seed:     7,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictedUserTimes(cfg)
+	got := res.UserMeans()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.08*want[i] {
+			t.Errorf("user %d: simulated %v, analytic %v", i, got[i], want[i])
+		}
+	}
+	overall := PredictedOverallTime(cfg)
+	if math.Abs(res.OverallMean()-overall) > 0.08*overall {
+		t.Errorf("overall: simulated %v, analytic %v", res.OverallMean(), overall)
+	}
+}
+
+func TestZeroFractionComputersReceiveNothing(t *testing.T) {
+	cfg := Config{
+		Rates:    []float64{10, 10},
+		Arrivals: []float64{5},
+		Profile:  game.Profile{{1, 0}},
+		Duration: 500,
+		Warmup:   0,
+		Seed:     1,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerComputer[1].N() != 0 {
+		t.Fatalf("computer with zero fraction completed %d jobs", res.PerComputer[1].N())
+	}
+	if res.PerComputer[0].N() == 0 {
+		t.Fatal("computer with full fraction completed nothing")
+	}
+}
+
+func TestWarmupExcludesEarlyJobs(t *testing.T) {
+	cfg := singleQueueConfig(10, 5)
+	cfg.Duration = 100
+	cfg.Warmup = 1000
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly 5 jobs/s * 100 s measured; far less than the 5*1100 total.
+	if res.Generated > 700 || res.Generated < 300 {
+		t.Fatalf("generated %d measured jobs, want ~500", res.Generated)
+	}
+}
+
+func TestQueueSamplingMatchesMM1Occupancy(t *testing.T) {
+	cfg := singleQueueConfig(10, 7)
+	cfg.SampleEvery = 0.25
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QueueLengths) != 1 || res.QueueLengths[0].N() == 0 {
+		t.Fatal("no queue samples collected")
+	}
+	want := queueing.MM1{Mu: 10, Lambda: 7}.JobsInSystem() // rho/(1-rho) = 7/3
+	got := res.QueueLengths[0].Mean()
+	if math.Abs(got-want) > 0.15*want {
+		t.Errorf("sampled L = %v, closed form %v", got, want)
+	}
+}
+
+func TestSaturatedComputerQueueGrows(t *testing.T) {
+	// Overloaded station: response times must blow up relative to stable.
+	cfg := Config{
+		Rates:    []float64{5},
+		Arrivals: []float64{10},
+		Profile:  game.Profile{{1}},
+		Duration: 300,
+		Warmup:   0,
+		Seed:     3,
+		// sample to observe growth
+		SampleEvery: 1,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~(10-5)*300 = 1500 jobs stuck by the end.
+	if res.QueueLengths[0].Max() < 800 {
+		t.Fatalf("overloaded queue max %v, expected ~1500", res.QueueLengths[0].Max())
+	}
+}
+
+func TestReplicateSummaries(t *testing.T) {
+	cfg := singleQueueConfig(10, 6)
+	cfg.Duration = 8000
+	sum, err := Replicate(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Replications != 5 || len(sum.Runs) != 5 {
+		t.Fatalf("replication bookkeeping wrong: %+v", sum)
+	}
+	want := queueing.MM1{Mu: 10, Lambda: 6}.ResponseTime()
+	if !sum.OverallTime.Contains(want) && math.Abs(sum.OverallTime.Mean-want) > 0.05*want {
+		t.Errorf("CI %v..%v does not cover closed form %v", sum.OverallTime.Lo(), sum.OverallTime.Hi(), want)
+	}
+	// The paper's acceptance criterion.
+	if sum.MaxRelativeError() > 0.05 {
+		t.Errorf("relative error %v above 5%%", sum.MaxRelativeError())
+	}
+	// Single user: fairness is exactly 1 in every replication.
+	if math.Abs(sum.Fairness.Mean-1) > 1e-12 {
+		t.Errorf("fairness = %v, want 1", sum.Fairness.Mean)
+	}
+	// Replications must actually differ.
+	if sum.Runs[0].Completed == sum.Runs[1].Completed &&
+		sum.Runs[0].PerUser[0].Mean() == sum.Runs[1].PerUser[0].Mean() {
+		t.Error("replications look identical; streams not independent")
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	cfg := singleQueueConfig(10, 6)
+	if _, err := Replicate(cfg, 1); err == nil {
+		t.Error("reps=1 accepted")
+	}
+	cfg.Duration = 0
+	if _, err := Replicate(cfg, 3); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFairnessOfAsymmetricUsers(t *testing.T) {
+	// One user on a fast computer, one on a slow: fairness < 1.
+	cfg := Config{
+		Rates:    []float64{50, 10},
+		Arrivals: []float64{5, 5},
+		Profile: game.Profile{
+			{1, 0},
+			{0, 1},
+		},
+		Duration: 3000,
+		Warmup:   300,
+		Seed:     11,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Fairness(); f > 0.9 {
+		t.Errorf("fairness = %v, expected clearly below 1", f)
+	}
+	analytic := stats.JainFairness(PredictedUserTimes(cfg))
+	if math.Abs(res.Fairness()-analytic) > 0.1 {
+		t.Errorf("simulated fairness %v far from analytic %v", res.Fairness(), analytic)
+	}
+}
+
+func TestArrivalModelValidation(t *testing.T) {
+	cfg := singleQueueConfig(10, 5)
+	cfg.Arrival = BurstyArrivals
+	if err := cfg.Validate(); err == nil {
+		t.Error("bursty without SCV accepted")
+	}
+	cfg.SCV = 4
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("bursty with SCV=4 rejected: %v", err)
+	}
+	cfg.Arrival = ArrivalModel(99)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown arrival model accepted")
+	}
+	for m, want := range map[ArrivalModel]string{
+		PoissonArrivals: "poisson", DeterministicArrivals: "deterministic",
+		BurstyArrivals: "bursty", ArrivalModel(7): "ArrivalModel(7)",
+	} {
+		if m.String() != want {
+			t.Errorf("String() = %q, want %q", m.String(), want)
+		}
+	}
+}
+
+func TestArrivalVariabilityOrdersResponseTimes(t *testing.T) {
+	// At the same mean load, smoother arrivals beat Poisson, and bursty
+	// arrivals lose to it — the classic variability ordering (D/M/1 <
+	// M/M/1 < H2/M/1) that motivates checking the equilibrium's robustness
+	// to non-Poisson traffic.
+	base := singleQueueConfig(10, 7)
+	base.Duration = 6000
+	base.Warmup = 500
+
+	run := func(model ArrivalModel, scv float64) float64 {
+		cfg := base
+		cfg.Arrival = model
+		cfg.SCV = scv
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerUser[0].Mean()
+	}
+	det := run(DeterministicArrivals, 0)
+	poisson := run(PoissonArrivals, 0)
+	bursty := run(BurstyArrivals, 8)
+	if !(det < poisson && poisson < bursty) {
+		t.Fatalf("variability ordering violated: D=%v M=%v H2=%v", det, poisson, bursty)
+	}
+	// And Poisson still matches the M/M/1 closed form.
+	want := queueing.MM1{Mu: 10, Lambda: 7}.ResponseTime()
+	if math.Abs(poisson-want) > 0.08*want {
+		t.Fatalf("poisson %v vs closed form %v", poisson, want)
+	}
+}
+
+func TestServiceModelValidation(t *testing.T) {
+	cfg := singleQueueConfig(10, 5)
+	cfg.Service = BurstyService
+	if err := cfg.Validate(); err == nil {
+		t.Error("bursty service without SCV accepted")
+	}
+	cfg.ServiceSCV = 4
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("bursty service with SCV=4 rejected: %v", err)
+	}
+	cfg.Service = ServiceModel(42)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown service model accepted")
+	}
+	for m, want := range map[ServiceModel]string{
+		ExponentialService: "exponential", DeterministicService: "deterministic",
+		BurstyService: "bursty", ServiceModel(3): "ServiceModel(3)",
+	} {
+		if m.String() != want {
+			t.Errorf("String() = %q, want %q", m.String(), want)
+		}
+	}
+}
+
+func TestSimulateMatchesExactGIM1(t *testing.T) {
+	// A single unsplit renewal stream into one exponential server is a
+	// GI/M/1 queue with an exact closed form — the strongest validation
+	// of the non-Poisson arrival models.
+	cases := []struct {
+		name    string
+		arrival ArrivalModel
+		scv     float64
+		lst     func(float64) float64
+	}{
+		{"deterministic", DeterministicArrivals, 0, queueing.DeterministicLST(7)},
+		{"poisson", PoissonArrivals, 1, queueing.ExpLST(7)},
+		{"bursty-4", BurstyArrivals, 4, queueing.HyperExpLST(7, 4)},
+	}
+	for _, c := range cases {
+		cfg := singleQueueConfig(10, 7)
+		cfg.Duration = 8000
+		cfg.Warmup = 500
+		cfg.Arrival = c.arrival
+		cfg.SCV = c.scv
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := (queueing.GIM1{Mu: 10, Lambda: 7, LST: c.lst}).ResponseTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.PerUser[0].Mean()
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("%s: simulated T %v, exact GI/M/1 %v", c.name, got, want)
+		}
+	}
+}
+
+func TestSimulateMatchesPollaczekKhinchine(t *testing.T) {
+	// With non-exponential service the computer is an M/G/1 station; the
+	// simulated sojourn time must match the P-K formula.
+	for _, tc := range []struct {
+		service ServiceModel
+		scv     float64
+	}{
+		{DeterministicService, 0},
+		{ExponentialService, 1},
+		{BurstyService, 4},
+	} {
+		cfg := singleQueueConfig(10, 7)
+		cfg.Duration = 8000
+		cfg.Warmup = 500
+		cfg.Service = tc.service
+		cfg.ServiceSCV = tc.scv
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := queueing.MG1{Mu: 10, SCV: tc.scv, Lambda: 7}.ResponseTime()
+		got := res.PerUser[0].Mean()
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("%s (scv %v): simulated T %v, P-K %v", tc.service, tc.scv, got, want)
+		}
+	}
+}
+
+func TestBatchMeansAgreesWithReplications(t *testing.T) {
+	// Two standard output-analysis methods on the same model must agree:
+	// the paper's independent replications, and the method of batch means
+	// over one long run. Both CIs should contain the analytic value.
+	want := queueing.MM1{Mu: 10, Lambda: 7}.ResponseTime()
+
+	repCfg := singleQueueConfig(10, 7)
+	repCfg.Duration = 4000
+	repSum, err := Replicate(repCfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var series []float64
+	longCfg := singleQueueConfig(10, 7)
+	longCfg.Duration = 20000
+	longCfg.OnJob = func(r JobRecord) { series = append(series, r.ResponseTime()) }
+	if _, err := Simulate(longCfg); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := stats.BatchMeansCI95(series, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, iv := range map[string]stats.Interval{"replications": repSum.OverallTime, "batch means": bm} {
+		if !iv.Contains(want) && math.Abs(iv.Mean-want) > 0.05*want {
+			t.Errorf("%s CI %v..%v misses analytic %v", name, iv.Lo(), iv.Hi(), want)
+		}
+	}
+	// The point estimates must agree with each other too.
+	if math.Abs(repSum.OverallTime.Mean-bm.Mean) > 0.1*want {
+		t.Errorf("methods disagree: replications %v vs batch means %v", repSum.OverallTime.Mean, bm.Mean)
+	}
+}
+
+func TestDispatchPolicyValidationAndNames(t *testing.T) {
+	cfg := singleQueueConfig(10, 5)
+	cfg.Dispatch = DispatchPolicy(77)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown dispatch accepted")
+	}
+	for d, want := range map[DispatchPolicy]string{
+		ProbabilisticDispatch: "probabilistic", ShortestQueueDispatch: "jsq",
+		ShortestDelayDispatch: "sed", DispatchPolicy(9): "DispatchPolicy(9)",
+	} {
+		if d.String() != want {
+			t.Errorf("String = %q, want %q", d.String(), want)
+		}
+	}
+}
+
+func TestShortestDelayBeatsStaticDispatch(t *testing.T) {
+	// SED uses instantaneous global queue state per job, which no static
+	// scheme can: its measured mean response time must beat the static
+	// NASH-equivalent probabilistic split on the same workload.
+	rates := []float64{50, 20, 10}
+	arrivals := []float64{20, 16}
+	prof := game.Profile{
+		{0.7, 0.2, 0.1},
+		{0.7, 0.2, 0.1},
+	}
+	base := Config{
+		Rates:    rates,
+		Arrivals: arrivals,
+		Profile:  prof,
+		Duration: 4000,
+		Warmup:   400,
+		Seed:     31,
+	}
+	static, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sed := base
+	sed.Dispatch = ShortestDelayDispatch
+	dynamic, err := Simulate(sed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.OverallMean() >= static.OverallMean() {
+		t.Errorf("SED %v not below static %v", dynamic.OverallMean(), static.OverallMean())
+	}
+	// JSQ ignores speeds; it must still run to completion feasibly.
+	jsq := base
+	jsq.Dispatch = ShortestQueueDispatch
+	jres, err := Simulate(jsq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jres.Completed == 0 || math.IsInf(jres.OverallMean(), 0) {
+		t.Error("JSQ run degenerate")
+	}
+	// On a heterogeneous system, speed-aware SED beats speed-blind JSQ.
+	if dynamic.OverallMean() >= jres.OverallMean() {
+		t.Errorf("SED %v not below JSQ %v on heterogeneous system", dynamic.OverallMean(), jres.OverallMean())
+	}
+}
+
+func BenchmarkSimulateMM1(b *testing.B) {
+	cfg := singleQueueConfig(10, 7)
+	cfg.Duration = 100
+	cfg.Warmup = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TraceWriter records JobRecords as CSV, one row per completed job:
+// user, computer, arrival, start, completion. Plug its Record method into
+// Config.OnJob to capture a run's full job trace for offline analysis.
+type TraceWriter struct {
+	w   *csv.Writer
+	err error
+	n   int64
+}
+
+// NewTraceWriter returns a writer emitting the CSV header immediately.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{w: csv.NewWriter(w)}
+	tw.err = tw.w.Write([]string{"user", "computer", "arrival", "start", "completion"})
+	return tw
+}
+
+// Record appends one job; errors are sticky and reported by Flush.
+func (t *TraceWriter) Record(r JobRecord) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.w.Write([]string{
+		strconv.Itoa(r.User),
+		strconv.Itoa(r.Computer),
+		strconv.FormatFloat(r.Arrival, 'g', -1, 64),
+		strconv.FormatFloat(r.Start, 'g', -1, 64),
+		strconv.FormatFloat(r.Completion, 'g', -1, 64),
+	})
+	t.n++
+}
+
+// Count returns the number of jobs recorded.
+func (t *TraceWriter) Count() int64 { return t.n }
+
+// Flush completes the trace and returns the first error encountered.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	t.w.Flush()
+	return t.w.Error()
+}
+
+// ReadTrace parses a CSV trace produced by TraceWriter.
+func ReadTrace(r io.Reader) ([]JobRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: trace read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	out := make([]JobRecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("cluster: trace row %d has %d fields", i+2, len(row))
+		}
+		var rec JobRecord
+		var errU, errC error
+		rec.User, errU = strconv.Atoi(row[0])
+		rec.Computer, errC = strconv.Atoi(row[1])
+		if errU != nil || errC != nil {
+			return nil, fmt.Errorf("cluster: trace row %d: bad ids %q %q", i+2, row[0], row[1])
+		}
+		vals := make([]float64, 3)
+		for k := 0; k < 3; k++ {
+			v, err := strconv.ParseFloat(row[2+k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: trace row %d: %w", i+2, err)
+			}
+			vals[k] = v
+		}
+		rec.Arrival, rec.Start, rec.Completion = vals[0], vals[1], vals[2]
+		if rec.Start < rec.Arrival || rec.Completion < rec.Start {
+			return nil, fmt.Errorf("cluster: trace row %d: non-causal timestamps", i+2)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// TraceStats summarizes a trace: per-user mean response times and the
+// time-average number of jobs in the system over the span of the trace,
+// enabling an independent Little's-law cross-check of the simulator.
+type TraceStats struct {
+	Jobs         int
+	MeanResponse float64
+	MeanWaiting  float64
+	Span         float64 // last completion - first arrival
+	ThroughputHz float64 // jobs per second over the span
+	AvgInSystemL float64 // by Little's law: throughput * mean response
+	PerUserMeans map[int]float64
+	PerComputerN map[int]int
+}
+
+// SummarizeTrace computes TraceStats; it requires a non-empty trace.
+func SummarizeTrace(recs []JobRecord) (*TraceStats, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("cluster: cannot summarize empty trace")
+	}
+	st := &TraceStats{
+		Jobs:         len(recs),
+		PerUserMeans: map[int]float64{},
+		PerComputerN: map[int]int{},
+	}
+	first, last := recs[0].Arrival, recs[0].Completion
+	perUserSum := map[int]float64{}
+	perUserN := map[int]int{}
+	var respSum, waitSum float64
+	for _, r := range recs {
+		if r.Arrival < first {
+			first = r.Arrival
+		}
+		if r.Completion > last {
+			last = r.Completion
+		}
+		respSum += r.ResponseTime()
+		waitSum += r.WaitingTime()
+		perUserSum[r.User] += r.ResponseTime()
+		perUserN[r.User]++
+		st.PerComputerN[r.Computer]++
+	}
+	st.MeanResponse = respSum / float64(len(recs))
+	st.MeanWaiting = waitSum / float64(len(recs))
+	st.Span = last - first
+	if st.Span > 0 {
+		st.ThroughputHz = float64(len(recs)) / st.Span
+	}
+	st.AvgInSystemL = st.ThroughputHz * st.MeanResponse
+	for u, sum := range perUserSum {
+		st.PerUserMeans[u] = sum / float64(perUserN[u])
+	}
+	return st, nil
+}

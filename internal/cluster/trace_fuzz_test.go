@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary CSV-ish bytes at the trace parser: it must
+// never panic, and every accepted trace must be causally ordered.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("user,computer,arrival,start,completion\n0,0,1,2,3\n")
+	f.Add("user,computer,arrival,start,completion\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Add("user,computer,arrival,start,completion\n0,0,3,2,1\n")
+	f.Add("user,computer,arrival,start,completion\n0,0,1e308,2e308,3e308\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.Start < r.Arrival || r.Completion < r.Start {
+				t.Fatalf("accepted non-causal record %+v", r)
+			}
+		}
+		if len(recs) > 0 {
+			if _, err := SummarizeTrace(recs); err != nil {
+				t.Fatalf("summarize failed on accepted trace: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+)
+
+// UpdateOrder selects how users take turns in the best-reply iteration.
+// The paper's NASH algorithm is RoundRobin (a token ring); the alternatives
+// exist to study the dynamics: Jacobi updates everyone simultaneously
+// against the previous round's state, and Random permutes the turn order
+// every round. Orda et al. prove the equilibrium itself is unique for this
+// class of games, so all convergent orders must land on the same profile —
+// an invariant the test suite checks.
+type UpdateOrder int
+
+const (
+	// RoundRobin is the paper's order: user 0, 1, ..., m-1, each seeing
+	// the updates of those before it (Gauss–Seidel).
+	RoundRobin UpdateOrder = iota
+	// Jacobi updates all users simultaneously against the previous
+	// round's profile. It preserves the initial condition's influence far
+	// longer than RoundRobin — relevant when comparing NASH_0 and NASH_P —
+	// but is not guaranteed to converge (two symmetric users can
+	// oscillate, swapping overshoots forever).
+	Jacobi
+	// Random draws a fresh uniformly random permutation of the users each
+	// round (Gauss–Seidel with shuffled turns).
+	Random
+)
+
+// String names the order.
+func (o UpdateOrder) String() string {
+	switch o {
+	case RoundRobin:
+		return "round-robin"
+	case Jacobi:
+		return "jacobi"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("UpdateOrder(%d)", int(o))
+	}
+}
+
+// DynamicsOptions configures SolveDynamics.
+type DynamicsOptions struct {
+	// Init selects NASH_0 or NASH_P.
+	Init Init
+	// Order selects the update discipline (RoundRobin by default).
+	Order UpdateOrder
+	// Epsilon is the acceptance tolerance on the round norm.
+	Epsilon float64
+	// MaxRounds bounds the iteration.
+	MaxRounds int
+	// Seed drives the Random order's permutations.
+	Seed uint64
+	// Damping, in (0, 1], scales each user's move toward its best
+	// response: s <- (1-d)*s_old + d*s_best. 1 is the undamped best reply.
+	// Damping below 1 stabilizes Jacobi dynamics.
+	Damping float64
+	// Parallel, with Order == Jacobi, computes all users' best responses
+	// concurrently (one goroutine per user) — the payoff of simultaneous
+	// updates: within a round, nothing depends on anything else. It is
+	// ignored for the sequential orders, whose whole point is that user
+	// i+1 sees user i's fresh strategy.
+	Parallel bool
+}
+
+// timeDelta returns |d - prev| with the Inf-Inf indeterminate mapped to
+// +Inf: under Jacobi dynamics a transient simultaneous overshoot can
+// saturate computers, making both response times infinite; the norm must
+// then read "not converged" (Inf), not NaN.
+func timeDelta(d, prev float64) float64 {
+	delta := math.Abs(d - prev)
+	if math.IsNaN(delta) {
+		return math.Inf(1)
+	}
+	return delta
+}
+
+// SolveDynamics runs the best-reply iteration under a configurable update
+// order. With Order == RoundRobin, Damping == 1 it reproduces Solve exactly.
+func SolveDynamics(sys *game.System, opts DynamicsOptions) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	damp := opts.Damping
+	if damp <= 0 || damp > 1 {
+		damp = 1
+	}
+	switch opts.Order {
+	case RoundRobin, Jacobi, Random:
+	default:
+		return nil, fmt.Errorf("core: unknown update order %d", int(opts.Order))
+	}
+
+	profile := InitialProfile(sys, opts.Init)
+	m := sys.Users()
+	prevTimes := make([]float64, m)
+	if opts.Init == InitProportional {
+		copy(prevTimes, sys.UserResponseTimes(profile))
+	}
+	stream := rng.New(opts.Seed ^ 0x9e3779b97f4a7c15)
+
+	res := &Result{Init: opts.Init}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		if opts.Order == Random {
+			for i := m - 1; i > 0; i-- {
+				j := stream.Intn(i + 1)
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		var norm, maxShift float64
+		base := profile
+		if opts.Order == Jacobi {
+			base = profile.Clone() // everyone responds to the old state
+		}
+		next := profile
+		if opts.Order == Jacobi && opts.Parallel {
+			// Simultaneous updates have no intra-round dependencies: fan
+			// the best responses out across goroutines. Each goroutine
+			// touches only its own row of `next` and its own slot of the
+			// result arrays.
+			shifts := make([]float64, m)
+			deltas := make([]float64, m)
+			errs := make([]error, m)
+			var wg sync.WaitGroup
+			for _, i := range order {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					avail := sys.AvailableRates(base, i)
+					best, err := Optimal(avail, sys.Arrivals[i])
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					moved := best
+					if damp < 1 && !zeroRow(base[i]) {
+						moved = make(game.Strategy, len(best))
+						for j := range moved {
+							moved[j] = (1-damp)*base[i][j] + damp*best[j]
+						}
+					}
+					shifts[i] = l1(base[i], moved)
+					next[i] = moved
+					d := ResponseTime(avail, sys.Arrivals[i], moved)
+					deltas[i] = timeDelta(d, prevTimes[i])
+					prevTimes[i] = d
+				}()
+			}
+			wg.Wait()
+			for i := 0; i < m; i++ {
+				if errs[i] != nil {
+					return nil, fmt.Errorf("round %d, user %d: %w", round, i, errs[i])
+				}
+				norm += deltas[i]
+				if shifts[i] > maxShift {
+					maxShift = shifts[i]
+				}
+			}
+			profile = next
+			res.Rounds = round
+			res.Norms = append(res.Norms, norm)
+			if norm <= eps {
+				res.Converged = true
+				break
+			}
+			continue
+		}
+		for _, i := range order {
+			avail := sys.AvailableRates(base, i)
+			best, err := Optimal(avail, sys.Arrivals[i])
+			if err != nil {
+				return nil, fmt.Errorf("round %d, user %d: %w", round, i, err)
+			}
+			moved := best
+			if damp < 1 && !zeroRow(profile[i]) {
+				moved = make(game.Strategy, len(best))
+				for j := range moved {
+					moved[j] = (1-damp)*profile[i][j] + damp*best[j]
+				}
+			}
+			if shift := l1(profile[i], moved); shift > maxShift {
+				maxShift = shift
+			}
+			next[i] = moved
+			d := ResponseTime(avail, sys.Arrivals[i], moved)
+			norm += timeDelta(d, prevTimes[i])
+			prevTimes[i] = d
+		}
+		profile = next
+		res.Rounds = round
+		res.Norms = append(res.Norms, norm)
+		if norm <= eps {
+			res.Converged = true
+			break
+		}
+	}
+	res.Profile = profile
+	res.UserTimes = sys.UserResponseTimes(profile)
+	res.OverallTime = sys.OverallResponseTime(profile)
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d rounds (order %s)", ErrNotConverged, res.Rounds, opts.Order)
+	}
+	// A Jacobi fixed point is still a profile of mutual best responses,
+	// but a small residual norm does not by itself certify feasibility of
+	// the simultaneous moves; validate before declaring victory.
+	if err := sys.CheckProfile(profile); err != nil {
+		return res, fmt.Errorf("core: %s dynamics converged to an infeasible profile: %w", opts.Order, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+)
+
+func TestSolveDynamicsRoundRobinMatchesSolve(t *testing.T) {
+	sys := paperSystem(t, 0.6)
+	a, err := Solve(sys, Options{Init: InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveDynamics(sys, DynamicsOptions{Init: InitProportional, Order: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for i := range a.Profile {
+		for j := range a.Profile[i] {
+			if a.Profile[i][j] != b.Profile[i][j] {
+				t.Fatalf("profiles differ at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestAllOrdersReachTheSameEquilibrium(t *testing.T) {
+	// Orda et al.: the equilibrium is unique, so every convergent dynamic
+	// must land on the same profile.
+	sys := paperSystem(t, 0.6)
+	ref, err := Solve(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []DynamicsOptions{
+		{Order: Random, Seed: 1},
+		{Order: Random, Seed: 2, Init: InitProportional},
+		{Order: Jacobi, Damping: 0.2, Init: InitProportional},
+	} {
+		res, err := SolveDynamics(sys, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.Order, err)
+		}
+		for i := range ref.UserTimes {
+			if math.Abs(res.UserTimes[i]-ref.UserTimes[i]) > 1e-6*(1+ref.UserTimes[i]) {
+				t.Fatalf("%s: user %d time %v vs reference %v", opts.Order, i, res.UserTimes[i], ref.UserTimes[i])
+			}
+		}
+		ok, impr, err := VerifyEquilibrium(sys, res.Profile, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s: not an equilibrium (improvement %g)", opts.Order, impr)
+		}
+	}
+}
+
+func TestJacobiOscillatesForSymmetricUsersUndamped(t *testing.T) {
+	// The classic pathology: two identical users updating simultaneously
+	// keep mirroring each other's overshoot. Undamped Jacobi must fail (or
+	// need far more rounds); damping fixes it.
+	sys, err := game.NewSystem([]float64{30, 10}, []float64{12, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errUndamped := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, MaxRounds: 500})
+	damped, errDamped := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.5, MaxRounds: 500})
+	if errDamped != nil {
+		t.Fatalf("damped Jacobi failed: %v", errDamped)
+	}
+	if errUndamped == nil {
+		// If it happens to converge, it must at least be far slower.
+		und, _ := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, MaxRounds: 500})
+		if und.Rounds < damped.Rounds*2 {
+			t.Fatalf("undamped Jacobi unexpectedly well-behaved: %d rounds vs damped %d", und.Rounds, damped.Rounds)
+		}
+	}
+}
+
+func TestJacobiPreservesInitializationAdvantage(t *testing.T) {
+	// The Figure-2 reproduction-gap hypothesis (EXPERIMENTS.md): under
+	// Jacobi-style simultaneous updates the initial condition matters far
+	// longer, so NASH_P's head start is worth proportionally more than
+	// under the paper's Gauss-Seidel ring.
+	sys := paperSystem(t, 0.6)
+	z, errZ := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.2, Init: InitZero, Epsilon: 1e-4})
+	p, errP := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.2, Init: InitProportional, Epsilon: 1e-4})
+	if errZ != nil || errP != nil {
+		t.Fatalf("jacobi solves failed: %v, %v", errZ, errP)
+	}
+	if p.Rounds >= z.Rounds {
+		t.Fatalf("NASH_P (%d) should beat NASH_0 (%d) under Jacobi", p.Rounds, z.Rounds)
+	}
+}
+
+func TestParallelJacobiMatchesSequentialExactly(t *testing.T) {
+	// The parallel fan-out must be bit-identical to sequential Jacobi:
+	// same rounds, same norms, same profile.
+	rates := paperSystem(t, 0.6).Rates
+	arr := make([]float64, 12)
+	for i := range arr {
+		arr[i] = 510 * 0.6 / 12
+	}
+	sys, err := game.NewSystem(rates, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.1, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.1, Epsilon: 1e-6, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds != par.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", seq.Rounds, par.Rounds)
+	}
+	for k := range seq.Norms {
+		if seq.Norms[k] != par.Norms[k] {
+			t.Fatalf("norms differ at round %d: %v vs %v", k+1, seq.Norms[k], par.Norms[k])
+		}
+	}
+	for i := range seq.Profile {
+		for j := range seq.Profile[i] {
+			if seq.Profile[i][j] != par.Profile[i][j] {
+				t.Fatalf("profiles differ at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestSolveDynamicsValidation(t *testing.T) {
+	sys := paperSystem(t, 0.5)
+	if _, err := SolveDynamics(sys, DynamicsOptions{Order: UpdateOrder(9)}); err == nil {
+		t.Error("unknown order accepted")
+	}
+	bad := &game.System{Rates: []float64{1}, Arrivals: []float64{2}}
+	if _, err := SolveDynamics(bad, DynamicsOptions{}); err == nil {
+		t.Error("invalid system accepted")
+	}
+	for o, want := range map[UpdateOrder]string{
+		RoundRobin: "round-robin", Jacobi: "jacobi", Random: "random", UpdateOrder(9): "UpdateOrder(9)",
+	} {
+		if o.String() != want {
+			t.Errorf("String = %q, want %q", o.String(), want)
+		}
+	}
+}
+
+func TestProjGradMatchesClosedForm(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(8)
+		a := make([]float64, n)
+		var total float64
+		for j := range a {
+			a[j] = r.Uniform(1, 60)
+			total += a[j]
+		}
+		lambda := r.Uniform(0.1, 0.9) * total
+		closed, err := Optimal(a, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := OptimalProjGrad(a, lambda, 1e-10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dClosed := ResponseTime(a, lambda, closed)
+		dPG := ResponseTime(a, lambda, pg)
+		if math.Abs(dPG-dClosed) > 1e-6*dClosed {
+			t.Fatalf("trial %d: projected gradient D %v vs closed form %v (a=%v lambda=%v)",
+				trial, dPG, dClosed, a, lambda)
+		}
+		for j := range closed {
+			if math.Abs(pg[j]-closed[j]) > 1e-3 {
+				t.Fatalf("trial %d: fractions differ at %d: %v vs %v", trial, j, pg[j], closed[j])
+			}
+		}
+	}
+}
+
+func TestProjGradSkipsSaturated(t *testing.T) {
+	s, err := OptimalProjGrad([]float64{10, -5, 0, 8}, 6, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] != 0 || s[2] != 0 {
+		t.Fatalf("saturated computers got mass: %v", s)
+	}
+	if err := game.CheckStrategy(s, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjGradErrors(t *testing.T) {
+	if _, err := OptimalProjGrad(nil, 1, 0, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := OptimalProjGrad([]float64{1}, 2, 0, 0); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := OptimalProjGrad([]float64{1}, -1, 0, 0); err == nil {
+		t.Error("negative arrival accepted")
+	}
+}
+
+func benchJacobiSystem(b *testing.B) *game.System {
+	b.Helper()
+	n, m := 512, 64
+	rates := make([]float64, n)
+	classes := []float64{10, 20, 50, 100}
+	var total float64
+	for j := range rates {
+		rates[j] = classes[j%4]
+		total += rates[j]
+	}
+	arr := make([]float64, m)
+	for i := range arr {
+		arr[i] = 0.6 * total / float64(m)
+	}
+	sys, err := game.NewSystem(rates, arr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkJacobiSequential(b *testing.B) {
+	sys := benchJacobiSystem(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.03, Epsilon: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiParallel(b *testing.B) {
+	sys := benchJacobiSystem(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveDynamics(sys, DynamicsOptions{Order: Jacobi, Damping: 0.03, Epsilon: 1e-4, Parallel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalProjGrad16(b *testing.B) {
+	a := []float64{100, 100, 50, 50, 50, 20, 20, 20, 20, 20, 10, 10, 10, 10, 10, 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalProjGrad(a, 200, 1e-9, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

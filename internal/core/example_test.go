@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+)
+
+// ExampleOptimal shows the water-filling structure of the best response:
+// the slow computer is excluded until the load justifies it.
+func ExampleOptimal() {
+	light, _ := core.Optimal([]float64{4, 1}, 1)   // light load
+	heavy, _ := core.Optimal([]float64{4, 1}, 2.5) // heavy load
+	fmt.Printf("light: %.3f\nheavy: %.3f\n", light, heavy)
+	// Output:
+	// light: [1.000 0.000]
+	// heavy: [0.933 0.067]
+}
+
+// ExampleSolve computes the Nash equilibrium of a two-user game and shows
+// that both initializations agree.
+func ExampleSolve() {
+	sys, err := game.NewSystem([]float64{30, 10}, []float64{12, 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	zero, _ := core.Solve(sys, core.Options{Init: core.InitZero})
+	prop, _ := core.Solve(sys, core.Options{Init: core.InitProportional})
+	fmt.Printf("%s: D = %.4f s\n", zero.Init, zero.OverallTime)
+	fmt.Printf("%s: D = %.4f s\n", prop.Init, prop.OverallTime)
+	// Output:
+	// NASH_0: D = 0.1115 s
+	// NASH_P: D = 0.1115 s
+}
+
+// ExampleVerifyEquilibrium certifies that no user benefits from a
+// unilateral deviation at the computed profile.
+func ExampleVerifyEquilibrium() {
+	sys, _ := game.NewSystem([]float64{100, 50, 20}, []float64{60, 40})
+	res, _ := core.Solve(sys, core.Options{})
+	ok, _, _ := core.VerifyEquilibrium(sys, res.Profile, 1e-6)
+	fmt.Println(ok)
+	// Output:
+	// true
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nashlb/internal/game"
+)
+
+// Init selects the initialization of the NASH best-reply iteration.
+type Init int
+
+const (
+	// InitZero is the paper's NASH_0 variant: every strategy starts at the
+	// zero vector (users enter the game one by one during round 1).
+	InitZero Init = iota
+	// InitProportional is the paper's NASH_P variant: every user starts
+	// from the proportional allocation s_ij = mu_j / sum_k mu_k, which is
+	// close to the equilibrium and roughly halves the iteration count.
+	InitProportional
+)
+
+// String returns the paper's name for the initialization.
+func (in Init) String() string {
+	switch in {
+	case InitZero:
+		return "NASH_0"
+	case InitProportional:
+		return "NASH_P"
+	default:
+		return fmt.Sprintf("Init(%d)", int(in))
+	}
+}
+
+// DefaultEpsilon is the default acceptance tolerance for the per-round norm
+// sum_i |D_i^(l) - D_i^(l-1)|.
+const DefaultEpsilon = 1e-9
+
+// DefaultMaxRounds bounds the number of best-reply rounds. Convergence for
+// more than two users is an open problem in the paper; in practice the
+// iteration converges geometrically, and hitting this bound signals a
+// mis-configured system rather than slow progress.
+const DefaultMaxRounds = 10000
+
+// ErrNotConverged is returned when the iteration exhausts its round budget
+// before the norm drops below epsilon.
+var ErrNotConverged = errors.New("core: NASH iteration did not converge")
+
+// Options configures the NASH solver.
+type Options struct {
+	// Init selects NASH_0 or NASH_P (default NASH_0, the paper's baseline).
+	Init Init
+	// Epsilon is the acceptance tolerance on the per-round norm
+	// (DefaultEpsilon when zero).
+	Epsilon float64
+	// MaxRounds bounds the iteration (DefaultMaxRounds when zero).
+	MaxRounds int
+	// OnRound, when non-nil, is invoked after every completed round with
+	// that round's statistics; it drives the convergence plots (Figure 2).
+	OnRound func(RoundStat)
+}
+
+// RoundStat captures one completed round of the best-reply iteration.
+type RoundStat struct {
+	// Round is the 1-based round index (one round = every user updates
+	// once, in round-robin order, as in the paper's token protocol).
+	Round int
+	// Norm is sum_i |D_i after update - D_i before update| accumulated
+	// over the round, the quantity plotted in Figure 2.
+	Norm float64
+	// MaxShift is the largest single-user strategy change (L1) in the
+	// round; a secondary convergence diagnostic.
+	MaxShift float64
+}
+
+// Result is the outcome of the NASH solver.
+type Result struct {
+	// Profile is the computed strategy profile (the Nash equilibrium when
+	// Converged is true).
+	Profile game.Profile
+	// Rounds is the number of completed best-reply rounds.
+	Rounds int
+	// Norms[k] is the norm after round k+1 (the Figure 2 series).
+	Norms []float64
+	// Converged reports whether the norm dropped below epsilon.
+	Converged bool
+	// UserTimes holds the users' expected response times at Profile.
+	UserTimes []float64
+	// OverallTime is the system-wide expected response time at Profile.
+	OverallTime float64
+	// Init echoes the initialization used.
+	Init Init
+}
+
+// InitialProfile returns the starting profile for the given initialization.
+func InitialProfile(sys *game.System, in Init) game.Profile {
+	switch in {
+	case InitProportional:
+		return game.ProportionalProfile(sys)
+	default:
+		return game.NewProfile(sys.Users(), sys.Computers())
+	}
+}
+
+// Solve runs the NASH distributed load-balancing algorithm of Section 3 as a
+// sequential round-robin driver: in each round every user in turn observes
+// the available processing rates, computes its best response with OPTIMAL,
+// and updates its strategy; the round norm is the sum of the users' response
+// time changes. Iteration stops when the norm is at most epsilon.
+//
+// This sequential driver is behaviourally identical to the token-ring
+// message-passing implementation in internal/dist (one token circulation ==
+// one round); the equivalence is covered by integration tests.
+func Solve(sys *game.System, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return SolveFrom(sys, InitialProfile(sys, opts.Init), opts)
+}
+
+// SolveFrom runs the NASH best-reply iteration starting from an explicit
+// profile — the warm-start entry point used when re-balancing after a
+// parameter change (the previous equilibrium is usually close to the new
+// one) or when resuming a crashed distributed run from its persisted state.
+// The starting profile's rows may be all-zero (treated as "user not yet in
+// the game", D_i^(0) = 0, as under NASH_0).
+func SolveFrom(sys *game.System, start game.Profile, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if len(start) != sys.Users() {
+		return nil, fmt.Errorf("core: starting profile has %d rows for %d users", len(start), sys.Users())
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	profile := start.Clone()
+	m := sys.Users()
+
+	// D_i^(0): zero for all-zero rows (NASH_0 semantics), the actual
+	// response time otherwise.
+	prevTimes := make([]float64, m)
+	times := sys.UserResponseTimes(profile)
+	for i := range prevTimes {
+		if !zeroRow(profile[i]) && !math.IsInf(times[i], 0) {
+			prevTimes[i] = times[i]
+		}
+	}
+
+	res := &Result{Init: opts.Init}
+	for round := 1; round <= maxRounds; round++ {
+		var norm, maxShift float64
+		for i := 0; i < m; i++ {
+			avail := sys.AvailableRates(profile, i)
+			next, err := Optimal(avail, sys.Arrivals[i])
+			if err != nil {
+				return nil, fmt.Errorf("round %d, user %d: %w", round, i, err)
+			}
+			if shift := l1(profile[i], next); shift > maxShift {
+				maxShift = shift
+			}
+			profile[i] = next
+			d := ResponseTime(avail, sys.Arrivals[i], next)
+			norm += math.Abs(d - prevTimes[i])
+			prevTimes[i] = d
+		}
+		res.Rounds = round
+		res.Norms = append(res.Norms, norm)
+		if opts.OnRound != nil {
+			opts.OnRound(RoundStat{Round: round, Norm: norm, MaxShift: maxShift})
+		}
+		if norm <= eps {
+			res.Converged = true
+			break
+		}
+	}
+	res.Profile = profile
+	res.UserTimes = sys.UserResponseTimes(profile)
+	res.OverallTime = sys.OverallResponseTime(profile)
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d rounds (norm=%g, eps=%g)", ErrNotConverged, res.Rounds, res.Norms[len(res.Norms)-1], eps)
+	}
+	return res, nil
+}
+
+func zeroRow(s game.Strategy) bool {
+	for _, x := range s {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func l1(a, b game.Strategy) float64 {
+	if len(a) != len(b) {
+		// InitZero first round: a may be all zeros of same length; lengths
+		// always match by construction, but be defensive.
+		return math.Inf(1)
+	}
+	var s float64
+	for j := range a {
+		s += math.Abs(a[j] - b[j])
+	}
+	return s
+}
+
+// VerifyEquilibrium checks that profile is an eps-Nash equilibrium of the
+// system using OPTIMAL as the best-response oracle. It returns the largest
+// improvement any user could gain by deviating unilaterally.
+func VerifyEquilibrium(sys *game.System, p game.Profile, eps float64) (bool, float64, error) {
+	return sys.EpsilonEquilibrium(p, Optimal, eps)
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+)
+
+// paperSystem builds the Table-1 configuration of the paper: 16 computers
+// (rates 10,20,50,100 with counts 6,5,3,2) and 10 users with a skewed
+// traffic mix, scaled to the requested utilization.
+func paperSystem(t testing.TB, rho float64) *game.System {
+	t.Helper()
+	rates := make([]float64, 0, 16)
+	for i := 0; i < 6; i++ {
+		rates = append(rates, 10)
+	}
+	for i := 0; i < 5; i++ {
+		rates = append(rates, 20)
+	}
+	for i := 0; i < 3; i++ {
+		rates = append(rates, 50)
+	}
+	for i := 0; i < 2; i++ {
+		rates = append(rates, 100)
+	}
+	mix := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.05, 0.05, 0.04}
+	arrivals := make([]float64, len(mix))
+	total := 510.0 * rho
+	for i, q := range mix {
+		arrivals[i] = q * total
+	}
+	sys, err := game.NewSystem(rates, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSolveReachesNashEquilibrium(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.4, 0.6, 0.9} {
+		sys := paperSystem(t, rho)
+		res, err := Solve(sys, Options{})
+		if err != nil {
+			t.Fatalf("rho=%v: %v", rho, err)
+		}
+		if !res.Converged {
+			t.Fatalf("rho=%v: not converged", rho)
+		}
+		if err := sys.CheckProfile(res.Profile); err != nil {
+			t.Fatalf("rho=%v: equilibrium profile infeasible: %v", rho, err)
+		}
+		ok, impr, err := VerifyEquilibrium(sys, res.Profile, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("rho=%v: not an equilibrium (best deviation improves %g)", rho, impr)
+		}
+	}
+}
+
+func TestSolveInitializationsAgree(t *testing.T) {
+	sys := paperSystem(t, 0.6)
+	r0, err := Solve(sys, Options{Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Solve(sys, Options{Init: InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same equilibrium (response times agree) regardless of initialization.
+	for i := range r0.UserTimes {
+		if math.Abs(r0.UserTimes[i]-rp.UserTimes[i]) > 1e-6*(1+r0.UserTimes[i]) {
+			t.Fatalf("user %d times differ: %v vs %v", i, r0.UserTimes[i], rp.UserTimes[i])
+		}
+	}
+	if math.Abs(r0.OverallTime-rp.OverallTime) > 1e-8 {
+		t.Fatalf("overall times differ: %v vs %v", r0.OverallTime, rp.OverallTime)
+	}
+}
+
+func TestProportionalInitConvergesFaster(t *testing.T) {
+	// The paper's convergence claim (Figures 2-3): NASH_P needs fewer
+	// iterations than NASH_0, and the gap grows with the number of users.
+	// In our Gauss–Seidel round-robin dynamics the advantage is a
+	// consistent handful of rounds rather than the paper's "more than
+	// half" (see EXPERIMENTS.md); the invariant tested here is the
+	// direction: NASH_P never loses, and strictly wins for larger games.
+	rates := paperSystem(t, 0.6).Rates
+	for _, m := range []int{8, 16, 24, 32} {
+		arr := make([]float64, m)
+		for i := range arr {
+			arr[i] = 510 * 0.6 / float64(m)
+		}
+		sys, err := game.NewSystem(rates, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r0, err := Solve(sys, Options{Init: InitZero, Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := Solve(sys, Options{Init: InitProportional, Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Rounds >= r0.Rounds {
+			t.Fatalf("m=%d: NASH_P (%d rounds) should beat NASH_0 (%d rounds)", m, rp.Rounds, r0.Rounds)
+		}
+		// First-round norm must reflect the better start too.
+		if rp.Norms[1] >= r0.Norms[1] {
+			t.Errorf("m=%d: NASH_P round-2 norm %v not below NASH_0 %v", m, rp.Norms[1], r0.Norms[1])
+		}
+	}
+}
+
+func TestSolveSingleUserMatchesGlobalWaterFilling(t *testing.T) {
+	// With one user the Nash equilibrium is that user's OPTIMAL against the
+	// raw rates — which is the global optimum of the single-class problem.
+	sys, err := game.NewSystem([]float64{100, 40, 10}, []float64{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Optimal(sys.Rates, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range direct {
+		if math.Abs(res.Profile[0][j]-direct[j]) > 1e-9 {
+			t.Fatalf("single-user Nash %v != OPTIMAL %v", res.Profile[0], direct)
+		}
+	}
+	if res.Rounds > 2 {
+		t.Fatalf("single user should converge in <=2 rounds, took %d", res.Rounds)
+	}
+}
+
+func TestSolveSymmetricUsersGetEqualTimes(t *testing.T) {
+	// Identical users must see identical response times at equilibrium.
+	sys, err := game.NewSystem([]float64{30, 20, 10}, []float64{12, 12, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.UserTimes); i++ {
+		if math.Abs(res.UserTimes[i]-res.UserTimes[0]) > 1e-7 {
+			t.Fatalf("symmetric users differ: %v", res.UserTimes)
+		}
+	}
+}
+
+func TestSolveNormsDecreaseOverall(t *testing.T) {
+	sys := paperSystem(t, 0.6)
+	res, err := Solve(sys, Options{Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Norms) < 2 {
+		t.Fatalf("expected multiple rounds, got %d", len(res.Norms))
+	}
+	first, last := res.Norms[0], res.Norms[len(res.Norms)-1]
+	if last >= first {
+		t.Fatalf("norm did not decrease: first=%v last=%v", first, last)
+	}
+	// Tail must be geometric-ish: final norm below epsilon.
+	if last > DefaultEpsilon {
+		t.Fatalf("final norm %v above epsilon", last)
+	}
+}
+
+func TestSolveOnRoundCallback(t *testing.T) {
+	sys := paperSystem(t, 0.5)
+	var rounds []int
+	res, err := Solve(sys, Options{OnRound: func(rs RoundStat) {
+		rounds = append(rounds, rs.Round)
+		if rs.Norm < 0 || rs.MaxShift < 0 {
+			t.Errorf("negative stats: %+v", rs)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != res.Rounds {
+		t.Fatalf("callback fired %d times, want %d", len(rounds), res.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("rounds not sequential: %v", rounds)
+		}
+	}
+}
+
+func TestSolveNotConverged(t *testing.T) {
+	sys := paperSystem(t, 0.9)
+	res, err := Solve(sys, Options{MaxRounds: 1, Epsilon: 1e-12})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+	if res == nil || res.Converged {
+		t.Fatal("partial result should be returned, unconverged")
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+}
+
+func TestSolveRejectsInvalidSystem(t *testing.T) {
+	bad := &game.System{Rates: []float64{1}, Arrivals: []float64{2}}
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Fatal("overloaded system accepted")
+	}
+}
+
+func TestSolveHighUtilizationStressAndStability(t *testing.T) {
+	sys := paperSystem(t, 0.98)
+	res, err := Solve(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := sys.Loads(res.Profile)
+	for j, l := range loads {
+		if l >= sys.Rates[j] {
+			t.Fatalf("computer %d saturated at equilibrium: %v >= %v", j, l, sys.Rates[j])
+		}
+	}
+}
+
+func TestSolveRandomSystemsAlwaysEquilibrate(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(10)
+		m := 1 + r.Intn(8)
+		rates := make([]float64, n)
+		var capTotal float64
+		for j := range rates {
+			rates[j] = r.Uniform(1, 100)
+			capTotal += rates[j]
+		}
+		arr := make([]float64, m)
+		budget := r.Uniform(0.1, 0.9) * capTotal
+		var sum float64
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = r.Exp(1)
+			sum += w[i]
+		}
+		for i := range arr {
+			arr[i] = budget * w[i] / sum
+		}
+		sys, err := game.NewSystem(rates, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(sys, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d m=%d): %v", trial, n, m, err)
+		}
+		ok, impr, err := VerifyEquilibrium(sys, res.Profile, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: not an equilibrium (improvement %g)", trial, impr)
+		}
+	}
+}
+
+func TestInitString(t *testing.T) {
+	if InitZero.String() != "NASH_0" || InitProportional.String() != "NASH_P" {
+		t.Fatal("Init names wrong")
+	}
+	if Init(42).String() == "" {
+		t.Fatal("unknown init should still stringify")
+	}
+}
+
+func TestInitialProfile(t *testing.T) {
+	sys := paperSystem(t, 0.5)
+	z := InitialProfile(sys, InitZero)
+	for i := range z {
+		for j := range z[i] {
+			if z[i][j] != 0 {
+				t.Fatal("InitZero profile not zero")
+			}
+		}
+	}
+	p := InitialProfile(sys, InitProportional)
+	if err := sys.CheckProfile(p); err != nil {
+		t.Fatalf("proportional init infeasible: %v", err)
+	}
+}
+
+func BenchmarkSolveNash0Table1(b *testing.B) {
+	sys := paperSystem(b, 0.6)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(sys, Options{Init: InitZero}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveNashPTable1(b *testing.B) {
+	sys := paperSystem(b, 0.6)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(sys, Options{Init: InitProportional}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

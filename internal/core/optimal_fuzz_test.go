@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/game"
+)
+
+// FuzzOptimal feeds arbitrary rate vectors and arrival rates into the
+// best-response solver: it must never panic, and every successful result
+// must be a feasible, stable, KKT-optimal strategy.
+func FuzzOptimal(f *testing.F) {
+	f.Add(10.0, 5.0, 1.0, 4.0)
+	f.Add(4.0, 1.0, 0.0, 2.5)
+	f.Add(100.0, 0.5, -3.0, 50.0)
+	f.Add(1e-9, 1e9, 1.0, 0.1)
+	f.Add(math.MaxFloat64, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, lambda float64) {
+		avail := []float64{a0, a1, a2}
+		s, err := Optimal(avail, lambda)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		if err := game.CheckStrategy(s, len(avail)); err != nil {
+			t.Fatalf("infeasible output for avail=%v lambda=%v: %v", avail, lambda, err)
+		}
+		for j := range s {
+			if s[j] > 0 && s[j]*lambda >= avail[j]*(1+1e-9) {
+				t.Fatalf("unstable assignment: s[%d]*lambda=%v >= a=%v", j, s[j]*lambda, avail[j])
+			}
+		}
+		if res := KKTResidual(avail, lambda, s); res > 1e-6 && !math.IsInf(res, 1) {
+			// Extreme magnitude ratios can legitimately hit conditioning
+			// limits; only flag clearly broken optima at sane scales.
+			ratio := maxOf(avail) / lambda
+			if ratio < 1e12 && ratio > 1e-12 {
+				t.Fatalf("KKT residual %v for avail=%v lambda=%v", res, avail, lambda)
+			}
+		}
+	})
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+)
+
+func feasible(t *testing.T, s game.Strategy) {
+	t.Helper()
+	if err := game.CheckStrategy(s, len(s)); err != nil {
+		t.Fatalf("infeasible strategy %v: %v", s, err)
+	}
+}
+
+func TestOptimalSingleComputer(t *testing.T) {
+	s, err := Optimal([]float64{10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || math.Abs(s[0]-1) > 1e-12 {
+		t.Fatalf("s = %v, want [1]", s)
+	}
+}
+
+func TestOptimalHomogeneousEqualSplit(t *testing.T) {
+	s, err := Optimal([]float64{10, 10, 10, 10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible(t, s)
+	for j := range s {
+		if math.Abs(s[j]-0.25) > 1e-12 {
+			t.Fatalf("homogeneous split not equal: %v", s)
+		}
+	}
+}
+
+func TestOptimalKnownTwoComputer(t *testing.T) {
+	// a = (4, 1), lambda = 2.5: both active, t = (5-2.5)/3.
+	s, err := Optimal([]float64{4, 1}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible(t, s)
+	tLevel := 2.5 / 3.0
+	want0 := (4 - tLevel*2) / 2.5
+	want1 := (1 - tLevel*1) / 2.5
+	if math.Abs(s[0]-want0) > 1e-9 || math.Abs(s[1]-want1) > 1e-9 {
+		t.Fatalf("s = %v, want [%v %v]", s, want0, want1)
+	}
+}
+
+func TestOptimalDropsSlowComputerAtLightLoad(t *testing.T) {
+	// a = (4, 1), lambda = 1: the slow computer must be excluded
+	// (t over both = 4/3 >= sqrt(1)).
+	s, err := Optimal([]float64{4, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] != 0 {
+		t.Fatalf("slow computer should get nothing at light load: %v", s)
+	}
+	if math.Abs(s[0]-1) > 1e-12 {
+		t.Fatalf("fast computer should get everything: %v", s)
+	}
+}
+
+func TestOptimalUnsortedInputAndOriginalOrder(t *testing.T) {
+	// Same system as above but with computers permuted: result must be the
+	// correspondingly permuted strategy.
+	a := []float64{1, 50, 3, 20}
+	lambda := 30.0
+	s, err := Optimal(a, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible(t, s)
+	// Monotonicity: higher available rate => at least as large a fraction.
+	for j := range a {
+		for k := range a {
+			if a[j] > a[k] && s[j] < s[k]-1e-12 {
+				t.Fatalf("monotonicity violated: a=%v s=%v", a, s)
+			}
+		}
+	}
+	if res := KKTResidual(a, lambda, s); res > 1e-9 {
+		t.Fatalf("KKT residual %v", res)
+	}
+}
+
+func TestOptimalSkipsSaturatedComputers(t *testing.T) {
+	// Computer 1 is saturated by other users (available <= 0).
+	s, err := Optimal([]float64{10, -2, 0, 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible(t, s)
+	if s[1] != 0 || s[2] != 0 {
+		t.Fatalf("saturated computers must get zero: %v", s)
+	}
+}
+
+func TestOptimalErrors(t *testing.T) {
+	if _, err := Optimal(nil, 1); err == nil {
+		t.Error("no computers should fail")
+	}
+	if _, err := Optimal([]float64{1, 2}, 3); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Errorf("lambda == capacity should fail with ErrInsufficientCapacity, got %v", err)
+	}
+	if _, err := Optimal([]float64{-1, 0}, 0.5); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Errorf("no usable computer should fail, got %v", err)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Optimal([]float64{10}, bad); !errors.Is(err, ErrBadArrival) {
+			t.Errorf("arrival %v should fail with ErrBadArrival, got %v", bad, err)
+		}
+	}
+	if _, err := Optimal([]float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN available rate should fail")
+	}
+}
+
+func TestOptimalKKTProperty(t *testing.T) {
+	// For random instances the output satisfies the Kuhn–Tucker conditions
+	// (Theorem 2.1) and is feasible.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(12)
+		a := make([]float64, n)
+		var total float64
+		for j := range a {
+			a[j] = r.Uniform(0.5, 100)
+			total += a[j]
+		}
+		lambda := r.Uniform(0.01, 0.99) * total
+		s, err := Optimal(a, lambda)
+		if err != nil {
+			return false
+		}
+		if game.CheckStrategy(s, n) != nil {
+			return false
+		}
+		// Stability within the subproblem: s_j*lambda < a_j.
+		for j := range s {
+			if s[j]*lambda >= a[j] {
+				return false
+			}
+		}
+		return KKTResidual(a, lambda, s) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalBeatsRandomStrategiesProperty(t *testing.T) {
+	// The optimum is at least as good as any random feasible strategy.
+	r := rng.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(8)
+		a := make([]float64, n)
+		var total float64
+		for j := range a {
+			a[j] = r.Uniform(1, 50)
+			total += a[j]
+		}
+		lambda := r.Uniform(0.05, 0.9) * total
+		opt, err := Optimal(a, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOpt := ResponseTime(a, lambda, opt)
+		// Random candidate: Dirichlet-ish normalized positive weights.
+		cand := make(game.Strategy, n)
+		var sum float64
+		for j := range cand {
+			cand[j] = r.Exp(1)
+			sum += cand[j]
+		}
+		for j := range cand {
+			cand[j] /= sum
+		}
+		if dCand := ResponseTime(a, lambda, cand); dOpt > dCand*(1+1e-9) {
+			t.Fatalf("optimal %v worse than random %v (n=%d)", dOpt, dCand, n)
+		}
+	}
+}
+
+func TestOptimalMoreLoadUsesMoreComputers(t *testing.T) {
+	// As lambda grows the active set never shrinks (water level falls).
+	a := []float64{100, 40, 10, 5, 1}
+	var capTotal float64
+	for _, x := range a {
+		capTotal += x
+	}
+	prevActive := 0
+	for _, frac := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		s, err := Optimal(a, frac*capTotal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active := 0
+		for _, x := range s {
+			if x > 0 {
+				active++
+			}
+		}
+		if active < prevActive {
+			t.Fatalf("active set shrank from %d to %d at load %v", prevActive, active, frac)
+		}
+		prevActive = active
+	}
+	if prevActive != len(a) {
+		t.Fatalf("at 95%% load all computers should be active, got %d", prevActive)
+	}
+}
+
+func TestResponseTimeSaturation(t *testing.T) {
+	if d := ResponseTime([]float64{1}, 2, game.Strategy{1}); !math.IsInf(d, 1) {
+		t.Fatalf("saturated response = %v, want +Inf", d)
+	}
+	if d := ResponseTime([]float64{0, 4}, 2, game.Strategy{0, 1}); math.IsInf(d, 1) {
+		t.Fatalf("unused saturated computer should not matter, got %v", d)
+	}
+}
+
+func TestKKTResidualDetectsSuboptimal(t *testing.T) {
+	a := []float64{10, 10}
+	// Optimal is the even split; a lopsided split must show a residual.
+	if res := KKTResidual(a, 5, game.Strategy{0.9, 0.1}); res < 0.01 {
+		t.Fatalf("lopsided split residual = %v, want large", res)
+	}
+	if res := KKTResidual(a, 5, game.Strategy{0.5, 0.5}); res > 1e-12 {
+		t.Fatalf("even split residual = %v, want ~0", res)
+	}
+	if res := KKTResidual(a, 5, game.Strategy{0, 0}); !math.IsInf(res, 1) {
+		t.Fatalf("empty support residual = %v, want +Inf", res)
+	}
+}
+
+func BenchmarkOptimal16(b *testing.B) {
+	a := []float64{100, 100, 50, 50, 50, 20, 20, 20, 20, 20, 10, 10, 10, 10, 10, 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(a, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimal1024(b *testing.B) {
+	r := rng.New(5)
+	a := make([]float64, 1024)
+	var total float64
+	for j := range a {
+		a[j] = r.Uniform(1, 100)
+		total += a[j]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(a, 0.6*total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"nashlb/internal/game"
+	"nashlb/internal/numeric"
+)
+
+// OptimalProjGrad solves the same best-response subproblem as Optimal with
+// an entirely independent method — projected gradient descent on the
+// probability simplex with backtracking line search — and exists to
+// cross-validate the closed-form water-filling solution: two algorithms,
+// one derived from the paper's KKT analysis and one generic, must agree.
+// It is orders of magnitude slower than Optimal and is not used on any hot
+// path.
+func OptimalProjGrad(available []float64, arrival float64, tol float64, maxIter int) (game.Strategy, error) {
+	n := len(available)
+	if n == 0 {
+		return nil, errors.New("core: no computers")
+	}
+	if !(arrival > 0) || math.IsInf(arrival, 0) || math.IsNaN(arrival) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadArrival, arrival)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	usable := make([]bool, n)
+	var capTotal float64
+	for j, a := range available {
+		if a > 0 {
+			usable[j] = true
+			capTotal += a
+		}
+	}
+	if arrival >= capTotal {
+		return nil, fmt.Errorf("%w: lambda=%g, available=%g", ErrInsufficientCapacity, arrival, capTotal)
+	}
+
+	// Feasible interior start: fractions proportional to usable rates.
+	s := make(game.Strategy, n)
+	for j := range s {
+		if usable[j] {
+			s[j] = available[j] / capTotal
+		}
+	}
+	objective := func(x game.Strategy) float64 {
+		return ResponseTime(available, arrival, x)
+	}
+	grad := func(x game.Strategy, g []float64) {
+		for j := range g {
+			if !usable[j] {
+				g[j] = math.Inf(1) // never assign here
+				continue
+			}
+			rem := available[j] - x[j]*arrival
+			if rem <= 0 {
+				g[j] = math.Inf(1)
+				continue
+			}
+			g[j] = available[j] / (rem * rem)
+		}
+	}
+
+	g := make([]float64, n)
+	cand := make(game.Strategy, n)
+	step := 1.0 / (arrival + 1) // conservative initial step
+	fCur := objective(s)
+	for iter := 0; iter < maxIter; iter++ {
+		grad(s, g)
+		// Projected gradient step with backtracking.
+		improved := false
+		for try := 0; try < 60; try++ {
+			for j := range cand {
+				if usable[j] && !math.IsInf(g[j], 1) {
+					cand[j] = s[j] - step*g[j]
+				} else {
+					cand[j] = math.Inf(-1) // forces projection to 0
+				}
+			}
+			projectSimplex(cand, usable)
+			// Keep strictly inside the stability region.
+			ok := true
+			for j := range cand {
+				if cand[j] > 0 && cand[j]*arrival >= available[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if fNew := objective(cand); fNew < fCur {
+					copy(s, cand)
+					fCur = fNew
+					improved = true
+					step *= 1.3
+					break
+				}
+			}
+			step *= 0.5
+		}
+		if !improved {
+			break
+		}
+		if res := KKTResidual(available, arrival, s); res < tol {
+			break
+		}
+	}
+	// Final cleanup: exact conservation.
+	var sum numeric.Accumulator
+	for j := range s {
+		if s[j] < 1e-15 {
+			s[j] = 0
+		}
+		sum.Add(s[j])
+	}
+	if sv := sum.Value(); sv > 0 {
+		for j := range s {
+			s[j] /= sv
+		}
+	}
+	return s, nil
+}
+
+// projectSimplex projects x onto the probability simplex restricted to the
+// usable coordinates (others are forced to zero), using the standard
+// sort-and-threshold algorithm of Held, Wolfe & Crowder.
+func projectSimplex(x game.Strategy, usable []bool) {
+	vals := make([]float64, 0, len(x))
+	for j := range x {
+		if usable[j] {
+			if math.IsInf(x[j], -1) {
+				x[j] = -1e18
+			}
+			vals = append(vals, x[j])
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	var cum, theta float64
+	k := 0
+	for i, v := range vals {
+		cum += v
+		t := (cum - 1) / float64(i+1)
+		if v-t > 0 {
+			k = i + 1
+			theta = t
+		}
+	}
+	if k == 0 { // degenerate: mass on the largest coordinate
+		theta = vals[0] - 1
+	}
+	for j := range x {
+		if !usable[j] {
+			x[j] = 0
+			continue
+		}
+		if v := x[j] - theta; v > 0 {
+			x[j] = v
+		} else {
+			x[j] = 0
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package des is a minimal discrete-event simulation kernel: a virtual
+// clock, a priority queue of timestamped events, and cancellable event
+// handles. It replaces the role Sim++ (Cubert & Fishwick 1995) played in the
+// paper's evaluation — event scheduling and queueing primitives — with a
+// dependency-free Go implementation.
+//
+// Determinism: events fire in non-decreasing timestamp order, and events
+// with equal timestamps fire in scheduling (FIFO) order, so simulations are
+// exactly reproducible given the same random streams.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrPastTime is returned when an event is scheduled before the current
+// simulation time.
+var ErrPastTime = errors.New("des: cannot schedule event in the past")
+
+// Handle identifies a scheduled event and allows cancelling it. A Handle is
+// only valid for the Simulator that issued it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the schedule if it has not fired yet.
+// It is safe to call multiple times. It reports whether the event was
+// actually cancelled by this call.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
+}
+
+type event struct {
+	time      float64
+	seq       uint64
+	action    func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all model code runs inside event actions on the
+// calling goroutine.
+type Simulator struct {
+	now     float64
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns a simulator at time zero with an empty schedule.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled (including events
+// cancelled but not yet discarded; cancelled events never execute).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule registers action to fire delay time units from now and returns a
+// cancellable handle. A negative delay returns ErrPastTime; a zero delay is
+// legal and fires after all previously scheduled events at the current time.
+func (s *Simulator) Schedule(delay float64, action func()) (Handle, error) {
+	return s.ScheduleAt(s.now+delay, action)
+}
+
+// ScheduleAt registers action at the absolute simulation time t.
+func (s *Simulator) ScheduleAt(t float64, action func()) (Handle, error) {
+	if t < s.now || math.IsNaN(t) {
+		return Handle{}, ErrPastTime
+	}
+	if action == nil {
+		return Handle{}, errors.New("des: nil action")
+	}
+	ev := &event{time: t, seq: s.seq, action: action}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return Handle{ev: ev}, nil
+}
+
+// Stop makes the current Run call return after the executing event's action
+// completes. Pending events remain scheduled.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the schedule is empty, the
+// next event is after `until`, or Stop is called. The clock is left at the
+// time of the last executed event (or at `until` if the run drained to the
+// horizon with events remaining beyond it — the clock never exceeds until).
+// It returns the number of events executed by this call.
+func (s *Simulator) Run(until float64) uint64 {
+	s.stopped = false
+	var executed uint64
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.time > until {
+			if s.now < until {
+				s.now = until
+			}
+			return executed
+		}
+		heap.Pop(&s.events)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.time
+		next.fired = true
+		next.action()
+		s.fired++
+		executed++
+	}
+	if !s.stopped && !math.IsInf(until, 1) && s.now < until && len(s.events) == 0 {
+		s.now = until
+	}
+	return executed
+}
+
+// RunUntilEmpty executes events until none remain or Stop is called; it
+// returns the number executed. Use with care: a self-rescheduling process
+// never drains.
+func (s *Simulator) RunUntilEmpty() uint64 {
+	return s.Run(math.Inf(1))
+}
+
+// Step executes exactly the next pending event, if any, and reports whether
+// one was executed. Cancelled events are skipped without counting.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		next := heap.Pop(&s.events).(*event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.time
+		next.fired = true
+		next.action()
+		s.fired++
+		return true
+	}
+	return false
+}

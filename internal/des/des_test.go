@@ -1,0 +1,280 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"nashlb/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	r := rng.New(1)
+	for i := 0; i < 500; i++ {
+		at := r.Uniform(0, 100)
+		if _, err := s.ScheduleAt(at, func() { fired = append(fired, s.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntilEmpty()
+	if len(fired) != 500 {
+		t.Fatalf("fired %d events, want 500", len(fired))
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("events fired out of timestamp order")
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.ScheduleAt(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntilEmpty()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	s := New()
+	var at float64
+	if _, err := s.Schedule(3, func() {
+		if _, err := s.Schedule(4, func() { at = s.Now() }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilEmpty()
+	if at != 7 {
+		t.Fatalf("nested schedule fired at %v, want 7", at)
+	}
+}
+
+func TestPastAndNilRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Schedule(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilEmpty()
+	if _, err := s.ScheduleAt(0.5, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("past event accepted: %v", err)
+	}
+	if _, err := s.Schedule(-1, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("negative delay accepted: %v", err)
+	}
+	if _, err := s.ScheduleAt(math.NaN(), func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("NaN time accepted: %v", err)
+	}
+	if _, err := s.Schedule(1, nil); err == nil {
+		t.Error("nil action accepted")
+	}
+}
+
+func TestZeroDelayFiresAfterCurrentEvent(t *testing.T) {
+	s := New()
+	var order []string
+	if _, err := s.Schedule(1, func() {
+		order = append(order, "a")
+		if _, err := s.Schedule(0, func() { order = append(order, "c") }); err != nil {
+			t.Error(err)
+		}
+		order = append(order, "b")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilEmpty()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	h, err := s.Schedule(1, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Pending() {
+		t.Error("handle should be pending")
+	}
+	if !h.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	if h.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	if h.Pending() {
+		t.Error("cancelled handle still pending")
+	}
+	s.RunUntilEmpty()
+	if ran {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	h, _ := s.Schedule(1, func() {})
+	s.RunUntilEmpty()
+	if h.Cancel() {
+		t.Error("Cancel after firing should report false")
+	}
+	if h.Pending() {
+		t.Error("fired handle still pending")
+	}
+	var zero Handle
+	if zero.Cancel() || zero.Pending() {
+		t.Error("zero handle should be inert")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		if _, err := s.ScheduleAt(float64(i), func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Run(5.5); n != 5 {
+		t.Fatalf("executed %d events, want 5", n)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock = %v, want 5.5 (advanced to horizon)", s.Now())
+	}
+	if n := s.Run(100); n != 5 {
+		t.Fatalf("resumed run executed %d, want 5", n)
+	}
+	// Drained schedule: clock advances to the horizon.
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100 (horizon after drain)", s.Now())
+	}
+}
+
+func TestRunAdvancesToHorizonWhenEmpty(t *testing.T) {
+	s := New()
+	s.Run(42)
+	if s.Now() != 42 {
+		t.Fatalf("empty run should advance clock to horizon, got %v", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		if _, err := s.ScheduleAt(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntilEmpty()
+	if count != 3 {
+		t.Fatalf("Stop did not halt run: count = %d", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+	// Resume.
+	s.RunUntilEmpty()
+	if count != 10 {
+		t.Fatalf("resume failed: count = %d", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		if _, err := s.ScheduleAt(float64(i), func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Step() || !s.Step() {
+		t.Fatal("Step should execute events")
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if !s.Step() {
+		t.Fatal("third Step should execute")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty schedule should report false")
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("Fired = %d", s.Fired())
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	s := New()
+	ran := false
+	h, _ := s.ScheduleAt(1, func() { t.Error("cancelled fired") })
+	if _, err := s.ScheduleAt(2, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	h.Cancel()
+	if !s.Step() {
+		t.Fatal("Step should skip cancelled and run next")
+	}
+	if !ran || s.Now() != 2 {
+		t.Fatalf("ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestSelfReschedulingProcess(t *testing.T) {
+	// An M/M/1-style generator pattern: a process that reschedules itself.
+	s := New()
+	r := rng.New(7)
+	arrivals := 0
+	var tick func()
+	tick = func() {
+		arrivals++
+		if _, err := s.Schedule(r.Exp(10), tick); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := s.Schedule(r.Exp(10), tick); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	// ~10 arrivals/sec for 1000 sec.
+	if arrivals < 9000 || arrivals > 11000 {
+		t.Fatalf("arrivals = %d, want ~10000", arrivals)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New()
+	r := rng.New(3)
+	var tick func()
+	tick = func() {
+		_, _ = s.Schedule(r.Exp(1), tick)
+	}
+	_, _ = s.Schedule(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

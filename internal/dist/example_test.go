@@ -1,0 +1,48 @@
+package dist_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb/internal/dist"
+	"nashlb/internal/game"
+)
+
+// ExampleSolve runs the paper's token-ring protocol over in-process
+// channels: one goroutine per user, OPTIMAL best responses, (round, norm)
+// token, termination by the leader.
+func ExampleSolve() {
+	sys, err := game.NewSystem([]float64{30, 10}, []float64{12, 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dist.Solve(sys, dist.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v overall D=%.4f s\n", res.Converged, res.OverallTime)
+	// Output:
+	// converged=true overall D=0.1115 s
+}
+
+// ExampleServeState runs the cluster-state service and a client against
+// it — the wiring used when every user node is its own OS process.
+func ExampleServeState() {
+	sys, _ := game.NewSystem([]float64{30, 10}, []float64{12, 12})
+	store := dist.NewMemoryStore(sys, game.ProportionalProfile(sys))
+	srv, err := dist.ServeState(store, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := dist.DialState(srv.Addr())
+	defer client.Close()
+	avail, err := client.Available(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user 0 sees %.1f\n", avail)
+	// Output:
+	// user 0 sees [21.0 7.0]
+}

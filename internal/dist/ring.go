@@ -1,0 +1,409 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+)
+
+// StateStore is the cluster state a user consults before running OPTIMAL:
+// in a deployed system this is the run-queue inspection of the paper
+// (Remark 2); here it is an interface so the in-memory exact view and
+// estimated views are interchangeable.
+type StateStore interface {
+	// Available returns the available processing rates as seen by user i
+	// (mu_j minus every other user's flow into j).
+	Available(user int) ([]float64, error)
+	// Publish atomically installs user i's new strategy.
+	Publish(user int, s game.Strategy) error
+	// Snapshot returns a copy of the full current profile.
+	Snapshot() game.Profile
+}
+
+// MemoryStore is the exact shared-state implementation of StateStore,
+// safe for concurrent use.
+type MemoryStore struct {
+	mu      sync.RWMutex
+	sys     *game.System
+	profile game.Profile
+}
+
+// NewMemoryStore returns a store over sys starting from the given profile
+// (which is cloned). A nil profile starts from all-zero strategies (NASH_0).
+func NewMemoryStore(sys *game.System, profile game.Profile) *MemoryStore {
+	if profile == nil {
+		profile = game.NewProfile(sys.Users(), sys.Computers())
+	}
+	return &MemoryStore{sys: sys, profile: profile.Clone()}
+}
+
+// Available implements StateStore.
+func (s *MemoryStore) Available(user int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if user < 0 || user >= s.sys.Users() {
+		return nil, fmt.Errorf("dist: unknown user %d", user)
+	}
+	return s.sys.AvailableRates(s.profile, user), nil
+}
+
+// Publish implements StateStore.
+func (s *MemoryStore) Publish(user int, st game.Strategy) error {
+	if err := game.CheckStrategy(st, s.sys.Computers()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if user < 0 || user >= s.sys.Users() {
+		return fmt.Errorf("dist: unknown user %d", user)
+	}
+	s.profile[user] = st.Clone()
+	return nil
+}
+
+// Snapshot implements StateStore.
+func (s *MemoryStore) Snapshot() game.Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.profile.Clone()
+}
+
+// Options configures a distributed solve.
+type Options struct {
+	// Epsilon is the norm acceptance tolerance (core.DefaultEpsilon if 0).
+	Epsilon float64
+	// MaxRounds bounds the circulations (core.DefaultMaxRounds if 0).
+	MaxRounds int
+	// Init selects the starting profile when Solve builds the store itself.
+	Init core.Init
+	// RecvTimeout, when positive, arms a liveness guard on every node: if
+	// the token does not arrive within this duration the node fails with
+	// ErrRecvTimeout instead of blocking forever on a dead predecessor.
+	RecvTimeout time.Duration
+}
+
+// Result is the outcome of a distributed solve.
+type Result struct {
+	// Profile is the final strategy profile.
+	Profile game.Profile
+	// Rounds is the number of completed token circulations.
+	Rounds int
+	// Converged reports whether the norm criterion was met.
+	Converged bool
+	// UserTimes and OverallTime evaluate Profile on the system.
+	UserTimes   []float64
+	OverallTime float64
+}
+
+// node is the per-user protocol state.
+type node struct {
+	id      int
+	size    int
+	arrival float64
+	store   StateStore
+	tr      Transport
+	eps     float64
+	maxR    int
+	prevD   float64
+	seq     uint64
+}
+
+// update recomputes this user's best response against the store and returns
+// |D_new - D_prev|.
+func (n *node) update() (float64, error) {
+	avail, err := n.store.Available(n.id)
+	if err != nil {
+		return 0, err
+	}
+	next, err := core.Optimal(avail, n.arrival)
+	if err != nil {
+		return 0, fmt.Errorf("user %d best response: %w", n.id, err)
+	}
+	if err := n.store.Publish(n.id, next); err != nil {
+		return 0, err
+	}
+	d := core.ResponseTime(avail, n.arrival, next)
+	delta := math.Abs(d - n.prevD)
+	n.prevD = d
+	return delta, nil
+}
+
+// send stamps a fresh sequence number and transmits, retrying transient link
+// faults; retransmissions reuse the sequence number so the receiver's
+// duplicate suppression makes them idempotent.
+func (n *node) send(m Message) error {
+	n.seq++
+	m.Seq = n.seq
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		if err = n.tr.Send(m); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// runLeader executes node 0's role: it starts every round, accumulates its
+// own delta, and decides termination when the token returns.
+func (n *node) runLeader() (rounds int, converged bool, err error) {
+	round := 1
+	delta, err := n.update()
+	if err != nil {
+		return 0, false, err
+	}
+	if err := n.send(Message{Kind: Token, Round: round, Norm: delta}); err != nil {
+		return 0, false, err
+	}
+	for {
+		msg, err := n.tr.Recv()
+		if err != nil {
+			return round, false, err
+		}
+		if msg.Kind == Done {
+			// Our own Done came back; the ring is drained.
+			return round, !msg.Aborted, nil
+		}
+		if msg.Norm <= n.eps {
+			if err := n.send(Message{Kind: Done, Round: msg.Round}); err != nil {
+				return round, false, err
+			}
+			if n.size == 1 {
+				return round, true, nil
+			}
+			continue // wait for Done to come back
+		}
+		if msg.Round >= n.maxR {
+			if err := n.send(Message{Kind: Done, Round: msg.Round, Aborted: true}); err != nil {
+				return round, false, err
+			}
+			if n.size == 1 {
+				return round, false, nil
+			}
+			continue
+		}
+		round = msg.Round + 1
+		delta, err := n.update()
+		if err != nil {
+			return round, false, err
+		}
+		if err := n.send(Message{Kind: Token, Round: round, Norm: delta}); err != nil {
+			return round, false, err
+		}
+	}
+}
+
+// runFollower executes the role of nodes 1..m-1: add the local delta to the
+// token and forward; forward Done and exit, reporting how many rounds were
+// seen and whether termination was a convergence or an abort.
+func (n *node) runFollower() (rounds int, converged bool, err error) {
+	for {
+		msg, err := n.tr.Recv()
+		if err != nil {
+			return rounds, false, err
+		}
+		if msg.Kind == Done {
+			return rounds, !msg.Aborted, n.send(msg)
+		}
+		rounds = msg.Round
+		delta, err := n.update()
+		if err != nil {
+			return rounds, false, err
+		}
+		msg.Norm += delta
+		if err := n.send(msg); err != nil {
+			return rounds, false, err
+		}
+	}
+}
+
+// NodeConfig describes one standalone ring node for multi-process
+// deployments: its identity, the ring size, and its user's arrival rate.
+type NodeConfig struct {
+	// ID is the node's 0-based position; node 0 leads (initiates rounds
+	// and decides termination).
+	ID int
+	// Users is the ring size m.
+	Users int
+	// Arrival is this user's job arrival rate phi_i.
+	Arrival float64
+	// Epsilon is the norm tolerance (leader only; core default if 0).
+	Epsilon float64
+	// MaxRounds bounds the iteration (leader only; core default if 0).
+	MaxRounds int
+}
+
+// NodeResult reports a standalone node's outcome.
+type NodeResult struct {
+	// Rounds is the number of rounds this node participated in.
+	Rounds int
+	// Converged reports whether the ring terminated by convergence.
+	Converged bool
+	// Strategy is this user's final strategy.
+	Strategy game.Strategy
+}
+
+// RunNode executes one ring node to completion against a (possibly remote)
+// state store and a (possibly TCP) transport. It is the entry point used by
+// cmd/nashd -mode node, where every user is its own OS process; Run is the
+// single-process convenience that spawns all nodes on goroutines.
+func RunNode(cfg NodeConfig, store StateStore, tr Transport) (*NodeResult, error) {
+	if cfg.ID < 0 || cfg.Users < 1 || cfg.ID >= cfg.Users {
+		return nil, fmt.Errorf("dist: invalid node identity %d of %d", cfg.ID, cfg.Users)
+	}
+	if !(cfg.Arrival > 0) {
+		return nil, fmt.Errorf("dist: invalid arrival rate %g", cfg.Arrival)
+	}
+	eps := cfg.Epsilon
+	if eps <= 0 {
+		eps = core.DefaultEpsilon
+	}
+	maxR := cfg.MaxRounds
+	if maxR <= 0 {
+		maxR = core.DefaultMaxRounds
+	}
+	n := &node{
+		id:      cfg.ID,
+		size:    cfg.Users,
+		arrival: cfg.Arrival,
+		store:   store,
+		tr:      NewDedup(tr),
+		eps:     eps,
+		maxR:    maxR,
+	}
+	var res NodeResult
+	var err error
+	if cfg.ID == 0 {
+		res.Rounds, res.Converged, err = n.runLeader()
+	} else {
+		res.Rounds, res.Converged, err = n.runFollower()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: node %d: %w", cfg.ID, err)
+	}
+	if p := store.Snapshot(); len(p) > cfg.ID {
+		res.Strategy = p[cfg.ID]
+	}
+	return &res, nil
+}
+
+// ErrRingSize is returned when the transport count does not match the users.
+var ErrRingSize = errors.New("dist: transport count does not match user count")
+
+// Run executes the NASH token-ring protocol over the given transports and
+// store. transports[i] is user i's endpoint; the store holds the starting
+// profile (warm starts are supported by seeding the store, which is how a
+// crashed-and-restarted ring resumes). It blocks until all nodes exit.
+func Run(sys *game.System, store StateStore, transports []Transport, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	m := sys.Users()
+	if len(transports) != m {
+		return nil, fmt.Errorf("%w: %d transports for %d users", ErrRingSize, len(transports), m)
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = core.DefaultEpsilon
+	}
+	maxR := opts.MaxRounds
+	if maxR <= 0 {
+		maxR = core.DefaultMaxRounds
+	}
+
+	nodes := make([]*node, m)
+	start := store.Snapshot()
+	for i := 0; i < m; i++ {
+		tr := transports[i]
+		if opts.RecvTimeout > 0 {
+			tr = &Timeout{Inner: tr, D: opts.RecvTimeout}
+		}
+		n := &node{
+			id:      i,
+			size:    m,
+			arrival: sys.Arrivals[i],
+			store:   store,
+			tr:      NewDedup(tr),
+			eps:     eps,
+			maxR:    maxR,
+		}
+		// Seed prevD from the starting profile so warm starts measure true
+		// deltas (an all-zero strategy contributes prevD = 0, as NASH_0).
+		if !isZero(start[i]) {
+			avail := availableFrom(sys, start, i)
+			n.prevD = core.ResponseTime(avail, sys.Arrivals[i], start[i])
+		}
+		nodes[i] = n
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, m)
+	var rounds int
+	var converged bool
+	for i := 1; i < m; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = nodes[i].runFollower()
+		}()
+	}
+	rounds, converged, errs[0] = nodes[0].runLeader()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: node %d: %w", i, err)
+		}
+	}
+	profile := store.Snapshot()
+	res := &Result{
+		Profile:     profile,
+		Rounds:      rounds,
+		Converged:   converged,
+		UserTimes:   sys.UserResponseTimes(profile),
+		OverallTime: sys.OverallResponseTime(profile),
+	}
+	if !converged {
+		return res, fmt.Errorf("dist: %w after %d rounds", core.ErrNotConverged, rounds)
+	}
+	return res, nil
+}
+
+// Solve runs the protocol over in-process channels with a fresh exact store.
+func Solve(sys *game.System, opts Options) (*Result, error) {
+	store := NewMemoryStore(sys, core.InitialProfile(sys, opts.Init))
+	return Run(sys, store, ChanRing(sys.Users()), opts)
+}
+
+// SolveTCP runs the protocol over a loopback TCP ring with a fresh exact
+// store; it exists to exercise the production wire path end to end.
+func SolveTCP(sys *game.System, opts Options) (*Result, error) {
+	transports, err := TCPRing(sys.Users())
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, t := range transports {
+			t.Close()
+		}
+	}()
+	store := NewMemoryStore(sys, core.InitialProfile(sys, opts.Init))
+	return Run(sys, store, transports, opts)
+}
+
+func isZero(s game.Strategy) bool {
+	for _, x := range s {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func availableFrom(sys *game.System, p game.Profile, i int) []float64 {
+	return sys.AvailableRates(p, i)
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nashlb/internal/game"
+)
+
+// The state service is the deployment analogue of the paper's "inspect the
+// run queue of each computer": a process that knows the cluster state and
+// answers two questions — what processing rate is available to user i, and
+// here is user i's new strategy. It lets the ring nodes run as separate OS
+// processes (cmd/nashd -mode node) while sharing one consistent view.
+
+// stateRequest is the JSON wire request of the state service.
+type stateRequest struct {
+	Op       string    `json:"op"` // "available" | "publish" | "snapshot"
+	User     int       `json:"user,omitempty"`
+	Strategy []float64 `json:"strategy,omitempty"`
+}
+
+// stateResponse is the JSON wire response.
+type stateResponse struct {
+	Err     string      `json:"err,omitempty"`
+	Rates   []float64   `json:"rates,omitempty"`
+	Profile [][]float64 `json:"profile,omitempty"`
+}
+
+// StateServer exposes a StateStore over TCP with a JSON-lines protocol.
+type StateServer struct {
+	store StateStore
+	ln    net.Listener
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// ServeState starts a state server for store on addr (use "127.0.0.1:0" for
+// an ephemeral port) and returns immediately; connections are handled on
+// background goroutines until Close.
+func ServeState(store StateStore, addr string) (*StateServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: state server listen: %w", err)
+	}
+	s := &StateServer{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *StateServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections and waits for handlers.
+func (s *StateServer) Close() error {
+	s.mu.Lock()
+	s.done = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *StateServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *StateServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req stateRequest
+		if err := dec.Decode(&req); err != nil {
+			return // client went away
+		}
+		var resp stateResponse
+		switch req.Op {
+		case "available":
+			rates, err := s.store.Available(req.User)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Rates = rates
+			}
+		case "publish":
+			if err := s.store.Publish(req.User, game.Strategy(req.Strategy)); err != nil {
+				resp.Err = err.Error()
+			}
+		case "snapshot":
+			p := s.store.Snapshot()
+			resp.Profile = make([][]float64, len(p))
+			for i := range p {
+				resp.Profile[i] = p[i]
+			}
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteStore is a StateStore client talking to a StateServer over TCP.
+// It reconnects transparently on connection failures. Safe for concurrent
+// use (requests are serialized over one connection).
+type RemoteStore struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// DialState returns a client for the state service at addr. The connection
+// is established lazily on the first call.
+func DialState(addr string) *RemoteStore {
+	return &RemoteStore{addr: addr}
+}
+
+func (r *RemoteStore) roundTrip(req stateRequest) (stateResponse, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if r.conn == nil {
+			conn, err := net.DialTimeout("tcp", r.addr, 2*time.Second)
+			if err != nil {
+				lastErr = err
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			r.conn = conn
+			r.enc = json.NewEncoder(conn)
+			r.dec = json.NewDecoder(conn)
+		}
+		if err := r.enc.Encode(&req); err != nil {
+			lastErr = err
+			r.reset()
+			continue
+		}
+		var resp stateResponse
+		if err := r.dec.Decode(&resp); err != nil {
+			lastErr = err
+			r.reset()
+			continue
+		}
+		if resp.Err != "" {
+			return resp, errors.New(resp.Err)
+		}
+		return resp, nil
+	}
+	return stateResponse{}, fmt.Errorf("dist: state service unreachable at %s: %w", r.addr, lastErr)
+}
+
+func (r *RemoteStore) reset() {
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.conn, r.enc, r.dec = nil, nil, nil
+}
+
+// Available implements StateStore.
+func (r *RemoteStore) Available(user int) ([]float64, error) {
+	resp, err := r.roundTrip(stateRequest{Op: "available", User: user})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rates, nil
+}
+
+// Publish implements StateStore.
+func (r *RemoteStore) Publish(user int, s game.Strategy) error {
+	_, err := r.roundTrip(stateRequest{Op: "publish", User: user, Strategy: s})
+	return err
+}
+
+// Snapshot implements StateStore. A transport failure returns nil (the
+// interface has no error channel for Snapshot; callers requiring certainty
+// use Available/Publish which do report errors).
+func (r *RemoteStore) Snapshot() game.Profile {
+	resp, err := r.roundTrip(stateRequest{Op: "snapshot"})
+	if err != nil {
+		return nil
+	}
+	p := make(game.Profile, len(resp.Profile))
+	for i := range resp.Profile {
+		p[i] = game.Strategy(resp.Profile[i])
+	}
+	return p
+}
+
+// Close tears down the client connection.
+func (r *RemoteStore) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reset()
+	return nil
+}

@@ -1,0 +1,258 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+)
+
+func TestStateServerRoundTrip(t *testing.T) {
+	sys := testSystem(t, 3, 0.5)
+	store := NewMemoryStore(sys, game.ProportionalProfile(sys))
+	srv, err := ServeState(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := DialState(srv.Addr())
+	defer client.Close()
+
+	// Available matches the local store.
+	want, err := store.Available(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Available(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("remote available %v != local %v", got, want)
+		}
+	}
+
+	// Publish through the client is visible locally.
+	s := make(game.Strategy, sys.Computers())
+	s[0] = 1
+	if err := client.Publish(2, s); err != nil {
+		t.Fatal(err)
+	}
+	if store.Snapshot()[2][0] != 1 {
+		t.Fatal("publish did not reach the server store")
+	}
+
+	// Snapshot round-trips.
+	snap := client.Snapshot()
+	if len(snap) != sys.Users() || snap[2][0] != 1 {
+		t.Fatalf("snapshot wrong: %v", snap)
+	}
+
+	// Server-side validation errors surface at the client.
+	if err := client.Publish(0, game.Strategy{0.5}); err == nil {
+		t.Fatal("invalid strategy accepted remotely")
+	}
+	if _, err := client.Available(99); err == nil {
+		t.Fatal("unknown user accepted remotely")
+	}
+}
+
+func TestStateServerConcurrentClients(t *testing.T) {
+	sys := testSystem(t, 8, 0.5)
+	store := NewMemoryStore(sys, game.ProportionalProfile(sys))
+	srv, err := ServeState(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := DialState(srv.Addr())
+			defer c.Close()
+			for k := 0; k < 50; k++ {
+				avail, err := c.Available(i)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				br, err := core.Optimal(avail, sys.Arrivals[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := c.Publish(i, br); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	// Note: concurrent unserialized best responses may legitimately
+	// overload a computer (two users observing the same free capacity and
+	// both grabbing it) — that is precisely the race the paper's token
+	// ring serializes away. The store itself must stay structurally
+	// intact: every row a valid probability vector.
+	final := store.Snapshot()
+	if len(final) != sys.Users() {
+		t.Fatalf("snapshot shape wrong: %d rows", len(final))
+	}
+	for i := range final {
+		if err := game.CheckStrategy(final[i], sys.Computers()); err != nil {
+			t.Fatalf("user %d row corrupted: %v", i, err)
+		}
+	}
+}
+
+func TestRemoteStoreReconnects(t *testing.T) {
+	sys := testSystem(t, 2, 0.5)
+	store := NewMemoryStore(sys, game.ProportionalProfile(sys))
+	srv, err := ServeState(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := DialState(srv.Addr())
+	if _, err := client.Available(0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client's connection server-side; next call must reconnect.
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	if _, err := client.Available(1); err != nil {
+		t.Fatalf("client did not reconnect: %v", err)
+	}
+	srv.Close()
+	// With the server gone, calls fail cleanly.
+	if _, err := client.Available(0); err == nil {
+		t.Fatal("call succeeded against a closed server")
+	}
+	if client.Snapshot() != nil {
+		t.Fatal("snapshot against closed server should be nil")
+	}
+}
+
+func TestMultiProcessStyleRing(t *testing.T) {
+	// The full deployment shape of cmd/nashd: a state server, and every
+	// user node running RunNode with its own TCP transport and its own
+	// RemoteStore client — nothing shared in memory between "processes".
+	sys := testSystem(t, 5, 0.6)
+	m := sys.Users()
+
+	store := NewMemoryStore(sys, nil)
+	srv, err := ServeState(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Pre-create listeners so addresses are known, ring-wired.
+	transports, err := TCPRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+
+	results := make([]*NodeResult, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := DialState(srv.Addr())
+			defer client.Close()
+			results[i], errs[i] = RunNode(NodeConfig{
+				ID: i, Users: m, Arrival: sys.Arrivals[i],
+			}, client, transports[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	if !results[0].Converged {
+		t.Fatal("leader did not converge")
+	}
+	// The assembled profile is the same equilibrium the sequential solver
+	// finds.
+	seq, err := core.Solve(sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := store.Snapshot()
+	for i := range final {
+		for j := range final[i] {
+			if math.Abs(final[i][j]-seq.Profile[i][j]) > 1e-9 {
+				t.Fatalf("profile differs at [%d][%d]: %v vs %v", i, j, final[i][j], seq.Profile[i][j])
+			}
+		}
+	}
+	if results[0].Rounds != seq.Rounds {
+		t.Errorf("rounds %d vs sequential %d", results[0].Rounds, seq.Rounds)
+	}
+	// Every node's reported strategy matches the store.
+	for i, r := range results {
+		for j := range r.Strategy {
+			if r.Strategy[j] != final[i][j] {
+				t.Fatalf("node %d strategy out of sync", i)
+			}
+		}
+	}
+}
+
+func TestRunNodeValidation(t *testing.T) {
+	sys := testSystem(t, 2, 0.5)
+	store := NewMemoryStore(sys, nil)
+	tr := ChanRing(1)[0]
+	if _, err := RunNode(NodeConfig{ID: -1, Users: 2, Arrival: 1}, store, tr); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, err := RunNode(NodeConfig{ID: 2, Users: 2, Arrival: 1}, store, tr); err == nil {
+		t.Error("id >= users accepted")
+	}
+	if _, err := RunNode(NodeConfig{ID: 0, Users: 1, Arrival: 0}, store, tr); err == nil {
+		t.Error("zero arrival accepted")
+	}
+}
+
+func TestNewTCPNodeAndAddr(t *testing.T) {
+	a, err := NewTCPNode("127.0.0.1:0", "127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if NodeAddr(a) == "" {
+		t.Error("NodeAddr empty for TCP node")
+	}
+	if NodeAddr(ChanRing(1)[0]) != "" {
+		t.Error("NodeAddr should be empty for channel transport")
+	}
+	if _, err := NewTCPNode("256.0.0.1:bad", "x"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

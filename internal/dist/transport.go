@@ -1,0 +1,379 @@
+// Package dist implements the paper's NASH algorithm (Section 3) as an
+// actual distributed protocol: the users form a logical ring, a token
+// message carrying (round, accumulated norm) circulates, and the token
+// holder recomputes its best response with OPTIMAL before forwarding.
+//
+// The ring link is abstracted behind Transport so the same node logic runs
+// over in-process channels (tests, single-binary deployments) and TCP with a
+// JSON codec (cmd/nashd). Fault-injection wrappers (duplication, flaky
+// connections) and a duplicate-suppressing decorator cover the protocol's
+// behaviour under unreliable links.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nashlb/internal/rng"
+)
+
+// Kind discriminates ring messages.
+type Kind int
+
+const (
+	// Token is the working message: the holder updates its strategy.
+	Token Kind = iota
+	// Done signals termination; nodes forward it and exit.
+	Done
+)
+
+// Message is the unit circulating the ring. It is JSON-encodable for the
+// TCP transport.
+type Message struct {
+	Kind Kind `json:"kind"`
+	// Round is the 1-based round number (one round = one full circulation).
+	Round int `json:"round"`
+	// Norm is the accumulated sum of |D_i' - D_i| along the circulation.
+	Norm float64 `json:"norm"`
+	// Aborted marks a Done that terminates without convergence.
+	Aborted bool `json:"aborted,omitempty"`
+	// Seq is a per-link sequence number used for duplicate suppression.
+	Seq uint64 `json:"seq"`
+}
+
+// Transport is one node's view of the ring: Send forwards to the successor,
+// Recv blocks for the predecessor's message.
+type Transport interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// In-process channel ring
+// ---------------------------------------------------------------------------
+
+type chanTransport struct {
+	out  chan<- Message
+	in   <-chan Message
+	once sync.Once
+	done chan struct{}
+}
+
+// ChanRing wires m nodes into a ring over buffered channels and returns one
+// transport per node. Closing any transport only detaches that node; the
+// channels themselves are garbage collected with the ring.
+func ChanRing(m int) []Transport {
+	chans := make([]chan Message, m)
+	for i := range chans {
+		chans[i] = make(chan Message, 4)
+	}
+	ts := make([]Transport, m)
+	for i := range ts {
+		ts[i] = &chanTransport{
+			out:  chans[(i+1)%m],
+			in:   chans[i],
+			done: make(chan struct{}),
+		}
+	}
+	return ts
+}
+
+func (t *chanTransport) Send(m Message) error {
+	select {
+	case t.out <- m:
+		return nil
+	case <-t.done:
+		return errors.New("dist: transport closed")
+	}
+}
+
+func (t *chanTransport) Recv() (Message, error) {
+	select {
+	case m := <-t.in:
+		return m, nil
+	case <-t.done:
+		return Message{}, errors.New("dist: transport closed")
+	}
+}
+
+func (t *chanTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TCP ring with JSON codec
+// ---------------------------------------------------------------------------
+
+type tcpTransport struct {
+	succAddr string
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *json.Encoder
+	inConn   net.Conn
+	dec      *json.Decoder
+	ln       net.Listener
+	retries  int
+}
+
+// TCPRing creates m loopback listeners and returns a transport per node;
+// node i's Send dials node (i+1) mod m lazily (reconnecting on failure, up
+// to a small retry budget), and Recv accepts the predecessor's connection.
+// Call Close on every transport when done.
+func TCPRing(m int) ([]Transport, error) {
+	if m < 1 {
+		return nil, errors.New("dist: ring needs at least one node")
+	}
+	listeners := make([]net.Listener, m)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("dist: listen: %w", err)
+		}
+		listeners[i] = ln
+	}
+	ts := make([]Transport, m)
+	for i := range ts {
+		ts[i] = &tcpTransport{
+			succAddr: listeners[(i+1)%m].Addr().String(),
+			ln:       listeners[i],
+			retries:  10,
+		}
+	}
+	return ts, nil
+}
+
+// NewTCPNode returns the transport of a single standalone ring node that
+// listens for its predecessor on listenAddr and sends to its successor at
+// nextAddr — the building block for multi-process deployments (cmd/nashd
+// -mode node). Call Close when done.
+func NewTCPNode(listenAddr, nextAddr string) (Transport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: node listen on %s: %w", listenAddr, err)
+	}
+	return &tcpTransport{succAddr: nextAddr, ln: ln, retries: 50}, nil
+}
+
+// NodeAddr reports the transport's listen address when it has one (TCP
+// nodes); empty otherwise.
+func NodeAddr(t Transport) string {
+	if tt, ok := t.(*tcpTransport); ok {
+		return tt.ln.Addr().String()
+	}
+	return ""
+}
+
+func (t *tcpTransport) Send(m Message) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= t.retries; attempt++ {
+		if t.conn == nil {
+			conn, err := net.DialTimeout("tcp", t.succAddr, 2*time.Second)
+			if err != nil {
+				lastErr = err
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			t.conn = conn
+			t.enc = json.NewEncoder(conn)
+		}
+		if err := t.enc.Encode(m); err != nil {
+			lastErr = err
+			t.conn.Close()
+			t.conn, t.enc = nil, nil
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("dist: send failed after retries: %w", lastErr)
+}
+
+func (t *tcpTransport) Recv() (Message, error) {
+	for {
+		if t.dec == nil {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				return Message{}, fmt.Errorf("dist: accept: %w", err)
+			}
+			t.inConn = conn
+			t.dec = json.NewDecoder(conn)
+		}
+		var m Message
+		if err := t.dec.Decode(&m); err != nil {
+			// Peer reconnected (e.g. after an injected fault): accept anew.
+			t.inConn.Close()
+			t.inConn, t.dec = nil, nil
+			continue
+		}
+		return m, nil
+	}
+}
+
+func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	if t.inConn != nil {
+		t.inConn.Close()
+	}
+	return t.ln.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and duplicate suppression
+// ---------------------------------------------------------------------------
+
+// Flaky wraps a transport and injects link-level faults on Send:
+// with DupProb the message is transmitted twice, and with CutProb the
+// underlying send is still performed but reported as failed to the caller
+// (exercising caller-side retry paths, which then produce duplicates).
+type Flaky struct {
+	Inner Transport
+	// DupProb is the probability a sent message is duplicated.
+	DupProb float64
+	// CutProb is the probability a successful send reports an error.
+	CutProb float64
+	// R drives the fault coin flips.
+	R *rng.Stream
+}
+
+// Send implements Transport.
+func (f *Flaky) Send(m Message) error {
+	if err := f.Inner.Send(m); err != nil {
+		return err
+	}
+	if f.R.Float64() < f.DupProb {
+		if err := f.Inner.Send(m); err != nil {
+			return err
+		}
+	}
+	if f.R.Float64() < f.CutProb {
+		return errors.New("dist: injected link fault")
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (f *Flaky) Recv() (Message, error) { return f.Inner.Recv() }
+
+// Close implements Transport.
+func (f *Flaky) Close() error { return f.Inner.Close() }
+
+// ErrRecvTimeout reports that no message arrived within the liveness
+// deadline — the ring has stalled (a node crashed or a link broke).
+var ErrRecvTimeout = errors.New("dist: receive timed out (ring stalled)")
+
+// Timeout wraps a transport with a liveness guard: Recv fails with
+// ErrRecvTimeout when no message arrives within D. A timed-out inner Recv
+// keeps running on a background goroutine until the transport is closed (a
+// late message is discarded); in the ring protocol a timeout is fatal for
+// the node, which closes its transport on exit, so nothing leaks.
+type Timeout struct {
+	Inner Transport
+	D     time.Duration
+
+	pending chan recvResult
+}
+
+type recvResult struct {
+	m   Message
+	err error
+}
+
+// Send implements Transport.
+func (t *Timeout) Send(m Message) error { return t.Inner.Send(m) }
+
+// Recv implements Transport with the deadline applied.
+func (t *Timeout) Recv() (Message, error) {
+	if t.pending == nil {
+		t.pending = make(chan recvResult, 1)
+		go t.pump()
+	}
+	select {
+	case r := <-t.pending:
+		go t.pump()
+		return r.m, r.err
+	case <-time.After(t.D):
+		return Message{}, fmt.Errorf("%w after %v", ErrRecvTimeout, t.D)
+	}
+}
+
+func (t *Timeout) pump() {
+	m, err := t.Inner.Recv()
+	t.pending <- recvResult{m, err}
+}
+
+// Close implements Transport.
+func (t *Timeout) Close() error { return t.Inner.Close() }
+
+// Blackhole is a fault-injection transport whose Send silently discards
+// everything and whose Recv blocks until Close — a crashed node, as seen by
+// the rest of the ring.
+type Blackhole struct {
+	once sync.Once
+	done chan struct{}
+}
+
+// NewBlackhole returns a fresh blackhole transport.
+func NewBlackhole() *Blackhole { return &Blackhole{done: make(chan struct{})} }
+
+// Send implements Transport (discarding the message).
+func (b *Blackhole) Send(Message) error { return nil }
+
+// Recv implements Transport (blocking until Close).
+func (b *Blackhole) Recv() (Message, error) {
+	<-b.done
+	return Message{}, errors.New("dist: blackhole closed")
+}
+
+// Close implements Transport.
+func (b *Blackhole) Close() error {
+	b.once.Do(func() { close(b.done) })
+	return nil
+}
+
+// Dedup wraps a transport and drops messages whose sequence number was
+// already delivered, making duplicated retransmissions harmless. Senders
+// must stamp strictly increasing Seq values (the ring node does).
+type Dedup struct {
+	Inner Transport
+	seen  uint64
+	first bool
+}
+
+// NewDedup returns a duplicate-suppressing view of t.
+func NewDedup(t Transport) *Dedup { return &Dedup{Inner: t} }
+
+// Send implements Transport.
+func (d *Dedup) Send(m Message) error { return d.Inner.Send(m) }
+
+// Recv implements Transport, skipping duplicates.
+func (d *Dedup) Recv() (Message, error) {
+	for {
+		m, err := d.Inner.Recv()
+		if err != nil {
+			return m, err
+		}
+		if d.first && m.Seq <= d.seen {
+			continue // duplicate
+		}
+		d.first = true
+		d.seen = m.Seq
+		return m, nil
+	}
+}
+
+// Close implements Transport.
+func (d *Dedup) Close() error { return d.Inner.Close() }

@@ -1,0 +1,151 @@
+// Package dynamic implements the paper's stated future-work direction
+// ("game theoretic models for dynamic load balancing"): the system's arrival
+// rates drift over time and the NASH equilibrium is recomputed periodically,
+// exactly as the paper prescribes for the static algorithm ("the execution
+// of this algorithm is initiated periodically or when the system parameters
+// are changed").
+//
+// The Rebalancer produces a trace comparing, at each re-balancing epoch, the
+// response time under the freshly computed equilibrium against the response
+// time the system would suffer if it kept the previous (stale) profile.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+)
+
+// ArrivalFn returns the users' arrival rates at simulated time t.
+type ArrivalFn func(t float64) []float64
+
+// Sinusoidal returns an ArrivalFn where user i's rate oscillates around
+// base[i] with the given relative amplitude (0..1) and period, phase-shifted
+// per user so the traffic mix — not just the volume — changes over time.
+func Sinusoidal(base []float64, amplitude, period float64) ArrivalFn {
+	m := len(base)
+	return func(t float64) []float64 {
+		out := make([]float64, m)
+		for i := range out {
+			phase := 2 * math.Pi * (t/period + float64(i)/float64(m))
+			out[i] = base[i] * (1 + amplitude*math.Sin(phase))
+		}
+		return out
+	}
+}
+
+// Step is one re-balancing epoch in a trace.
+type Step struct {
+	// Time is the epoch's start time.
+	Time float64
+	// Arrivals are the rates in effect during the epoch.
+	Arrivals []float64
+	// FreshTime is the overall expected response time under the newly
+	// computed equilibrium.
+	FreshTime float64
+	// StaleTime is the overall expected response time had the previous
+	// epoch's profile been kept; +Inf if that profile now overloads a
+	// computer. It equals FreshTime on the first epoch. Note that a Nash
+	// equilibrium optimizes each user, not the overall time, so StaleTime
+	// is not guaranteed to exceed FreshTime — StaleGain is the guaranteed
+	// signed staleness measure.
+	StaleTime float64
+	// StaleGain is the largest response-time improvement any single user
+	// could obtain by unilaterally deviating from the stale profile — zero
+	// exactly when the old equilibrium is still an equilibrium, +Inf when
+	// the stale profile saturates a computer some user depends on. Always
+	// non-negative.
+	StaleGain float64
+	// Rounds is the number of best-reply rounds the re-balance needed
+	// (warm-started from the previous profile).
+	Rounds int
+}
+
+// Rebalancer periodically recomputes the Nash equilibrium as arrivals drift.
+type Rebalancer struct {
+	// Rates holds the computers' (constant) processing rates.
+	Rates []float64
+	// Arrivals gives the time-varying user arrival rates.
+	Arrivals ArrivalFn
+	// Period is the re-balancing interval (seconds of model time).
+	Period float64
+	// Epsilon is the NASH convergence tolerance (core default if zero).
+	Epsilon float64
+}
+
+// Trace runs epochs from t=0 until the horizon and reports each epoch's
+// fresh-vs-stale comparison. Re-balances warm-start from the previous
+// equilibrium (the natural deployment behaviour, and typically far fewer
+// rounds than a cold start).
+func (r *Rebalancer) Trace(horizon float64) ([]Step, error) {
+	if r.Arrivals == nil {
+		return nil, errors.New("dynamic: nil arrival function")
+	}
+	if !(r.Period > 0) || !(horizon > 0) {
+		return nil, fmt.Errorf("dynamic: need positive period and horizon, got %g and %g", r.Period, horizon)
+	}
+	var steps []Step
+	var prev game.Profile
+	for t := 0.0; t < horizon; t += r.Period {
+		arr := r.Arrivals(t)
+		sys, err := game.NewSystem(r.Rates, arr)
+		if err != nil {
+			return steps, fmt.Errorf("dynamic: epoch at t=%g: %w", t, err)
+		}
+		res, err := r.solveWarm(sys, prev)
+		if err != nil {
+			return steps, fmt.Errorf("dynamic: epoch at t=%g: %w", t, err)
+		}
+		step := Step{
+			Time:      t,
+			Arrivals:  arr,
+			FreshTime: res.OverallTime,
+			StaleTime: res.OverallTime,
+			Rounds:    res.Rounds,
+		}
+		if prev != nil {
+			step.StaleTime = staleTime(sys, prev)
+			step.StaleGain = staleGain(sys, prev, step.StaleTime)
+		}
+		steps = append(steps, step)
+		prev = res.Profile
+	}
+	return steps, nil
+}
+
+// solveWarm runs the NASH iteration starting from the previous profile when
+// one exists (via a warm store-style restart), falling back to NASH_P.
+func (r *Rebalancer) solveWarm(sys *game.System, prev game.Profile) (*core.Result, error) {
+	if prev == nil {
+		return core.Solve(sys, core.Options{Init: core.InitProportional, Epsilon: r.Epsilon})
+	}
+	return core.SolveFrom(sys, prev, core.Options{Epsilon: r.Epsilon})
+}
+
+// staleTime evaluates the previous profile under the new arrivals; a profile
+// that now saturates a computer scores +Inf.
+func staleTime(sys *game.System, prev game.Profile) float64 {
+	if len(prev) != sys.Users() {
+		return math.Inf(1)
+	}
+	return sys.OverallResponseTime(prev)
+}
+
+// staleGain is the best unilateral deviation improvement available at the
+// stale profile under the new arrivals.
+func staleGain(sys *game.System, prev game.Profile, stale float64) float64 {
+	if math.IsInf(stale, 1) {
+		return math.Inf(1)
+	}
+	_, gain, err := sys.EpsilonEquilibrium(prev, core.Optimal, 0)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if gain < 0 {
+		return 0
+	}
+	return gain
+}

@@ -1,0 +1,160 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+)
+
+var testRates = []float64{100, 50, 50, 20, 20, 10}
+
+func TestSinusoidalShape(t *testing.T) {
+	base := []float64{10, 20}
+	f := Sinusoidal(base, 0.5, 100)
+	at0 := f(0)
+	// User 0 has zero phase at t=0: sin(0)=0.
+	if math.Abs(at0[0]-10) > 1e-12 {
+		t.Errorf("user 0 at t=0: %v, want 10", at0[0])
+	}
+	// Period: f(t) == f(t+period).
+	a, b := f(17), f(117)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Errorf("not periodic: %v vs %v", a, b)
+		}
+	}
+	// Amplitude bound.
+	for tt := 0.0; tt < 100; tt += 1 {
+		for i, v := range f(tt) {
+			if v < base[i]*0.5-1e-9 || v > base[i]*1.5+1e-9 {
+				t.Fatalf("amplitude exceeded at t=%v user %d: %v", tt, i, v)
+			}
+		}
+	}
+	// Users are phase shifted: mixes differ over time.
+	r0 := f(25)[0] / f(25)[1]
+	r1 := f(75)[0] / f(75)[1]
+	if math.Abs(r0-r1) < 1e-6 {
+		t.Error("mix does not change over time")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	r := &Rebalancer{Rates: testRates, Period: 10}
+	if _, err := r.Trace(100); err == nil {
+		t.Error("nil arrival fn accepted")
+	}
+	r.Arrivals = Sinusoidal([]float64{10, 10}, 0.2, 50)
+	r.Period = 0
+	if _, err := r.Trace(100); err == nil {
+		t.Error("zero period accepted")
+	}
+	r.Period = 10
+	if _, err := r.Trace(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestTraceEpochs(t *testing.T) {
+	base := []float64{40, 30, 20}
+	r := &Rebalancer{
+		Rates:    testRates,
+		Arrivals: Sinusoidal(base, 0.4, 120),
+		Period:   15,
+	}
+	steps, err := r.Trace(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 8 {
+		t.Fatalf("got %d epochs, want 8", len(steps))
+	}
+	for k, s := range steps {
+		if s.Time != float64(k)*15 {
+			t.Errorf("epoch %d at %v", k, s.Time)
+		}
+		if math.IsInf(s.FreshTime, 1) || s.FreshTime <= 0 {
+			t.Errorf("epoch %d fresh time %v", k, s.FreshTime)
+		}
+		// StaleGain is a guaranteed non-negative staleness measure.
+		if s.StaleGain < 0 {
+			t.Errorf("epoch %d: negative stale gain %v", k, s.StaleGain)
+		}
+		// Fresh and stale times stay the same order of magnitude under
+		// mild drift (the stale profile is yesterday's equilibrium).
+		if !math.IsInf(s.StaleTime, 1) && math.Abs(s.StaleTime-s.FreshTime) > s.FreshTime {
+			t.Errorf("epoch %d: stale %v wildly off fresh %v", k, s.StaleTime, s.FreshTime)
+		}
+	}
+	// First epoch has no stale baseline.
+	if steps[0].StaleGain != 0 {
+		t.Errorf("first epoch stale gain %v, want 0", steps[0].StaleGain)
+	}
+	// With drifting traffic, later epochs must show genuinely stale
+	// profiles: some user could improve by deviating.
+	var any bool
+	for _, s := range steps[1:] {
+		if s.StaleGain > 1e-9 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("stale profiles never left equilibrium despite drifting load")
+	}
+}
+
+func TestWarmStartsAreCheap(t *testing.T) {
+	base := []float64{40, 30, 20}
+	r := &Rebalancer{
+		Rates:    testRates,
+		Arrivals: Sinusoidal(base, 0.1, 200), // slow drift
+		Period:   10,
+	}
+	steps, err := r.Trace(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := steps[0].Rounds
+	for _, s := range steps[1:] {
+		if s.Rounds > cold {
+			t.Errorf("warm epoch at t=%v took %d rounds, cold start took %d", s.Time, s.Rounds, cold)
+		}
+	}
+}
+
+func TestTraceStopsOnOverload(t *testing.T) {
+	// Amplitude pushing total arrivals past capacity must surface an error
+	// naming the failing epoch, with the prior steps preserved.
+	grow := func(t float64) []float64 {
+		return []float64{100 + 10*t, 100 + 10*t} // exceeds 250 capacity quickly
+	}
+	r := &Rebalancer{Rates: testRates, Arrivals: grow, Period: 1}
+	steps, err := r.Trace(10)
+	if err == nil {
+		t.Fatal("overload not detected")
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps before failure")
+	}
+}
+
+func TestSolveFromMatchesSolve(t *testing.T) {
+	// SolveFrom on the NASH_P profile must equal Solve with InitProportional.
+	sys, err := game.NewSystem(testRates, []float64{40, 30, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Solve(sys, core.Options{Init: core.InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.SolveFrom(sys, game.ProportionalProfile(sys), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || math.Abs(a.OverallTime-b.OverallTime) > 1e-12 {
+		t.Fatalf("SolveFrom diverged: rounds %d vs %d, overall %v vs %v", a.Rounds, b.Rounds, a.OverallTime, b.OverallTime)
+	}
+}

@@ -1,0 +1,119 @@
+// Package estimate implements the measurement side of the paper's Remark 2:
+// "the available processing rate can be determined by statistical estimation
+// of the run queue length of each processor".
+//
+// For an M/M/1 station the steady-state mean number of jobs in the system is
+// L = rho/(1-rho) with rho = lambda/mu, so an observed mean run-queue length
+// Lhat inverts to a load estimate lambdaHat = mu * Lhat/(1+Lhat). A user
+// that knows its own flow s_ij*phi_i into computer j recovers the available
+// rate it sees as aHat_j = mu_j - lambdaHat_j + s_ij*phi_i.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LoadFromQueueLength inverts L = rho/(1-rho) to estimate the total arrival
+// rate at a station with service rate mu from the observed mean number of
+// jobs in the system. Negative observations are clamped to zero.
+func LoadFromQueueLength(mu, meanJobs float64) float64 {
+	if meanJobs <= 0 {
+		return 0
+	}
+	return mu * meanJobs / (1 + meanJobs)
+}
+
+// QueueLengthFromLoad is the forward map L = rho/(1-rho); +Inf at or above
+// saturation. It is the inverse of LoadFromQueueLength and is exposed for
+// round-trip testing and what-if computations.
+func QueueLengthFromLoad(mu, lambda float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	rho := lambda / mu
+	return rho / (1 - rho)
+}
+
+// RunQueue estimates per-computer loads and per-user available rates from
+// sampled mean run-queue lengths.
+type RunQueue struct {
+	// Rates holds the computers' service rates mu_j (assumed known to the
+	// users, as in the paper).
+	Rates []float64
+}
+
+// Loads maps observed mean queue lengths to estimated total loads.
+func (e RunQueue) Loads(meanJobs []float64) ([]float64, error) {
+	if len(meanJobs) != len(e.Rates) {
+		return nil, fmt.Errorf("estimate: %d observations for %d computers", len(meanJobs), len(e.Rates))
+	}
+	out := make([]float64, len(meanJobs))
+	for j, l := range meanJobs {
+		if math.IsNaN(l) {
+			return nil, fmt.Errorf("estimate: NaN observation at computer %d", j)
+		}
+		out[j] = LoadFromQueueLength(e.Rates[j], l)
+	}
+	return out, nil
+}
+
+// AvailableTo returns the available processing rates a user sees, given the
+// observed mean queue lengths and the user's own per-computer flow
+// own[j] = s_ij * phi_i (which the estimator adds back, since the user's own
+// jobs inflate the observed queue). Estimates are clamped so a computer
+// never appears to have more capacity than its raw rate.
+func (e RunQueue) AvailableTo(meanJobs, own []float64) ([]float64, error) {
+	if len(own) != len(e.Rates) {
+		return nil, fmt.Errorf("estimate: own flow has %d entries for %d computers", len(own), len(e.Rates))
+	}
+	loads, err := e.Loads(meanJobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(loads))
+	for j := range loads {
+		a := e.Rates[j] - loads[j] + own[j]
+		if a > e.Rates[j] {
+			a = e.Rates[j]
+		}
+		out[j] = a
+	}
+	return out, nil
+}
+
+// Smoother is an exponentially weighted moving average over noisy queue
+// observations, the online form a deployed user would run between
+// re-balancing rounds. The zero value is invalid; use NewSmoother.
+type Smoother struct {
+	alpha float64
+	value float64
+	n     int64
+}
+
+// NewSmoother returns an EWMA smoother with weight alpha in (0, 1]; larger
+// alpha tracks faster, smaller alpha averages harder.
+func NewSmoother(alpha float64) (*Smoother, error) {
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, errors.New("estimate: smoother alpha must be in (0, 1]")
+	}
+	return &Smoother{alpha: alpha}, nil
+}
+
+// Observe folds in one observation and returns the smoothed value.
+func (s *Smoother) Observe(x float64) float64 {
+	s.n++
+	if s.n == 1 {
+		s.value = x
+	} else {
+		s.value += s.alpha * (x - s.value)
+	}
+	return s.value
+}
+
+// Value returns the current smoothed value (0 before any observation).
+func (s *Smoother) Value() float64 { return s.value }
+
+// N returns the number of observations folded in.
+func (s *Smoother) N() int64 { return s.n }

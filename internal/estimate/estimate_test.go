@@ -1,0 +1,203 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nashlb/internal/cluster"
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+)
+
+func TestLoadQueueRoundTrip(t *testing.T) {
+	f := func(muRaw, rhoRaw float64) bool {
+		mu := 0.5 + math.Mod(math.Abs(muRaw), 100)
+		rho := math.Mod(math.Abs(rhoRaw), 0.99)
+		if math.IsNaN(mu) || math.IsNaN(rho) {
+			return true
+		}
+		lambda := rho * mu
+		l := QueueLengthFromLoad(mu, lambda)
+		back := LoadFromQueueLength(mu, l)
+		return math.Abs(back-lambda) < 1e-9*(1+lambda)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFromQueueLengthEdges(t *testing.T) {
+	if got := LoadFromQueueLength(10, 0); got != 0 {
+		t.Errorf("empty queue load = %v", got)
+	}
+	if got := LoadFromQueueLength(10, -3); got != 0 {
+		t.Errorf("negative observation load = %v", got)
+	}
+	// Huge queue implies load near mu but never above.
+	if got := LoadFromQueueLength(10, 1e9); got >= 10 || got < 9.999 {
+		t.Errorf("saturated queue load = %v", got)
+	}
+	if !math.IsInf(QueueLengthFromLoad(10, 10), 1) {
+		t.Error("saturated forward map should be +Inf")
+	}
+}
+
+func TestRunQueueLoads(t *testing.T) {
+	e := RunQueue{Rates: []float64{10, 20}}
+	loads, err := e.Loads([]float64{1, 3}) // rho = 1/2, 3/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loads[0]-5) > 1e-12 || math.Abs(loads[1]-15) > 1e-12 {
+		t.Fatalf("loads = %v, want [5 15]", loads)
+	}
+	if _, err := e.Loads([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := e.Loads([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN observation accepted")
+	}
+}
+
+func TestAvailableToAddsOwnFlowBack(t *testing.T) {
+	e := RunQueue{Rates: []float64{10}}
+	// Observed L=1 => total load 5; user itself contributes 2.
+	avail, err := e.AvailableTo([]float64{1}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avail[0]-7) > 1e-12 {
+		t.Fatalf("available = %v, want 7", avail[0])
+	}
+	// Own flow larger than the estimated load must clamp at mu.
+	avail, err = e.AvailableTo([]float64{0.1}, []float64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avail[0] > 10 {
+		t.Fatalf("available %v exceeds raw rate", avail[0])
+	}
+	if _, err := e.AvailableTo([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("own-flow length mismatch accepted")
+	}
+}
+
+func TestSmoother(t *testing.T) {
+	if _, err := NewSmoother(0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewSmoother(1.5); err == nil {
+		t.Error("alpha>1 accepted")
+	}
+	s, err := NewSmoother(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Observe(10) != 10 {
+		t.Error("first observation should seed the value")
+	}
+	if got := s.Observe(20); got != 15 {
+		t.Errorf("EWMA = %v, want 15", got)
+	}
+	if s.N() != 2 || s.Value() != 15 {
+		t.Errorf("state wrong: n=%d v=%v", s.N(), s.Value())
+	}
+	// Converges to a constant input.
+	for i := 0; i < 100; i++ {
+		s.Observe(42)
+	}
+	if math.Abs(s.Value()-42) > 1e-9 {
+		t.Errorf("did not converge to constant: %v", s.Value())
+	}
+}
+
+func TestEstimatedLoadsFromSimulation(t *testing.T) {
+	// End-to-end: simulate a known profile, estimate loads from the sampled
+	// run-queue lengths, and recover the true lambdas within a few percent.
+	rates := []float64{20, 10}
+	cfg := cluster.Config{
+		Rates:       rates,
+		Arrivals:    []float64{9, 6},
+		Profile:     game.Profile{{0.7, 0.3}, {0.5, 0.5}},
+		Duration:    8000,
+		Warmup:      500,
+		Seed:        21,
+		SampleEvery: 0.5,
+	}
+	res, err := cluster.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, len(rates))
+	for j := range obs {
+		obs[j] = res.QueueLengths[j].Mean()
+	}
+	e := RunQueue{Rates: rates}
+	loads, err := e.Loads(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &game.System{Rates: rates, Arrivals: cfg.Arrivals}
+	want := sys.Loads(cfg.Profile)
+	for j := range want {
+		if math.Abs(loads[j]-want[j]) > 0.1*want[j] {
+			t.Errorf("computer %d: estimated load %v, true %v", j, loads[j], want[j])
+		}
+	}
+}
+
+func TestBestResponseOnEstimatedRatesNearOptimal(t *testing.T) {
+	// ABL5 invariant: running OPTIMAL on estimated available rates yields a
+	// response time close to the one from exact rates.
+	rates := []float64{30, 20, 10}
+	arrivals := []float64{10, 8}
+	sys, err := game.NewSystem(rates, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := game.ProportionalProfile(sys)
+	cfg := cluster.Config{
+		Rates:       rates,
+		Arrivals:    arrivals,
+		Profile:     profile,
+		Duration:    8000,
+		Warmup:      500,
+		Seed:        5,
+		SampleEvery: 0.5,
+	}
+	res, err := cluster.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, len(rates))
+	for j := range obs {
+		obs[j] = res.QueueLengths[j].Mean()
+	}
+	user := 0
+	own := make([]float64, len(rates))
+	for j := range own {
+		own[j] = profile[user][j] * arrivals[user]
+	}
+	est := RunQueue{Rates: rates}
+	availEst, err := est.AvailableTo(obs, own)
+	if err != nil {
+		t.Fatal(err)
+	}
+	availExact := sys.AvailableRates(profile, user)
+
+	brEst, err := core.Optimal(availEst, arrivals[user])
+	if err != nil {
+		t.Fatal(err)
+	}
+	brExact, err := core.Optimal(availExact, arrivals[user])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both candidate strategies against the TRUE available rates.
+	dEst := core.ResponseTime(availExact, arrivals[user], brEst)
+	dExact := core.ResponseTime(availExact, arrivals[user], brExact)
+	if dEst > dExact*1.05 {
+		t.Errorf("estimated-rate best response %v more than 5%% worse than exact %v", dEst, dExact)
+	}
+}

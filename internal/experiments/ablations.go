@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nashlb/internal/cluster"
+	"nashlb/internal/core"
+	"nashlb/internal/dist"
+	"nashlb/internal/estimate"
+	"nashlb/internal/game"
+	"nashlb/internal/report"
+	"nashlb/internal/schemes"
+)
+
+// ---------------------------------------------------------------------------
+// ABL1 — initialization sensitivity of the NASH iteration
+// ---------------------------------------------------------------------------
+
+// Abl1Row compares NASH_0 and NASH_P at one tolerance level.
+type Abl1Row struct {
+	Epsilon    float64
+	RoundsZero int
+	RoundsProp int
+}
+
+// Abl1Result holds the initialization ablation.
+type Abl1Result struct {
+	Utilization float64
+	Rows        []Abl1Row
+}
+
+// Abl1 sweeps the acceptance tolerance and reports the round counts of both
+// initializations on the Table-1 system.
+func Abl1(rho float64) (*Abl1Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	res := &Abl1Result{Utilization: rho}
+	for _, eps := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
+		r0, err := core.Solve(sys, core.Options{Init: core.InitZero, Epsilon: eps})
+		if err != nil {
+			return nil, err
+		}
+		rp, err := core.Solve(sys, core.Options{Init: core.InitProportional, Epsilon: eps})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Abl1Row{Epsilon: eps, RoundsZero: r0.Rounds, RoundsProp: rp.Rounds})
+	}
+	return res, nil
+}
+
+// Table renders ABL1.
+func (r *Abl1Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("ABL1 — Initialization vs tolerance (Table-1 system, util %.0f%%)", 100*r.Utilization),
+		"epsilon", "NASH_0 rounds", "NASH_P rounds")
+	for _, row := range r.Rows {
+		t.AddRow(report.F(row.Epsilon, 2), fmt.Sprint(row.RoundsZero), fmt.Sprint(row.RoundsProp))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// ABL2 — Wardrop solver comparison for IOS
+// ---------------------------------------------------------------------------
+
+// Abl2Row compares one Wardrop solver against the closed form.
+type Abl2Row struct {
+	Solver     string
+	MaxLoadErr float64 // worst per-computer deviation from the closed form
+	Iterations int     // 1 for direct solvers
+	Elapsed    time.Duration
+}
+
+// Abl2Result holds the Wardrop-solver ablation.
+type Abl2Result struct {
+	Utilization float64
+	Rows        []Abl2Row
+}
+
+// Abl2 solves the Table-1 Wardrop equilibrium with the closed form,
+// bisection, and the slow Frank–Wolfe baseline, reporting accuracy and cost.
+func Abl2(rho float64) (*Abl2Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	phi := sys.TotalArrival()
+	exact, err := schemes.WardropClosedForm{}.Loads(sys.Rates, phi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Abl2Result{Utilization: rho}
+
+	run := func(name string, iters func() (int, []float64, error)) error {
+		start := time.Now()
+		n, loads, err := iters()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		var worst float64
+		for j := range exact {
+			if d := math.Abs(loads[j] - exact[j]); d > worst {
+				worst = d
+			}
+		}
+		res.Rows = append(res.Rows, Abl2Row{Solver: name, MaxLoadErr: worst, Iterations: n, Elapsed: elapsed})
+		return nil
+	}
+	if err := run("closed-form", func() (int, []float64, error) {
+		l, err := schemes.WardropClosedForm{}.Loads(sys.Rates, phi)
+		return 1, l, err
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("bisection", func() (int, []float64, error) {
+		l, err := schemes.WardropBisection{}.Loads(sys.Rates, phi)
+		return 1, l, err
+	}); err != nil {
+		return nil, err
+	}
+	fw := &schemes.WardropFrankWolfe{MaxIter: 4000000, Tol: 1e-4}
+	if err := run("frank-wolfe", func() (int, []float64, error) {
+		l, err := fw.Loads(sys.Rates, phi)
+		return fw.Iterations, l, err
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders ABL2.
+func (r *Abl2Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("ABL2 — Wardrop solvers for IOS (Table-1 system, util %.0f%%)", 100*r.Utilization),
+		"solver", "iterations", "max load error (jobs/s)", "elapsed")
+	for _, row := range r.Rows {
+		t.AddRow(row.Solver, fmt.Sprint(row.Iterations), report.F(row.MaxLoadErr, 3), row.Elapsed.String())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// ABL3 — GOS per-user assignment and fairness
+// ---------------------------------------------------------------------------
+
+// Abl3Row compares the GOS assignment flavours at one utilization.
+type Abl3Row struct {
+	Utilization        float64
+	OverallTime        float64
+	FairnessSequential float64
+	FairnessUniform    float64
+}
+
+// Abl3Result holds the GOS-assignment ablation.
+type Abl3Result struct{ Rows []Abl3Row }
+
+// Abl3 sweeps utilization and reports how the free per-user split choice of
+// GOS moves the fairness index without touching the overall time.
+func Abl3() (*Abl3Result, error) {
+	res := &Abl3Result{}
+	for rho := 0.1; rho < 0.95; rho += 0.2 {
+		sys, err := Table1System(rho)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := schemes.Run(schemes.GlobalOptimal{Assignment: schemes.SequentialFill}, sys)
+		if err != nil {
+			return nil, err
+		}
+		uni, err := schemes.Run(schemes.GlobalOptimal{Assignment: schemes.UniformSplit}, sys)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Abl3Row{
+			Utilization:        rho,
+			OverallTime:        seq.OverallTime,
+			FairnessSequential: seq.Fairness,
+			FairnessUniform:    uni.Fairness,
+		})
+	}
+	return res, nil
+}
+
+// Table renders ABL3.
+func (r *Abl3Result) Table() *report.Table {
+	t := report.NewTable("ABL3 — GOS per-user assignment (overall time is split-invariant)",
+		"util %", "overall D (s)", "fairness sequential-fill", "fairness uniform-split")
+	for _, row := range r.Rows {
+		t.AddRow(report.Fix(100*row.Utilization, 0), report.F(row.OverallTime, 4),
+			report.Fix(row.FairnessSequential, 3), report.Fix(row.FairnessUniform, 3))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// ABL4 — distributed ring vs sequential solver
+// ---------------------------------------------------------------------------
+
+// Abl4Row compares one execution mode of the NASH algorithm.
+type Abl4Row struct {
+	Mode        string
+	Rounds      int
+	OverallTime float64
+	Elapsed     time.Duration
+}
+
+// Abl4Result holds the execution-mode ablation.
+type Abl4Result struct {
+	Utilization float64
+	Rows        []Abl4Row
+}
+
+// Abl4 runs the same game through the sequential solver, the channel ring,
+// and the TCP ring, confirming identical results and exposing the transport
+// overhead.
+func Abl4(rho float64) (*Abl4Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	res := &Abl4Result{Utilization: rho}
+
+	start := time.Now()
+	seq, err := core.Solve(sys, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Abl4Row{Mode: "sequential", Rounds: seq.Rounds, OverallTime: seq.OverallTime, Elapsed: time.Since(start)})
+
+	start = time.Now()
+	ch, err := dist.Solve(sys, dist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Abl4Row{Mode: "ring/chan", Rounds: ch.Rounds, OverallTime: ch.OverallTime, Elapsed: time.Since(start)})
+
+	start = time.Now()
+	tcp, err := dist.SolveTCP(sys, dist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Abl4Row{Mode: "ring/tcp", Rounds: tcp.Rounds, OverallTime: tcp.OverallTime, Elapsed: time.Since(start)})
+	return res, nil
+}
+
+// Table renders ABL4.
+func (r *Abl4Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("ABL4 — Execution modes of NASH (Table-1 system, util %.0f%%)", 100*r.Utilization),
+		"mode", "rounds", "equilibrium D (s)", "elapsed")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, fmt.Sprint(row.Rounds), report.F(row.OverallTime, 6), row.Elapsed.String())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// ABL6 — update-order dynamics (Gauss–Seidel vs Jacobi vs random order)
+// ---------------------------------------------------------------------------
+
+// Abl6Row compares one update discipline of the best-reply dynamics.
+type Abl6Row struct {
+	Order       string
+	Damping     float64
+	RoundsZero  int // rounds from NASH_0 (0 when diverged)
+	RoundsProp  int // rounds from NASH_P (0 when diverged)
+	Converged   bool
+	OverallTime float64
+}
+
+// Abl6Result holds the dynamics ablation.
+type Abl6Result struct {
+	Utilization float64
+	Epsilon     float64
+	Rows        []Abl6Row
+}
+
+// Abl6 contrasts the paper's round-robin (Gauss–Seidel) ring with randomized
+// turn order and damped Jacobi simultaneous updates. It quantifies the
+// EXPERIMENTS.md hypothesis for the Figure-2 gap: simultaneous updates keep
+// the initialization's influence alive much longer, so NASH_P's advantage is
+// larger under Jacobi than under the ring.
+func Abl6(rho float64) (*Abl6Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 1e-4
+	res := &Abl6Result{Utilization: rho, Epsilon: eps}
+	cases := []struct {
+		order core.UpdateOrder
+		damp  float64
+	}{
+		{core.RoundRobin, 1},
+		{core.Random, 1},
+		{core.Jacobi, 1},   // expected to diverge
+		{core.Jacobi, 0.2}, // damped: converges
+	}
+	for _, c := range cases {
+		row := Abl6Row{Order: c.order.String(), Damping: c.damp}
+		z, errZ := core.SolveDynamics(sys, core.DynamicsOptions{
+			Order: c.order, Damping: c.damp, Init: core.InitZero, Epsilon: eps, MaxRounds: 3000, Seed: 5,
+		})
+		p, errP := core.SolveDynamics(sys, core.DynamicsOptions{
+			Order: c.order, Damping: c.damp, Init: core.InitProportional, Epsilon: eps, MaxRounds: 3000, Seed: 5,
+		})
+		if errZ == nil && errP == nil {
+			row.Converged = true
+			row.RoundsZero = z.Rounds
+			row.RoundsProp = p.Rounds
+			row.OverallTime = p.OverallTime
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders ABL6.
+func (r *Abl6Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("ABL6 — Best-reply update disciplines (Table-1 system, util %.0f%%, eps %.0e)", 100*r.Utilization, r.Epsilon),
+		"order", "damping", "converged", "NASH_0 rounds", "NASH_P rounds", "equilibrium D (s)")
+	for _, row := range r.Rows {
+		conv := "yes"
+		r0, rp, d := fmt.Sprint(row.RoundsZero), fmt.Sprint(row.RoundsProp), report.F(row.OverallTime, 4)
+		if !row.Converged {
+			conv, r0, rp, d = "NO (oscillates)", "-", "-", "-"
+		}
+		t.AddRow(row.Order, report.F(row.Damping, 3), conv, r0, rp, d)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// ABL5 — exact vs run-queue-estimated available rates
+// ---------------------------------------------------------------------------
+
+// Abl5Row reports the best-response quality achieved from rates estimated
+// with a given observation budget.
+type Abl5Row struct {
+	ObserveSeconds float64
+	// Suboptimality is D(estimated BR)/D(exact BR) - 1 evaluated on the
+	// true rates, for the heaviest user.
+	Suboptimality float64
+}
+
+// Abl5Result holds the estimation ablation.
+type Abl5Result struct {
+	Utilization float64
+	Rows        []Abl5Row
+}
+
+// Abl5 simulates the Table-1 system under the PS profile, estimates the
+// available rates from sampled run-queue lengths over increasing observation
+// windows, and measures how much the resulting best response loses compared
+// to one computed from exact rates.
+func Abl5(rho float64, seed uint64) (*Abl5Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	profile := game.ProportionalProfile(sys)
+	user := 0
+	availExact := sys.AvailableRates(profile, user)
+	brExact, err := core.Optimal(availExact, sys.Arrivals[user])
+	if err != nil {
+		return nil, err
+	}
+	dExact := core.ResponseTime(availExact, sys.Arrivals[user], brExact)
+
+	res := &Abl5Result{Utilization: rho}
+	for _, window := range []float64{25, 100, 400, 1600} {
+		cfg := cluster.Config{
+			Rates:       sys.Rates,
+			Arrivals:    sys.Arrivals,
+			Profile:     profile,
+			Duration:    window,
+			Warmup:      50,
+			Seed:        seed,
+			SampleEvery: 0.5,
+		}
+		run, err := cluster.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		obs := make([]float64, sys.Computers())
+		for j := range obs {
+			obs[j] = run.QueueLengths[j].Mean()
+		}
+		own := make([]float64, sys.Computers())
+		for j := range own {
+			own[j] = profile[user][j] * sys.Arrivals[user]
+		}
+		est := estimate.RunQueue{Rates: sys.Rates}
+		availEst, err := est.AvailableTo(obs, own)
+		if err != nil {
+			return nil, err
+		}
+		brEst, err := core.Optimal(availEst, sys.Arrivals[user])
+		if err != nil {
+			return nil, err
+		}
+		dEst := core.ResponseTime(availExact, sys.Arrivals[user], brEst)
+		res.Rows = append(res.Rows, Abl5Row{
+			ObserveSeconds: window,
+			Suboptimality:  dEst/dExact - 1,
+		})
+	}
+	return res, nil
+}
+
+// Table renders ABL5.
+func (r *Abl5Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("ABL5 — Best response from run-queue estimates (util %.0f%%)", 100*r.Utilization),
+		"observation window (s)", "best-response suboptimality")
+	for _, row := range r.Rows {
+		t.AddRow(report.F(row.ObserveSeconds, 4), report.Fix(100*row.Suboptimality, 3)+" %")
+	}
+	return t
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nashlb/internal/cluster"
+	"nashlb/internal/game"
+	"nashlb/internal/report"
+	"nashlb/internal/schemes"
+	"nashlb/internal/stats"
+)
+
+// SchemeMetrics bundles the analytic and (optionally) simulated performance
+// of one scheme at one operating point.
+type SchemeMetrics struct {
+	Scheme           string
+	AnalyticTime     float64
+	AnalyticFairness float64
+	Simulated        bool
+	SimTime          stats.Interval
+	SimFairness      stats.Interval
+	SimUserTimes     []stats.Interval
+	AnalyticUsers    []float64
+}
+
+// evaluateSchemes allocates with each of the paper's four schemes and
+// evaluates it analytically, plus by replicated discrete-event simulation
+// when simulate is true.
+func evaluateSchemes(sys *game.System, p SimParams, simulate bool) ([]SchemeMetrics, error) {
+	p = p.withDefaults()
+	var out []SchemeMetrics
+	for _, s := range schemes.All() {
+		ev, err := schemes.Run(s, sys)
+		if err != nil {
+			return nil, err
+		}
+		m := SchemeMetrics{
+			Scheme:           ev.Scheme,
+			AnalyticTime:     ev.OverallTime,
+			AnalyticFairness: ev.Fairness,
+			AnalyticUsers:    ev.UserTimes,
+		}
+		if simulate {
+			cfg := cluster.Config{
+				Rates:    sys.Rates,
+				Arrivals: sys.Arrivals,
+				Profile:  ev.Profile,
+				Duration: p.Duration,
+				Warmup:   p.Warmup,
+				Seed:     p.Seed,
+			}
+			sum, err := cluster.Replicate(cfg, p.Replications)
+			if err != nil {
+				return nil, fmt.Errorf("%s simulation: %w", ev.Scheme, err)
+			}
+			m.Simulated = true
+			m.SimTime = sum.OverallTime
+			m.SimFairness = sum.Fairness
+			m.SimUserTimes = sum.UserTime
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+// Table1 renders the paper's Table 1 (system configuration).
+func Table1() *report.Table {
+	t := report.NewTable("Table 1 — System configuration",
+		"Relative processing rate", "Number of computers", "Processing rate (jobs/sec)")
+	for k := range table1RelativeRates {
+		t.AddRow(
+			report.F(table1RelativeRates[k], 3),
+			fmt.Sprint(table1Counts[k]),
+			report.F(table1Rates[k], 4),
+		)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — effect of system utilization
+// ---------------------------------------------------------------------------
+
+// Fig4Point is one (utilization, scheme) cell of Figure 4.
+type Fig4Point struct {
+	Utilization float64
+	SchemeMetrics
+}
+
+// Fig4Result holds the utilization sweep.
+type Fig4Result struct {
+	Simulated bool
+	Points    []Fig4Point
+}
+
+// Fig4 regenerates Figure 4: expected response time and fairness index of
+// NASH, GOS, IOS and PS for utilization 10%..90%.
+func Fig4(p SimParams, simulate bool) (*Fig4Result, error) {
+	res := &Fig4Result{Simulated: simulate}
+	for rho := 0.1; rho < 0.95; rho += 0.1 {
+		sys, err := Table1System(rho)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := evaluateSchemes(sys, p, simulate)
+		if err != nil {
+			return nil, fmt.Errorf("rho=%.1f: %w", rho, err)
+		}
+		for _, m := range ms {
+			res.Points = append(res.Points, Fig4Point{Utilization: rho, SchemeMetrics: m})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep: one row per (utilization, scheme).
+func (r *Fig4Result) Table() *report.Table {
+	cols := []string{"util %", "scheme", "D analytic (s)", "fairness analytic"}
+	if r.Simulated {
+		cols = append(cols, "D simulated (s)", "fairness simulated")
+	}
+	t := report.NewTable("Figure 4 — Expected response time and fairness vs system utilization", cols...)
+	for _, pt := range r.Points {
+		row := []string{
+			report.Fix(100*pt.Utilization, 0),
+			pt.Scheme,
+			report.F(pt.AnalyticTime, 4),
+			report.Fix(pt.AnalyticFairness, 3),
+		}
+		if r.Simulated {
+			row = append(row,
+				report.CI(pt.SimTime.Mean, pt.SimTime.HalfWide, 4),
+				report.CI(pt.SimFairness.Mean, pt.SimFairness.HalfWide, 3),
+			)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — per-user expected response times at medium load
+// ---------------------------------------------------------------------------
+
+// Fig5Result holds the per-user comparison at the given utilization.
+type Fig5Result struct {
+	Utilization float64
+	Simulated   bool
+	Metrics     []SchemeMetrics
+}
+
+// Fig5 regenerates Figure 5: the expected response time of each user under
+// every scheme at medium load (the paper uses 60%).
+func Fig5(rho float64, p SimParams, simulate bool) (*Fig5Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := evaluateSchemes(sys, p, simulate)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Utilization: rho, Simulated: simulate, Metrics: ms}, nil
+}
+
+// Table renders one row per user with a column per scheme.
+func (r *Fig5Result) Table() *report.Table {
+	cols := []string{"user"}
+	for _, m := range r.Metrics {
+		cols = append(cols, m.Scheme+" D_i (s)")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5 — Expected response time per user (util %.0f%%)", 100*r.Utilization), cols...)
+	if len(r.Metrics) == 0 {
+		return t
+	}
+	users := len(r.Metrics[0].AnalyticUsers)
+	for i := 0; i < users; i++ {
+		row := []string{fmt.Sprint(i + 1)}
+		for _, m := range r.Metrics {
+			if r.Simulated {
+				row = append(row, report.CI(m.SimUserTimes[i].Mean, m.SimUserTimes[i].HalfWide, 4))
+			} else {
+				row = append(row, report.F(m.AnalyticUsers[i], 4))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — effect of heterogeneity (speed skewness)
+// ---------------------------------------------------------------------------
+
+// Fig6Point is one (skewness, scheme) cell of Figure 6.
+type Fig6Point struct {
+	Skewness float64
+	SchemeMetrics
+}
+
+// Fig6Result holds the skewness sweep.
+type Fig6Result struct {
+	Utilization float64
+	Simulated   bool
+	Points      []Fig6Point
+}
+
+// DefaultSkewnessSweep is the set of max/min speed ratios swept in Figure 6.
+var DefaultSkewnessSweep = []float64{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+
+// Fig6 regenerates Figure 6: response time and fairness of the four schemes
+// as the speed skewness of a 2-fast/14-slow system varies, at constant
+// utilization (the paper uses 60%).
+func Fig6(rho float64, skews []float64, p SimParams, simulate bool) (*Fig6Result, error) {
+	if skews == nil {
+		skews = DefaultSkewnessSweep
+	}
+	res := &Fig6Result{Utilization: rho, Simulated: simulate}
+	for _, sk := range skews {
+		sys, err := SkewSystem(sk, rho)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := evaluateSchemes(sys, p, simulate)
+		if err != nil {
+			return nil, fmt.Errorf("skew=%g: %w", sk, err)
+		}
+		for _, m := range ms {
+			res.Points = append(res.Points, Fig6Point{Skewness: sk, SchemeMetrics: m})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep: one row per (skewness, scheme).
+func (r *Fig6Result) Table() *report.Table {
+	cols := []string{"max/min speed", "scheme", "D analytic (s)", "fairness analytic"}
+	if r.Simulated {
+		cols = append(cols, "D simulated (s)", "fairness simulated")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 6 — Effect of heterogeneity (util %.0f%%)", 100*r.Utilization), cols...)
+	for _, pt := range r.Points {
+		row := []string{
+			report.F(pt.Skewness, 3),
+			pt.Scheme,
+			report.F(pt.AnalyticTime, 4),
+			report.Fix(pt.AnalyticFairness, 3),
+		}
+		if r.Simulated {
+			row = append(row,
+				report.CI(pt.SimTime.Mean, pt.SimTime.HalfWide, 4),
+				report.CI(pt.SimFairness.Mean, pt.SimFairness.HalfWide, 3),
+			)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

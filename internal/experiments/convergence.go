@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nashlb/internal/core"
+	"nashlb/internal/report"
+)
+
+// Fig2Result holds the convergence traces of Figure 2: the per-round norm
+// of the NASH iteration under both initializations, on the Table-1 system
+// with 10 users at 60% utilization.
+type Fig2Result struct {
+	// Utilization echoes the operating point.
+	Utilization float64
+	// Epsilon is the acceptance tolerance used.
+	Epsilon float64
+	// NormsZero[k] is the norm after round k+1 under NASH_0.
+	NormsZero []float64
+	// NormsProp[k] is the norm after round k+1 under NASH_P.
+	NormsProp []float64
+}
+
+// Fig2 regenerates Figure 2 (norm vs number of iterations).
+func Fig2(rho, epsilon float64) (*Fig2Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-6
+	}
+	r0, err := core.Solve(sys, core.Options{Init: core.InitZero, Epsilon: epsilon})
+	if err != nil {
+		return nil, fmt.Errorf("NASH_0: %w", err)
+	}
+	rp, err := core.Solve(sys, core.Options{Init: core.InitProportional, Epsilon: epsilon})
+	if err != nil {
+		return nil, fmt.Errorf("NASH_P: %w", err)
+	}
+	return &Fig2Result{
+		Utilization: rho,
+		Epsilon:     epsilon,
+		NormsZero:   r0.Norms,
+		NormsProp:   rp.Norms,
+	}, nil
+}
+
+// Table renders the two norm series side by side.
+func (r *Fig2Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 2 — Norm vs iteration (Table-1 system, util %.0f%%, eps %.0e)", 100*r.Utilization, r.Epsilon),
+		"iteration", "NASH_0 norm", "NASH_P norm")
+	n := len(r.NormsZero)
+	if len(r.NormsProp) > n {
+		n = len(r.NormsProp)
+	}
+	for k := 0; k < n; k++ {
+		z, p := "", ""
+		if k < len(r.NormsZero) {
+			z = report.F(r.NormsZero[k], 4)
+		}
+		if k < len(r.NormsProp) {
+			p = report.F(r.NormsProp[k], 4)
+		}
+		t.AddRow(fmt.Sprint(k+1), z, p)
+	}
+	return t
+}
+
+// Fig3Row is one point of Figure 3: iterations to equilibrium for a user
+// count, under both initializations.
+type Fig3Row struct {
+	Users         int
+	RoundsZero    int
+	RoundsProp    int
+	OverallTime   float64 // equilibrium overall response time (sanity)
+	PropAdvantage float64 // RoundsZero - RoundsProp
+}
+
+// Fig3Result holds the Figure 3 sweep.
+type Fig3Result struct {
+	Utilization float64
+	Epsilon     float64
+	Rows        []Fig3Row
+}
+
+// Fig3 regenerates Figure 3 (iterations to converge vs number of users,
+// 4..32 in steps of 4, Table-1 computers at the given utilization).
+func Fig3(rho, epsilon float64) (*Fig3Result, error) {
+	if epsilon <= 0 {
+		epsilon = 1e-4
+	}
+	res := &Fig3Result{Utilization: rho, Epsilon: epsilon}
+	for m := 4; m <= 32; m += 4 {
+		sys, err := UniformUsersSystem(m, rho)
+		if err != nil {
+			return nil, err
+		}
+		r0, err := core.Solve(sys, core.Options{Init: core.InitZero, Epsilon: epsilon})
+		if err != nil {
+			return nil, fmt.Errorf("m=%d NASH_0: %w", m, err)
+		}
+		rp, err := core.Solve(sys, core.Options{Init: core.InitProportional, Epsilon: epsilon})
+		if err != nil {
+			return nil, fmt.Errorf("m=%d NASH_P: %w", m, err)
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			Users:         m,
+			RoundsZero:    r0.Rounds,
+			RoundsProp:    rp.Rounds,
+			OverallTime:   rp.OverallTime,
+			PropAdvantage: float64(r0.Rounds - rp.Rounds),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Figure 3 sweep.
+func (r *Fig3Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 3 — Iterations to equilibrium vs users (util %.0f%%, eps %.0e)", 100*r.Utilization, r.Epsilon),
+		"users", "NASH_0 iters", "NASH_P iters", "equilibrium D (s)")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Users), fmt.Sprint(row.RoundsZero), fmt.Sprint(row.RoundsProp), report.F(row.OverallTime, 4))
+	}
+	return t
+}

@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nashlb/internal/cluster"
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/queueing"
+	"nashlb/internal/report"
+	"nashlb/internal/schemes"
+	"nashlb/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// EXT1 — price of anarchy of the noncooperative equilibria
+// ---------------------------------------------------------------------------
+
+// Ext1Row reports the Koutsoupias–Papadimitriou coordination ratio (the
+// paper's "worst-case equilibria" citation [11]) of the NASH and IOS
+// equilibria at one utilization: overall response time divided by the
+// global optimum's.
+type Ext1Row struct {
+	Utilization float64
+	PoANash     float64
+	PoAWardrop  float64
+	PoAPS       float64
+}
+
+// Ext1Result holds the price-of-anarchy sweep.
+type Ext1Result struct{ Rows []Ext1Row }
+
+// Ext1 sweeps utilization on the Table-1 system and reports each scheme's
+// price of anarchy relative to GOS. The expected shape: NASH's PoA stays
+// close to 1 everywhere (selfish users lose little), Wardrop's peaks at
+// medium load and returns to 1 as saturation forces all schemes together.
+func Ext1() (*Ext1Result, error) {
+	res := &Ext1Result{}
+	for rho := 0.1; rho < 0.95; rho += 0.1 {
+		sys, err := Table1System(rho)
+		if err != nil {
+			return nil, err
+		}
+		gos, err := schemes.Run(schemes.GlobalOptimal{}, sys)
+		if err != nil {
+			return nil, err
+		}
+		row := Ext1Row{Utilization: rho}
+		nash, err := schemes.Run(schemes.Nash{Init: core.InitProportional}, sys)
+		if err != nil {
+			return nil, err
+		}
+		row.PoANash = sys.PriceOfAnarchy(nash.Profile, gos.OverallTime)
+		ios, err := schemes.Run(schemes.IndividualOptimal{}, sys)
+		if err != nil {
+			return nil, err
+		}
+		row.PoAWardrop = sys.PriceOfAnarchy(ios.Profile, gos.OverallTime)
+		ps, err := schemes.Run(schemes.Proportional{}, sys)
+		if err != nil {
+			return nil, err
+		}
+		row.PoAPS = sys.PriceOfAnarchy(ps.Profile, gos.OverallTime)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders EXT1.
+func (r *Ext1Result) Table() *report.Table {
+	t := report.NewTable("EXT1 — Price of anarchy vs utilization (overall D / GOS D, Table-1 system)",
+		"util %", "NASH", "IOS (Wardrop)", "PS")
+	for _, row := range r.Rows {
+		t.AddRow(report.Fix(100*row.Utilization, 0),
+			report.Fix(row.PoANash, 4), report.Fix(row.PoAWardrop, 4), report.Fix(row.PoAPS, 4))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// EXT2 — robustness of the NASH equilibrium to non-Poisson traffic
+// ---------------------------------------------------------------------------
+
+// Ext2Row reports the simulated performance of the NASH profile under one
+// arrival process.
+type Ext2Row struct {
+	Model    string
+	SCV      float64
+	Overall  stats.Interval
+	Fairness stats.Interval
+	// Inflation is the simulated overall time divided by the M/M/1
+	// analytic prediction the equilibrium was computed under.
+	Inflation float64
+	// QNAPrediction is the two-moment queueing-network approximation of
+	// the overall time (thinning + superposition of the users' renewal
+	// streams, GI/M/1 per computer).
+	QNAPrediction float64
+}
+
+// Ext2Result holds the burstiness study.
+type Ext2Result struct {
+	Utilization float64
+	Analytic    float64
+	Rows        []Ext2Row
+}
+
+// Ext2 computes the NASH equilibrium under the paper's M/M/1 assumptions,
+// then simulates that fixed profile under deterministic, Poisson and
+// increasingly bursty (hyperexponential) interarrivals. The equilibrium's
+// routing is load-based, so it remains stable; what degrades is the absolute
+// response time, by roughly the (1+SCV)/2 waiting-time factor of GI/M/1.
+func Ext2(rho float64, p SimParams) (*Ext2Result, error) {
+	p = p.withDefaults()
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	nash, err := schemes.Run(schemes.Nash{Init: core.InitProportional}, sys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Ext2Result{Utilization: rho, Analytic: nash.OverallTime}
+	cases := []struct {
+		model cluster.ArrivalModel
+		scv   float64
+	}{
+		{cluster.DeterministicArrivals, 0},
+		{cluster.PoissonArrivals, 1},
+		{cluster.BurstyArrivals, 4},
+		{cluster.BurstyArrivals, 16},
+	}
+	for _, c := range cases {
+		cfg := cluster.Config{
+			Rates:    sys.Rates,
+			Arrivals: sys.Arrivals,
+			Profile:  nash.Profile,
+			Duration: p.Duration,
+			Warmup:   p.Warmup,
+			Seed:     p.Seed,
+			Arrival:  c.model,
+			SCV:      c.scv,
+		}
+		sum, err := cluster.Replicate(cfg, p.Replications)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.model, err)
+		}
+		scvs := make([]float64, sys.Users())
+		for i := range scvs {
+			scvs[i] = c.scv
+		}
+		split := make([][]float64, sys.Users())
+		for i := range split {
+			split[i] = nash.Profile[i]
+		}
+		qna, err := queueing.SplitSystemResponseTime(sys.Rates, sys.Arrivals, scvs, split)
+		if err != nil {
+			return nil, fmt.Errorf("%s prediction: %w", c.model, err)
+		}
+		res.Rows = append(res.Rows, Ext2Row{
+			Model:         c.model.String(),
+			SCV:           c.scv,
+			Overall:       sum.OverallTime,
+			Fairness:      sum.Fairness,
+			Inflation:     sum.OverallTime.Mean / nash.OverallTime,
+			QNAPrediction: qna,
+		})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// EXT3 — robustness of the NASH equilibrium to non-exponential service
+// ---------------------------------------------------------------------------
+
+// Ext3Row reports the simulated performance of the NASH profile under one
+// service-time distribution (the computers become M/G/1 stations).
+type Ext3Row struct {
+	Model     string
+	SCV       float64
+	Overall   stats.Interval
+	Fairness  stats.Interval
+	Inflation float64 // simulated overall / M/M/1 analytic
+	// PKPrediction is the Pollaczek–Khinchine-style prediction obtained by
+	// scaling each computer's waiting component by (1+SCV)/2.
+	PKPrediction float64
+}
+
+// Ext3Result holds the service-variability study.
+type Ext3Result struct {
+	Utilization float64
+	Analytic    float64
+	Rows        []Ext3Row
+}
+
+// Ext3 fixes the NASH equilibrium computed under exponential-service
+// assumptions and simulates it with deterministic, exponential and
+// hyperexponential service times. The M/G/1 theory predicts the overall
+// time exactly (each computer keeps its Poisson arrivals because splitting
+// preserves them), so this experiment both probes the model's sensitivity
+// and validates the simulator against Pollaczek–Khinchine at system scale.
+func Ext3(rho float64, p SimParams) (*Ext3Result, error) {
+	p = p.withDefaults()
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	nash, err := schemes.Run(schemes.Nash{Init: core.InitProportional}, sys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Ext3Result{Utilization: rho, Analytic: nash.OverallTime}
+	cases := []struct {
+		model cluster.ServiceModel
+		scv   float64
+	}{
+		{cluster.DeterministicService, 0},
+		{cluster.ExponentialService, 1},
+		{cluster.BurstyService, 4},
+	}
+	for _, c := range cases {
+		cfg := cluster.Config{
+			Rates:      sys.Rates,
+			Arrivals:   sys.Arrivals,
+			Profile:    nash.Profile,
+			Duration:   p.Duration,
+			Warmup:     p.Warmup,
+			Seed:       p.Seed,
+			Service:    c.model,
+			ServiceSCV: c.scv,
+		}
+		sum, err := cluster.Replicate(cfg, p.Replications)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.model, err)
+		}
+		res.Rows = append(res.Rows, Ext3Row{
+			Model:        c.model.String(),
+			SCV:          c.scv,
+			Overall:      sum.OverallTime,
+			Fairness:     sum.Fairness,
+			Inflation:    sum.OverallTime.Mean / nash.OverallTime,
+			PKPrediction: pkOverall(sys.Rates, nash.Loads, sys.TotalArrival(), c.scv),
+		})
+	}
+	return res, nil
+}
+
+// pkOverall computes the exact M/G/1 overall expected response time for the
+// given per-computer loads and service SCV.
+func pkOverall(rates, loads []float64, phi, scv float64) float64 {
+	var acc float64
+	for j := range rates {
+		if loads[j] == 0 {
+			continue
+		}
+		g := queueing.MG1{Mu: rates[j], SCV: scv, Lambda: loads[j]}
+		acc += loads[j] * g.ResponseTime()
+	}
+	return acc / phi
+}
+
+// Table renders EXT3.
+func (r *Ext3Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("EXT3 — NASH equilibrium under non-exponential service (util %.0f%%, M/M/1 analytic D %.4g s)",
+			100*r.Utilization, r.Analytic),
+		"service", "SCV", "simulated D (s)", "M/G/1 prediction (s)", "fairness", "inflation vs M/M/1")
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, report.F(row.SCV, 3),
+			report.CI(row.Overall.Mean, row.Overall.HalfWide, 4),
+			report.F(row.PKPrediction, 4),
+			report.CI(row.Fairness.Mean, row.Fairness.HalfWide, 3),
+			report.Fix(row.Inflation, 3))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// EXT4 — scalability of OPTIMAL and NASH with system size
+// ---------------------------------------------------------------------------
+
+// Ext4Row reports the solve cost at one system size.
+type Ext4Row struct {
+	Computers   int
+	Users       int
+	Rounds      int
+	Elapsed     time.Duration
+	PerBestResp time.Duration // elapsed / (rounds * users)
+}
+
+// Ext4Result holds the scalability sweep.
+type Ext4Result struct {
+	Utilization float64
+	Rows        []Ext4Row
+}
+
+// Ext4 measures the NASH solver's cost as the system grows: computers are
+// drawn from the Table-1 speed classes (repeated), users are homogeneous,
+// utilization fixed. OPTIMAL is O(n log n), so the per-best-response cost
+// should grow near-linearly in n; the rounds grow with m (Figure 3).
+func Ext4(rho float64) (*Ext4Result, error) {
+	res := &Ext4Result{Utilization: rho}
+	classRates := []float64{10, 20, 50, 100}
+	for _, size := range []struct{ n, m int }{
+		{16, 10}, {64, 10}, {256, 10}, {1024, 10},
+		{64, 20}, {64, 40}, {64, 80},
+	} {
+		rates := make([]float64, size.n)
+		var total float64
+		for j := range rates {
+			rates[j] = classRates[j%len(classRates)]
+			total += rates[j]
+		}
+		arr := make([]float64, size.m)
+		for i := range arr {
+			arr[i] = rho * total / float64(size.m)
+		}
+		sys, err := game.NewSystem(rates, arr)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		sol, err := core.Solve(sys, core.Options{Init: core.InitProportional, Epsilon: 1e-6})
+		if err != nil {
+			return nil, fmt.Errorf("n=%d m=%d: %w", size.n, size.m, err)
+		}
+		elapsed := time.Since(start)
+		row := Ext4Row{Computers: size.n, Users: size.m, Rounds: sol.Rounds, Elapsed: elapsed}
+		if ops := sol.Rounds * size.m; ops > 0 {
+			row.PerBestResp = elapsed / time.Duration(ops)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders EXT4.
+func (r *Ext4Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("EXT4 — NASH solver scalability (util %.0f%%, eps 1e-6)", 100*r.Utilization),
+		"computers", "users", "rounds", "total elapsed", "per best-response")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Computers), fmt.Sprint(row.Users), fmt.Sprint(row.Rounds),
+			row.Elapsed.String(), row.PerBestResp.String())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// EXT6 — static equilibrium vs dynamic per-job dispatch
+// ---------------------------------------------------------------------------
+
+// Ext6Row reports the simulated performance of one dispatch discipline.
+type Ext6Row struct {
+	Policy   string
+	Overall  stats.Interval
+	Fairness stats.Interval
+}
+
+// Ext6Result holds the static-vs-dynamic study.
+type Ext6Result struct {
+	Utilization float64
+	Rows        []Ext6Row
+}
+
+// Ext6 quantifies what the paper's static regime gives up: the NASH
+// equilibrium's probabilistic splitting (no per-job state needed) against
+// join-shortest-queue (JSQ) and shortest-expected-delay (SED), which
+// inspect every computer's instantaneous queue for every job. Expected
+// shape: SED < NASH (global instantaneous state buys real latency) while
+// speed-blind JSQ suffers on a heterogeneous system; the static equilibrium
+// costs no per-job coordination at all.
+func Ext6(rho float64, p SimParams) (*Ext6Result, error) {
+	p = p.withDefaults()
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	nash, err := schemes.Run(schemes.Nash{Init: core.InitProportional}, sys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Ext6Result{Utilization: rho}
+	for _, c := range []struct {
+		name   string
+		policy cluster.DispatchPolicy
+	}{
+		{"NASH (static)", cluster.ProbabilisticDispatch},
+		{"JSQ (dynamic)", cluster.ShortestQueueDispatch},
+		{"SED (dynamic)", cluster.ShortestDelayDispatch},
+	} {
+		cfg := cluster.Config{
+			Rates:    sys.Rates,
+			Arrivals: sys.Arrivals,
+			Profile:  nash.Profile,
+			Duration: p.Duration,
+			Warmup:   p.Warmup,
+			Seed:     p.Seed,
+			Dispatch: c.policy,
+		}
+		sum, err := cluster.Replicate(cfg, p.Replications)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		res.Rows = append(res.Rows, Ext6Row{Policy: c.name, Overall: sum.OverallTime, Fairness: sum.Fairness})
+	}
+	return res, nil
+}
+
+// Table renders EXT6.
+func (r *Ext6Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("EXT6 — Static NASH split vs dynamic per-job dispatch (Table-1 system, util %.0f%%)", 100*r.Utilization),
+		"dispatch", "simulated D (s)", "fairness")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy,
+			report.CI(row.Overall.Mean, row.Overall.HalfWide, 4),
+			report.CI(row.Fairness.Mean, row.Fairness.HalfWide, 3))
+	}
+	return t
+}
+
+// Table renders EXT2.
+func (r *Ext2Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("EXT2 — NASH equilibrium under non-Poisson traffic (util %.0f%%, analytic D %.4g s)",
+			100*r.Utilization, r.Analytic),
+		"arrivals", "SCV", "simulated D (s)", "QNA prediction (s)", "fairness", "inflation vs analytic")
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, report.F(row.SCV, 3),
+			report.CI(row.Overall.Mean, row.Overall.HalfWide, 4),
+			report.F(row.QNAPrediction, 4),
+			report.CI(row.Fairness.Mean, row.Fairness.HalfWide, 3),
+			report.Fix(row.Inflation, 3))
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nashlb/internal/cluster"
+	"nashlb/internal/game"
+	"nashlb/internal/online"
+	"nashlb/internal/report"
+	"nashlb/internal/schemes"
+)
+
+// Ext5Window is one time window of the online-balancing run.
+type Ext5Window struct {
+	// From and To bound the window in simulated seconds.
+	From, To float64
+	// MeasuredD is the mean response time of jobs completing in the window.
+	MeasuredD float64
+	// Jobs is the number of completions in the window.
+	Jobs int
+}
+
+// Ext5Result holds the live re-balancing study.
+type Ext5Result struct {
+	Utilization float64
+	// PSTime and NashTime are the analytic bracket: where the run starts
+	// and where it should converge.
+	PSTime, NashTime float64
+	// TailInstalledD is the mean analytic overall time of the profiles
+	// installed in the last quarter of the run — the steady-state quality
+	// of the online policy (individual installs jitter around the
+	// equilibrium because they respond to noisy estimates).
+	TailInstalledD float64
+	Rebalances     int
+	Windows        []Ext5Window
+}
+
+// Ext5 runs the paper's algorithm ONLINE against the live simulated
+// cluster: dispatching starts at the PS profile; every 0.5 s the balancer
+// samples the run queues (EWMA smoothing); every 3 s one user recomputes
+// its best response from the estimates (the token-ring discipline applied
+// to a running system). The windowed response-time series shows the system
+// migrating from the PS level to the NASH level with no global knowledge.
+func Ext5(rho float64, horizon float64, seed uint64) (*Ext5Result, error) {
+	if horizon <= 0 {
+		horizon = 2400
+	}
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	ps := game.ProportionalProfile(sys)
+	nash, err := schemes.Run(schemes.Nash{}, sys)
+	if err != nil {
+		return nil, err
+	}
+	res := &Ext5Result{
+		Utilization: rho,
+		PSTime:      sys.OverallResponseTime(ps),
+		NashTime:    nash.OverallTime,
+	}
+
+	bal, err := online.New(sys.Rates, sys.Arrivals, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	pol := bal.Policy(0.5, 6)
+	inner := pol.Do
+	var installedTimes []float64
+	var installedAt []float64
+	pol.Do = func(now float64, q []int, cur game.Profile) game.Profile {
+		out := inner(now, q, cur)
+		if out != nil {
+			installedTimes = append(installedTimes, sys.OverallResponseTime(out))
+			installedAt = append(installedAt, now)
+		}
+		return out
+	}
+
+	const nWindows = 8
+	winLen := horizon / nWindows
+	sums := make([]float64, nWindows)
+	counts := make([]int, nWindows)
+	cfg := cluster.Config{
+		Rates:     sys.Rates,
+		Arrivals:  sys.Arrivals,
+		Profile:   ps,
+		Duration:  horizon,
+		Warmup:    0,
+		Seed:      seed,
+		Rebalance: pol,
+		OnJob: func(r cluster.JobRecord) {
+			w := int(r.Completion / winLen)
+			if w >= nWindows {
+				w = nWindows - 1
+			}
+			sums[w] += r.ResponseTime()
+			counts[w]++
+		},
+	}
+	run, err := cluster.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Rebalances = run.Rebalances
+	var tailSum float64
+	var tailN int
+	for k, at := range installedAt {
+		if at >= horizon*3/4 {
+			tailSum += installedTimes[k]
+			tailN++
+		}
+	}
+	if tailN > 0 {
+		res.TailInstalledD = tailSum / float64(tailN)
+	}
+	for w := 0; w < nWindows; w++ {
+		win := Ext5Window{From: float64(w) * winLen, To: float64(w+1) * winLen, Jobs: counts[w]}
+		if counts[w] > 0 {
+			win.MeasuredD = sums[w] / float64(counts[w])
+		}
+		res.Windows = append(res.Windows, win)
+	}
+	return res, nil
+}
+
+// Table renders EXT5.
+func (r *Ext5Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("EXT5 — Online NASH re-balancing of a live cluster (util %.0f%%; PS %.4g s -> NASH %.4g s; %d rebalances; tail installed profiles avg %.4g s)",
+			100*r.Utilization, r.PSTime, r.NashTime, r.Rebalances, r.TailInstalledD),
+		"window (s)", "measured D (s)", "jobs")
+	for _, w := range r.Windows {
+		t.AddRow(fmt.Sprintf("%.0f-%.0f", w.From, w.To), report.F(w.MeasuredD, 4), fmt.Sprint(w.Jobs))
+	}
+	return t
+}

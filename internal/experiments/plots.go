@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nashlb/internal/plot"
+)
+
+// Plot renders Figure 2 as an ASCII chart: the per-iteration norm of both
+// initializations on a log-scale y axis, visually matching the paper's
+// figure.
+func (r *Fig2Result) Plot() (string, error) {
+	p := plot.New(fmt.Sprintf("Figure 2 — Norm vs iteration (util %.0f%%)", 100*r.Utilization))
+	p.LogY = true
+	p.XLabel = "iteration"
+	p.YLabel = "norm"
+	if err := p.Add(plot.Series{Name: "NASH_0", Marker: '*', Y: r.NormsZero}); err != nil {
+		return "", err
+	}
+	if err := p.Add(plot.Series{Name: "NASH_P", Marker: 'o', Y: r.NormsProp}); err != nil {
+		return "", err
+	}
+	return p.Render()
+}
+
+// Plot renders Figure 3: iterations to equilibrium vs the number of users.
+func (r *Fig3Result) Plot() (string, error) {
+	p := plot.New(fmt.Sprintf("Figure 3 — Iterations to equilibrium vs users (util %.0f%%)", 100*r.Utilization))
+	p.XLabel = "users"
+	p.YLabel = "iterations"
+	xs := make([]float64, len(r.Rows))
+	z := make([]float64, len(r.Rows))
+	q := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		xs[i] = float64(row.Users)
+		z[i] = float64(row.RoundsZero)
+		q[i] = float64(row.RoundsProp)
+	}
+	if err := p.Add(plot.Series{Name: "NASH_0", Marker: '*', X: xs, Y: z}); err != nil {
+		return "", err
+	}
+	if err := p.Add(plot.Series{Name: "NASH_P", Marker: 'o', X: xs, Y: q}); err != nil {
+		return "", err
+	}
+	return p.Render()
+}
+
+// Plot renders the response-time panel of Figure 4: one line per scheme
+// over the utilization sweep (analytic values).
+func (r *Fig4Result) Plot() (string, error) {
+	p := plot.New("Figure 4 — Expected response time vs utilization")
+	p.XLabel = "utilization"
+	p.YLabel = "D (s)"
+	series := map[string]*plot.Series{}
+	order := []string{"NASH", "GOS", "IOS", "PS"}
+	markers := map[string]byte{"NASH": '*', "GOS": 'o', "IOS": '+', "PS": 'x'}
+	for _, pt := range r.Points {
+		s, ok := series[pt.Scheme]
+		if !ok {
+			s = &plot.Series{Name: pt.Scheme, Marker: markers[pt.Scheme]}
+			series[pt.Scheme] = s
+		}
+		s.X = append(s.X, pt.Utilization)
+		s.Y = append(s.Y, pt.AnalyticTime)
+	}
+	for _, name := range order {
+		if s := series[name]; s != nil {
+			if err := p.Add(*s); err != nil {
+				return "", err
+			}
+		}
+	}
+	return p.Render()
+}
+
+// Plot renders the response-time panel of Figure 6: one line per scheme
+// over the skewness sweep (analytic values).
+func (r *Fig6Result) Plot() (string, error) {
+	p := plot.New(fmt.Sprintf("Figure 6 — Expected response time vs speed skewness (util %.0f%%)", 100*r.Utilization))
+	p.XLabel = "max speed / min speed"
+	p.YLabel = "D (s)"
+	series := map[string]*plot.Series{}
+	order := []string{"NASH", "GOS", "IOS", "PS"}
+	markers := map[string]byte{"NASH": '*', "GOS": 'o', "IOS": '+', "PS": 'x'}
+	for _, pt := range r.Points {
+		s, ok := series[pt.Scheme]
+		if !ok {
+			s = &plot.Series{Name: pt.Scheme, Marker: markers[pt.Scheme]}
+			series[pt.Scheme] = s
+		}
+		s.X = append(s.X, pt.Skewness)
+		s.Y = append(s.Y, pt.AnalyticTime)
+	}
+	for _, name := range order {
+		if s := series[name]; s != nil {
+			if err := p.Add(*s); err != nil {
+				return "", err
+			}
+		}
+	}
+	return p.Render()
+}

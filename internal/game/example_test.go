@@ -1,0 +1,36 @@
+package game_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb/internal/game"
+)
+
+// ExampleSystem_AvailableRates shows the quantity each user estimates
+// before playing its best response: the raw rates minus everyone else's
+// flow.
+func ExampleSystem_AvailableRates() {
+	sys, err := game.NewSystem([]float64{20, 10}, []float64{8, 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := game.Profile{
+		{0.75, 0.25}, // user 0 puts 6 jobs/s on computer 0, 2 on computer 1
+		{0.5, 0.5},   // user 1 puts 3 on each
+	}
+	fmt.Printf("user 0 sees %.1f\n", sys.AvailableRates(p, 0))
+	fmt.Printf("user 1 sees %.1f\n", sys.AvailableRates(p, 1))
+	// Output:
+	// user 0 sees [17.0 7.0]
+	// user 1 sees [14.0 8.0]
+}
+
+// ExampleSystem_UserResponseTimes evaluates the paper's D_i for a profile.
+func ExampleSystem_UserResponseTimes() {
+	sys, _ := game.NewSystem([]float64{20, 10}, []float64{8, 6})
+	p := game.ProportionalProfile(sys)
+	fmt.Printf("%.4f\n", sys.UserResponseTimes(p))
+	// Output:
+	// [0.1250 0.1250]
+}

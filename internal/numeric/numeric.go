@@ -1,0 +1,242 @@
+// Package numeric provides the small numerical substrate shared by the rest
+// of the library: compensated summation, tolerance-aware comparison,
+// bisection root finding, and index sorting helpers.
+//
+// Everything here is deliberately dependency-free (stdlib only) and tuned for
+// the scale of the load-balancing problems in this repository: tens of
+// computers, tens of users, and water-filling computations whose conditioning
+// degrades as the system approaches saturation.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultTol is the default absolute/relative tolerance used by the
+// tolerance-aware comparison helpers. It is loose enough to absorb the
+// rounding of the water-filling computations near saturation and tight
+// enough to distinguish genuinely different allocations.
+const DefaultTol = 1e-9
+
+// ErrNoBracket is returned by Bisect when the supplied interval does not
+// bracket a sign change of the function.
+var ErrNoBracket = errors.New("numeric: bisection interval does not bracket a root")
+
+// ErrMaxIterations is returned by iterative routines that fail to reach the
+// requested tolerance within their iteration budget.
+var ErrMaxIterations = errors.New("numeric: iteration budget exhausted")
+
+// Sum returns the Kahan–Babuška (Neumaier variant) compensated sum of xs.
+// It is used everywhere a sum of rates or fractions feeds a feasibility
+// comparison, where naive summation error can flip a strict inequality.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// Accumulator is an incremental compensated summator. The zero value is
+// ready to use.
+type Accumulator struct {
+	sum  float64
+	comp float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	t := a.sum + x
+	if math.Abs(a.sum) >= math.Abs(x) {
+		a.comp += (a.sum - t) + x
+	} else {
+		a.comp += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Value returns the current compensated sum.
+func (a *Accumulator) Value() float64 { return a.sum + a.comp }
+
+// Reset clears the accumulator back to zero.
+func (a *Accumulator) Reset() { a.sum, a.comp = 0, 0 }
+
+// EqualWithin reports whether a and b are equal within the given absolute or
+// relative tolerance (whichever is more permissive).
+func EqualWithin(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*den
+}
+
+// LessOrEqualWithin reports whether a <= b up to tol.
+func LessOrEqualWithin(a, b, tol float64) bool {
+	return a <= b || EqualWithin(a, b, tol)
+}
+
+// Clamp returns x restricted to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// ClampNonNegative maps tiny negative rounding residue to zero and leaves
+// other values untouched. Values below -tol are reported unchanged so that
+// genuine constraint violations remain visible to callers.
+func ClampNonNegative(x, tol float64) float64 {
+	if x < 0 && x > -tol {
+		return 0
+	}
+	return x
+}
+
+// Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi) must
+// have opposite signs (or be zero). The search stops when the bracket width
+// falls below tol or after maxIter halvings, whichever comes first.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := lo + (hi-lo)/2
+		if hi-lo <= tol || mid == lo || mid == hi {
+			return mid, nil
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, fmt.Errorf("%w: bracket [%g, %g] after %d iterations", ErrMaxIterations, lo, hi, maxIter)
+}
+
+// ArgsortDescending returns the permutation that sorts xs in decreasing
+// order. Ties are broken by the original index so the permutation is
+// deterministic; xs itself is not modified.
+func ArgsortDescending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// Permute returns xs reordered by perm: out[i] = xs[perm[i]].
+func Permute(xs []float64, perm []int) []float64 {
+	out := make([]float64, len(perm))
+	for i, p := range perm {
+		out[i] = xs[p]
+	}
+	return out
+}
+
+// InversePermutation returns the inverse of perm.
+func InversePermutation(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive. n must be
+// at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numeric: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// L1Distance returns the L1 (Manhattan) distance between equal-length
+// vectors a and b.
+func L1Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: L1Distance length mismatch")
+	}
+	var acc Accumulator
+	for i := range a {
+		acc.Add(math.Abs(a[i] - b[i]))
+	}
+	return acc.Value()
+}
+
+// L2Distance returns the Euclidean distance between equal-length vectors.
+func L2Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: L2Distance length mismatch")
+	}
+	var acc Accumulator
+	for i := range a {
+		d := a[i] - b[i]
+		acc.Add(d * d)
+	}
+	return math.Sqrt(acc.Value())
+}
+
+// MaxAbsDiff returns the L-infinity distance between equal-length vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllFinite reports whether every element of xs is finite (no NaN, no Inf).
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

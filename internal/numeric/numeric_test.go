@@ -1,0 +1,314 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %g, want 0", got)
+	}
+}
+
+func TestSumCancellation(t *testing.T) {
+	// Classic Kahan stress: large value plus many tiny ones.
+	xs := make([]float64, 0, 10001)
+	xs = append(xs, 1e16)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, 1.0)
+	}
+	xs = append(xs, -1e16)
+	if got := Sum(xs); got != 10000 {
+		t.Fatalf("compensated Sum = %g, want exactly 10000", got)
+	}
+}
+
+func TestSumMatchesAccumulator(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 1
+			}
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		var acc Accumulator
+		for _, x := range xs {
+			acc.Add(x)
+		}
+		s := Sum(xs)
+		return s == acc.Value() || EqualWithin(s, acc.Value(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var acc Accumulator
+	acc.Add(5)
+	acc.Reset()
+	acc.Add(2)
+	if got := acc.Value(); got != 2 {
+		t.Fatalf("after Reset, Value = %g, want 2", got)
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative branch
+		{0, 1e-12, 1e-9, true},                 // absolute branch
+		{-1, 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestLessOrEqualWithin(t *testing.T) {
+	if !LessOrEqualWithin(1, 2, 1e-9) {
+		t.Error("1 <= 2 should hold")
+	}
+	if !LessOrEqualWithin(2, 2-1e-12, 1e-9) {
+		t.Error("2 <= 2-eps should hold within tolerance")
+	}
+	if LessOrEqualWithin(2.1, 2, 1e-9) {
+		t.Error("2.1 <= 2 should not hold")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %g", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %g", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %g", got)
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	if got := ClampNonNegative(-1e-15, 1e-12); got != 0 {
+		t.Errorf("tiny negative should clamp to 0, got %g", got)
+	}
+	if got := ClampNonNegative(-1, 1e-12); got != -1 {
+		t.Errorf("large negative must be preserved, got %g", got)
+	}
+	if got := ClampNonNegative(0.25, 1e-12); got != 0.25 {
+		t.Errorf("positive must be preserved, got %g", got)
+	}
+}
+
+func TestBisectSimpleRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Fatalf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if root, err := Bisect(f, 0, 1, 1e-12, 100); err != nil || root != 0 {
+		t.Fatalf("root at lo endpoint: got %v, %v", root, err)
+	}
+	if root, err := Bisect(f, -1, 0, 1e-12, 100); err != nil || root != 0 {
+		t.Fatalf("root at hi endpoint: got %v, %v", root, err)
+	}
+}
+
+func TestBisectReversedInterval(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x - 1 }, 3, 0, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-1) > 1e-10 {
+		t.Fatalf("root = %v, want 1", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12, 100)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBisectMaxIterations(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x - math.Pi }, 0, 10, 0, 3)
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("want ErrMaxIterations, got %v", err)
+	}
+}
+
+func TestBisectMonotoneDecreasing(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return 1 - x }, 0, 5, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-1) > 1e-10 {
+		t.Fatalf("root = %v, want 1", root)
+	}
+}
+
+func TestArgsortDescending(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	perm := ArgsortDescending(xs)
+	want := []int{4, 2, 0, 1, 3} // stable: first 1 before second
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+	// xs must be untouched.
+	if xs[0] != 3 || xs[4] != 5 {
+		t.Fatal("ArgsortDescending mutated its input")
+	}
+}
+
+func TestArgsortDescendingSortedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) {
+				xs[i] = 0
+			}
+		}
+		perm := ArgsortDescending(xs)
+		sorted := Permute(xs, perm)
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1] < sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		perm := rng.Perm(n)
+		inv := InversePermutation(perm)
+		for i := 0; i < n; i++ {
+			if inv[perm[i]] != i {
+				t.Fatalf("inverse failed: perm=%v inv=%v", perm, inv)
+			}
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	perm := []int{3, 1, 0, 2}
+	sorted := Permute(xs, perm)
+	back := Permute(sorted, InversePermutation(perm))
+	for i := range xs {
+		if back[i] != xs[i] {
+			t.Fatalf("round trip failed: %v != %v", back, xs)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 11)
+	if len(xs) != 11 || xs[0] != 0 || xs[10] != 1 {
+		t.Fatalf("Linspace endpoints wrong: %v", xs)
+	}
+	if math.Abs(xs[5]-0.5) > 1e-15 {
+		t.Fatalf("midpoint = %v", xs[5])
+	}
+}
+
+func TestLinspacePanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Linspace(0,1,1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, -2, 2}
+	if got := L1Distance(a, b); got != 5 {
+		t.Errorf("L1 = %g, want 5", got)
+	}
+	if got := L2Distance(a, b); got != 3 {
+		t.Errorf("L2 = %g, want 3", got)
+	}
+	if got := MaxAbsDiff(a, b); got != 2 {
+		t.Errorf("Linf = %g, want 2", got)
+	}
+}
+
+func TestDistanceMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"L1":   func() { L1Distance([]float64{1}, []float64{1, 2}) },
+		"L2":   func() { L2Distance([]float64{1}, []float64{1, 2}) },
+		"Linf": func() { MaxAbsDiff([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic on length mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c [8]float64) bool {
+		av, bv, cv := a[:], b[:], c[:]
+		for _, v := range [][]float64{av, bv, cv} {
+			for i := range v {
+				if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+					v[i] = 0
+				}
+				v[i] = math.Mod(v[i], 1e6)
+			}
+		}
+		lhs := L2Distance(av, cv)
+		rhs := L2Distance(av, bv) + L2Distance(bv, cv)
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Error("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("+Inf not detected")
+	}
+	if !AllFinite(nil) {
+		t.Error("empty slice should be finite")
+	}
+}

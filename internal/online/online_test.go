@@ -1,0 +1,226 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/cluster"
+	"nashlb/internal/core"
+	"nashlb/internal/estimate"
+	"nashlb/internal/game"
+	"nashlb/internal/schemes"
+)
+
+func tableSystem(t testing.TB) *game.System {
+	t.Helper()
+	rates := []float64{100, 100, 50, 50, 50, 20, 20, 20, 20, 20, 10, 10, 10, 10, 10, 10}
+	mix := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.05, 0.05, 0.04}
+	arr := make([]float64, len(mix))
+	var total float64
+	for _, mu := range rates {
+		total += mu
+	}
+	for i, q := range mix {
+		arr[i] = q * total * 0.6
+	}
+	sys, err := game.NewSystem(rates, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, []float64{1}, 0.5); err == nil {
+		t.Error("no computers accepted")
+	}
+	if _, err := New([]float64{1}, nil, 0.5); err == nil {
+		t.Error("no users accepted")
+	}
+	if _, err := New([]float64{1}, []float64{0.5}, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestStepWithExactObservationsMovesTowardEquilibrium(t *testing.T) {
+	// Feed Step the analytically exact mean queue lengths of the PS
+	// profile; each epoch is one best-response round, so the deviation
+	// gain must shrink epoch over epoch and reach (near) zero.
+	sys := tableSystem(t)
+	b, err := New(sys.Rates, sys.Arrivals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := game.ProportionalProfile(sys)
+	gain := func(p game.Profile) float64 {
+		_, g, err := sys.EpsilonEquilibrium(p, core.Optimal, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	exactQueues := func(p game.Profile) []int {
+		loads := sys.Loads(p)
+		// Step takes integer queue observations; scale the exact L by
+		// feeding the rounded value (the smoother sees it raw).
+		out := make([]int, len(loads))
+		for j := range loads {
+			l := estimate.QueueLengthFromLoad(sys.Rates[j], loads[j])
+			out[j] = int(math.Round(l))
+		}
+		return out
+	}
+	g0 := gain(profile)
+	for epoch := 0; epoch < 25; epoch++ {
+		next := b.Step(float64(epoch), exactQueues(profile), profile)
+		if next == nil {
+			t.Fatalf("epoch %d: step returned nil", epoch)
+		}
+		profile = next
+	}
+	gN := gain(profile)
+	if gN > g0*0.2 {
+		t.Fatalf("deviation gain did not shrink: %v -> %v", g0, gN)
+	}
+	if b.Epochs != 25 {
+		t.Fatalf("epochs = %d", b.Epochs)
+	}
+}
+
+func TestStepShapeMismatchReturnsNil(t *testing.T) {
+	b, err := New([]float64{10, 10}, []float64{5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Step(0, []int{1}, game.Profile{{0.5, 0.5}}) != nil {
+		t.Error("wrong queue count accepted")
+	}
+	if b.Step(0, []int{1, 1}, game.Profile{{0.5, 0.5}, {1, 0}}) != nil {
+		t.Error("wrong user count accepted")
+	}
+}
+
+func TestOnlineBalancingImprovesLiveCluster(t *testing.T) {
+	// The headline integration: start a live simulated cluster dispatching
+	// with PS, let the online NASH policy re-balance every few seconds
+	// from run-queue observations, and check that (a) the installed
+	// profile converges near the true equilibrium and (b) the measured
+	// response times in the final window beat the initial PS window.
+	sys := tableSystem(t)
+	ps := game.ProportionalProfile(sys)
+	b, err := New(sys.Rates, sys.Arrivals, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const horizon = 2400.0
+	var early, late float64
+	var nEarly, nLate int
+	cfg := cluster.Config{
+		Rates:     sys.Rates,
+		Arrivals:  sys.Arrivals,
+		Profile:   ps,
+		Duration:  horizon,
+		Warmup:    0,
+		Seed:      17,
+		Rebalance: b.Policy(0.5, 6), // observe twice a second, one user updates every 3 s
+		OnJob: func(r cluster.JobRecord) {
+			switch {
+			case r.Completion < horizon/6:
+				early += r.ResponseTime()
+				nEarly++
+			case r.Completion > horizon*5/6:
+				late += r.ResponseTime()
+				nLate++
+			}
+		},
+	}
+	res, err := cluster.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalances < 100 {
+		t.Fatalf("only %d rebalances installed", res.Rebalances)
+	}
+	earlyMean := early / float64(nEarly)
+	lateMean := late / float64(nLate)
+
+	nash, err := schemes.Run(schemes.Nash{}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psEval := schemes.Evaluate(sys, "PS", ps)
+
+	// The final window must sit much closer to the NASH level than to the
+	// PS level.
+	if lateMean > (nash.OverallTime+psEval.OverallTime)/2 {
+		t.Errorf("late window %v still closer to PS %v than NASH %v",
+			lateMean, psEval.OverallTime, nash.OverallTime)
+	}
+	// And it must improve on the PS-dominated early window.
+	if lateMean >= earlyMean {
+		t.Errorf("no improvement: early %v, late %v", earlyMean, lateMean)
+	}
+}
+
+func TestSimultaneousUpdatesHerd(t *testing.T) {
+	// Pin the failure mode that motivates the one-user-at-a-time policy:
+	// if every user re-balances at once from the same (noisy, shared)
+	// queue estimate, they herd onto the same computers and the live
+	// performance is much worse than the serialized policy's.
+	sys := tableSystem(t)
+	ps := game.ProportionalProfile(sys)
+
+	run := func(pol *cluster.RebalancePolicy) float64 {
+		const horizon = 1600.0
+		var late float64
+		var nLate int
+		cfg := cluster.Config{
+			Rates:     sys.Rates,
+			Arrivals:  sys.Arrivals,
+			Profile:   ps,
+			Duration:  horizon,
+			Warmup:    0,
+			Seed:      23,
+			Rebalance: pol,
+			OnJob: func(r cluster.JobRecord) {
+				if r.Completion > horizon/2 {
+					late += r.ResponseTime()
+					nLate++
+				}
+			},
+		}
+		if _, err := cluster.Simulate(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return late / float64(nLate)
+	}
+
+	herd, err := New(sys.Rates, sys.Arrivals, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full simultaneous round every 10 s from lightly smoothed samples.
+	herdLate := run(&cluster.RebalancePolicy{Every: 10, Do: herd.Step})
+
+	serial, err := New(sys.Rates, sys.Arrivals, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialLate := run(serial.Policy(0.5, 6))
+
+	if herdLate < serialLate*1.2 {
+		t.Errorf("expected herding to be clearly worse: herd %v vs serialized %v", herdLate, serialLate)
+	}
+}
+
+func TestPolicyWiring(t *testing.T) {
+	b, err := New([]float64{10}, []float64{5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Policy(2.5, 0)
+	if p.Every != 2.5 || p.Do == nil {
+		t.Fatalf("policy wrong: %+v", p)
+	}
+}

@@ -1,0 +1,32 @@
+package plot_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nashlb/internal/plot"
+)
+
+// Example renders a tiny two-series chart.
+func Example() {
+	p := plot.New("demo")
+	p.Width, p.Height = 24, 5
+	if err := p.Add(plot.Series{Name: "up", Marker: '*', Y: []float64{1, 2, 3}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Add(plot.Series{Name: "down", Marker: 'o', Y: []float64{3, 2, 1}}); err != nil {
+		log.Fatal(err)
+	}
+	out, err := p.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Print only the structural lines to keep the example stable.
+	lines := strings.Split(out, "\n")
+	fmt.Println(lines[0])
+	fmt.Println(strings.TrimSpace(lines[len(lines)-2]))
+	// Output:
+	// demo
+	// legend:  * up  o down
+}

@@ -1,0 +1,234 @@
+// Package plot renders multi-series line charts as ASCII — enough to
+// visualize every figure of the paper in a terminal: linear or log-scale y
+// axis, tick labels, markers and a legend. It exists because the evaluation
+// artifacts are figures, and a reproduction should let you *see* them
+// without leaving the repository.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Marker is the glyph drawn at data points ('*', 'o', '+', ...).
+	Marker byte
+	// X holds the x coordinates; when nil, points are placed at
+	// 1..len(Y).
+	X []float64
+	// Y holds the y coordinates.
+	Y []float64
+}
+
+// Plot is a chart under construction.
+type Plot struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height are the plotting area's dimensions in characters
+	// (excluding axes); sensible defaults are applied when zero.
+	Width, Height int
+	// LogY switches the y axis to log10 scale; all y values must then be
+	// positive.
+	LogY bool
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+
+	series []Series
+}
+
+// New returns a plot with the given title and default dimensions.
+func New(title string) *Plot {
+	return &Plot{Title: title, Width: 64, Height: 16}
+}
+
+// Add appends a series. Returns an error for malformed series so callers
+// fail loudly instead of rendering nonsense.
+func (p *Plot) Add(s Series) error {
+	if len(s.Y) == 0 {
+		return errors.New("plot: series has no points")
+	}
+	if s.X != nil && len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values for %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	if s.Marker == 0 {
+		markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+		s.Marker = markers[len(p.series)%len(markers)]
+	}
+	for i, y := range s.Y {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return fmt.Errorf("plot: series %q has non-finite y at %d", s.Name, i)
+		}
+		if p.LogY && y <= 0 {
+			return fmt.Errorf("plot: series %q has non-positive y %g on a log axis", s.Name, y)
+		}
+		if s.X != nil {
+			if x := s.X[i]; math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("plot: series %q has non-finite x at %d", s.Name, i)
+			}
+		}
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// Render draws the chart.
+func (p *Plot) Render() (string, error) {
+	if len(p.series) == 0 {
+		return "", errors.New("plot: nothing to render")
+	}
+	w, h := p.Width, p.Height
+	if w < 16 {
+		w = 64
+	}
+	if h < 4 {
+		h = 16
+	}
+
+	ty := func(y float64) float64 {
+		if p.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i, y := range s.Y {
+			v := ty(y)
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+			x := float64(i + 1)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = bytesRepeat(' ', w)
+	}
+	col := func(x float64) int {
+		c := int(math.Round(float64(w-1) * (x - xmin) / (xmax - xmin)))
+		return clampInt(c, 0, w-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round(float64(h-1) * (ty(y) - ymin) / (ymax - ymin)))
+		return h - 1 - clampInt(r, 0, h-1)
+	}
+	for _, s := range p.series {
+		prevC, prevR := -1, -1
+		for i, y := range s.Y {
+			x := float64(i + 1)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			c, r := col(x), row(y)
+			// Sparse line interpolation between consecutive points.
+			if prevC >= 0 {
+				steps := absInt(c-prevC) + absInt(r-prevR)
+				for k := 1; k < steps; k++ {
+					ic := prevC + (c-prevC)*k/steps
+					ir := prevR + (r-prevR)*k/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = s.Marker
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	// y tick labels at top, middle, bottom.
+	label := func(v float64) string {
+		if p.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < h; r++ {
+		tick := "          "
+		switch r {
+		case 0:
+			tick = label(ymax) + " "
+		case h / 2:
+			tick = label(ymin+(ymax-ymin)/2) + " "
+		case h - 1:
+			tick = label(ymin) + " "
+		}
+		b.WriteString(tick)
+		b.WriteByte('|')
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	xticks := fmt.Sprintf("%-*g%*g", w/2, xmin, w/2, xmax)
+	b.WriteString(strings.Repeat(" ", 11))
+	b.WriteString(xticks)
+	b.WriteByte('\n')
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%11sx: %s", "", p.XLabel)
+		if p.YLabel != "" {
+			fmt.Fprintf(&b, "   y: %s", p.YLabel)
+		}
+		if p.LogY {
+			b.WriteString(" (log scale)")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11))
+	b.WriteString("legend:")
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s", s.Marker, s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,152 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := New("demo")
+	if err := p.Add(Series{Name: "up", Marker: '*', Y: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "* up") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("markers missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestMonotoneSeriesPlacement(t *testing.T) {
+	// An increasing series must put its first marker lower (later row)
+	// than its last marker.
+	p := New("")
+	p.Width, p.Height = 40, 10
+	if err := p.Add(Series{Name: "s", Marker: '*', Y: []float64{1, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow >= lastRow {
+		t.Fatalf("increasing series rendered wrong: first row %d, last %d", firstRow, lastRow)
+	}
+	// Top line should contain the max marker.
+	if !strings.Contains(lines[firstRow], "*") {
+		t.Error("max marker missing from top")
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	p := New("log")
+	p.LogY = true
+	if err := p.Add(Series{Name: "decay", Y: []float64{1, 0.1, 0.01, 0.001}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(log scale)") && !strings.Contains(out, "0.001") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+	// Non-positive values must be rejected on a log axis.
+	p2 := New("bad")
+	p2.LogY = true
+	if err := p2.Add(Series{Y: []float64{1, 0}}); err == nil {
+		t.Error("zero y accepted on log axis")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	p := New("")
+	if err := p.Add(Series{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := p.Add(Series{X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := p.Add(Series{Y: []float64{math.NaN()}}); err == nil {
+		t.Error("NaN y accepted")
+	}
+	if err := p.Add(Series{X: []float64{math.Inf(1)}, Y: []float64{1}}); err == nil {
+		t.Error("Inf x accepted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if _, err := New("x").Render(); err == nil {
+		t.Error("empty plot rendered")
+	}
+}
+
+func TestDefaultMarkersDiffer(t *testing.T) {
+	p := New("")
+	for i := 0; i < 3; i++ {
+		if err := p.Add(Series{Name: string(rune('a' + i)), Y: []float64{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.series[0].Marker == p.series[1].Marker || p.series[1].Marker == p.series[2].Marker {
+		t.Error("auto-assigned markers collide")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	p := New("flat")
+	if err := p.Add(Series{Name: "c", Y: []float64{5, 5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("constant series failed: %v", err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	p := New("dot")
+	if err := p.Add(Series{Name: "p", Y: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("single point failed: %v", err)
+	}
+}
+
+func TestExplicitXCoordinates(t *testing.T) {
+	p := New("xy")
+	p.Width, p.Height = 20, 6
+	if err := p.Add(Series{Name: "s", Marker: '*', X: []float64{10, 20, 40}, Y: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "40") {
+		t.Errorf("x tick labels missing:\n%s", out)
+	}
+}

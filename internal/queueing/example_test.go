@@ -1,0 +1,48 @@
+package queueing_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb/internal/queueing"
+)
+
+// ExampleMM1 shows the closed forms for a computer at 80% utilization.
+func ExampleMM1() {
+	q := queueing.MM1{Mu: 10, Lambda: 8}
+	fmt.Printf("response time %.2f s, jobs in system %.1f\n", q.ResponseTime(), q.JobsInSystem())
+	// Output:
+	// response time 0.50 s, jobs in system 4.0
+}
+
+// ExampleMMc compares a pooled two-core computer against a single core at
+// the same per-core load.
+func ExampleMMc() {
+	pooled := queueing.MMc{C: 2, Mu: 10, Lambda: 16}
+	single := queueing.MM1{Mu: 10, Lambda: 8}
+	fmt.Printf("M/M/2 %.3f s vs two M/M/1 %.3f s\n", pooled.ResponseTime(), single.ResponseTime())
+	// Output:
+	// M/M/2 0.278 s vs two M/M/1 0.500 s
+}
+
+// ExampleMG1 evaluates the Pollaczek–Khinchine formula for deterministic
+// service: the wait is exactly half of the exponential-service wait.
+func ExampleMG1() {
+	d := queueing.MG1{Mu: 10, SCV: 0, Lambda: 7}
+	m := queueing.MM1{Mu: 10, Lambda: 7}
+	fmt.Printf("M/D/1 wait %.4f s, M/M/1 wait %.4f s\n", d.WaitingTime(), m.WaitingTime())
+	// Output:
+	// M/D/1 wait 0.1167 s, M/M/1 wait 0.2333 s
+}
+
+// ExampleGIM1 solves the exact D/M/1 queue via the sigma root.
+func ExampleGIM1() {
+	q := queueing.GIM1{Mu: 10, Lambda: 7, LST: queueing.DeterministicLST(7)}
+	t, err := q.ResponseTime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact D/M/1 response time %.4f s\n", t)
+	// Output:
+	// exact D/M/1 response time 0.1876 s
+}

@@ -1,0 +1,127 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGIM1Validate(t *testing.T) {
+	good := GIM1{Mu: 10, Lambda: 5, LST: ExpLST(5)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid rejected: %v", err)
+	}
+	for name, q := range map[string]GIM1{
+		"mu":       {Mu: 0, Lambda: 1, LST: ExpLST(1)},
+		"lambda":   {Mu: 10, Lambda: 0, LST: ExpLST(1)},
+		"nil lst":  {Mu: 10, Lambda: 5},
+		"unstable": {Mu: 10, Lambda: 10, LST: ExpLST(10)},
+	} {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGIM1ExponentialReducesToMM1(t *testing.T) {
+	// With exponential interarrivals sigma = rho exactly and the sojourn
+	// time is 1/(mu-lambda).
+	for _, lambda := range []float64{1, 5, 9, 9.9} {
+		q := GIM1{Mu: 10, Lambda: lambda, LST: ExpLST(lambda)}
+		sigma, err := q.Sigma()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sigma-lambda/10) > 1e-9 {
+			t.Errorf("lambda=%v: sigma = %v, want rho %v", lambda, sigma, lambda/10)
+		}
+		got, err := q.ResponseTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := MM1{Mu: 10, Lambda: lambda}.ResponseTime()
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("lambda=%v: T = %v, MM1 %v", lambda, got, want)
+		}
+	}
+}
+
+func TestGIM1DeterministicBelowMM1(t *testing.T) {
+	// D/M/1 waits strictly less than M/M/1 at the same load, and more
+	// than the naive PK-style halving would suggest at high load.
+	q := GIM1{Mu: 10, Lambda: 7, LST: DeterministicLST(7)}
+	w, err := q.WaitingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1 := MM1{Mu: 10, Lambda: 7}.WaitingTime()
+	if w >= mm1 {
+		t.Errorf("D/M/1 wait %v not below M/M/1 %v", w, mm1)
+	}
+	if w <= 0 {
+		t.Errorf("D/M/1 wait %v should be positive at rho=0.7", w)
+	}
+	// Known classical value: sigma solves sigma = exp(-mu(1-sigma)/lambda),
+	// i.e. sigma = exp(-(10/7)(1-sigma)). Verify the root satisfies it.
+	sigma, err := q.Sigma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-math.Exp(-(10.0/7.0)*(1-sigma))) > 1e-9 {
+		t.Errorf("sigma fixed point violated: %v", sigma)
+	}
+}
+
+func TestGIM1HyperExpAboveMM1(t *testing.T) {
+	// Burstier-than-Poisson arrivals wait more, monotonically in SCV.
+	prev := MM1{Mu: 10, Lambda: 6}.WaitingTime()
+	for _, scv := range []float64{2, 4, 16} {
+		q := GIM1{Mu: 10, Lambda: 6, LST: HyperExpLST(6, scv)}
+		w, err := q.WaitingTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w <= prev {
+			t.Errorf("scv=%v: wait %v not above %v", scv, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestGIM1LSTSanity(t *testing.T) {
+	// Every LST satisfies A*(0) = 1 and is decreasing in s.
+	for name, lst := range map[string]func(float64) float64{
+		"exp": ExpLST(3),
+		"det": DeterministicLST(3),
+		"h2":  HyperExpLST(3, 4),
+	} {
+		if v := lst(0); math.Abs(v-1) > 1e-12 {
+			t.Errorf("%s: A*(0) = %v", name, v)
+		}
+		prev := 1.0
+		for s := 0.5; s < 20; s += 0.5 {
+			v := lst(s)
+			if v >= prev || v < 0 {
+				t.Errorf("%s: LST not decreasing positive at s=%v", name, s)
+			}
+			prev = v
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("HyperExpLST with scv<1 should panic")
+		}
+	}()
+	HyperExpLST(1, 0.5)
+}
+
+func TestGIM1LowLoadFixedPointPath(t *testing.T) {
+	// Extremely low load exercises the fixed-point fallback.
+	q := GIM1{Mu: 1000, Lambda: 0.001, LST: DeterministicLST(0.001)}
+	w, err := q.WaitingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0 || w > 1e-3 {
+		t.Errorf("near-idle D/M/1 wait = %v", w)
+	}
+}

@@ -1,0 +1,71 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MG1 describes an M/G/1 station: Poisson arrivals, FCFS, a single server
+// whose service times have mean 1/Mu and squared coefficient of variation
+// SCV = Var(S)/E[S]^2. The Pollaczek–Khinchine formula gives the exact
+// expected waiting time, which this package uses to validate the simulator
+// when the exponential-service assumption of the paper's model is relaxed
+// (deterministic service: SCV 0; exponential: SCV 1; hyperexponential
+// bursts: SCV > 1).
+type MG1 struct {
+	Mu     float64 // service rate: 1/E[S] (jobs/second)
+	SCV    float64 // squared coefficient of variation of service times
+	Lambda float64 // Poisson arrival rate (jobs/second)
+}
+
+// Validate checks the station parameters.
+func (q MG1) Validate() error {
+	if q.Mu <= 0 {
+		return fmt.Errorf("queueing: non-positive service rate %g", q.Mu)
+	}
+	if q.SCV < 0 {
+		return fmt.Errorf("queueing: negative SCV %g", q.SCV)
+	}
+	if q.Lambda < 0 {
+		return fmt.Errorf("queueing: negative arrival rate %g", q.Lambda)
+	}
+	if q.Lambda >= q.Mu {
+		return fmt.Errorf("%w: lambda=%g mu=%g", ErrUnstable, q.Lambda, q.Mu)
+	}
+	return nil
+}
+
+// Utilization returns rho = lambda/mu.
+func (q MG1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// WaitingTime returns the Pollaczek–Khinchine expected time in queue:
+// W = rho*(1+SCV) / (2*mu*(1-rho)).
+func (q MG1) WaitingTime() float64 {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho * (1 + q.SCV) / (2 * q.Mu * (1 - rho))
+}
+
+// ResponseTime returns the expected sojourn time W + 1/mu.
+func (q MG1) ResponseTime() float64 {
+	w := q.WaitingTime()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + 1/q.Mu
+}
+
+// JobsInSystem returns L by Little's law.
+func (q MG1) JobsInSystem() float64 {
+	t := q.ResponseTime()
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return q.Lambda * t
+}
+
+// MM1Equivalent reports the exponential-service special case (SCV = 1),
+// used to cross-check the two models against each other.
+func (q MG1) MM1Equivalent() MM1 { return MM1{Mu: q.Mu, Lambda: q.Lambda} }

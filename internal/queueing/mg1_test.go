@@ -1,0 +1,66 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMG1Validate(t *testing.T) {
+	if err := (MG1{Mu: 10, SCV: 1, Lambda: 5}).Validate(); err != nil {
+		t.Fatalf("valid station rejected: %v", err)
+	}
+	for name, q := range map[string]MG1{
+		"zero mu":      {Mu: 0, SCV: 1, Lambda: 0},
+		"negative scv": {Mu: 10, SCV: -1, Lambda: 5},
+		"negative lam": {Mu: 10, SCV: 1, Lambda: -1},
+		"unstable":     {Mu: 10, SCV: 1, Lambda: 10},
+	} {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMG1ExponentialMatchesMM1(t *testing.T) {
+	// SCV = 1 must reproduce the M/M/1 closed forms exactly.
+	for _, lambda := range []float64{1, 5, 9.5} {
+		g := MG1{Mu: 10, SCV: 1, Lambda: lambda}
+		m := g.MM1Equivalent()
+		if math.Abs(g.ResponseTime()-m.ResponseTime()) > 1e-12 {
+			t.Errorf("lambda=%v: MG1 T %v vs MM1 %v", lambda, g.ResponseTime(), m.ResponseTime())
+		}
+		if math.Abs(g.WaitingTime()-m.WaitingTime()) > 1e-12 {
+			t.Errorf("lambda=%v: MG1 W %v vs MM1 %v", lambda, g.WaitingTime(), m.WaitingTime())
+		}
+		if math.Abs(g.JobsInSystem()-m.JobsInSystem()) > 1e-9 {
+			t.Errorf("lambda=%v: MG1 L %v vs MM1 %v", lambda, g.JobsInSystem(), m.JobsInSystem())
+		}
+	}
+}
+
+func TestMG1DeterministicHalvesWaiting(t *testing.T) {
+	// M/D/1 waiting time is exactly half of M/M/1's.
+	d := MG1{Mu: 10, SCV: 0, Lambda: 7}
+	m := MM1{Mu: 10, Lambda: 7}
+	if math.Abs(d.WaitingTime()-m.WaitingTime()/2) > 1e-12 {
+		t.Fatalf("M/D/1 W = %v, want half of %v", d.WaitingTime(), m.WaitingTime())
+	}
+}
+
+func TestMG1WaitingMonotoneInSCV(t *testing.T) {
+	prev := -1.0
+	for _, scv := range []float64{0, 0.5, 1, 2, 4, 16} {
+		w := MG1{Mu: 10, SCV: scv, Lambda: 6}.WaitingTime()
+		if w <= prev {
+			t.Fatalf("waiting not increasing at scv=%v", scv)
+		}
+		prev = w
+	}
+}
+
+func TestMG1Saturation(t *testing.T) {
+	q := MG1{Mu: 5, SCV: 2, Lambda: 5}
+	if !math.IsInf(q.WaitingTime(), 1) || !math.IsInf(q.ResponseTime(), 1) || !math.IsInf(q.JobsInSystem(), 1) {
+		t.Fatal("saturated MG1 should be +Inf everywhere")
+	}
+}

@@ -1,0 +1,106 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc describes an M/M/c station: Poisson arrivals at rate Lambda served
+// FCFS by C identical exponential servers of rate Mu each. It extends the
+// paper's single-server computer model to multicore nodes (a natural
+// refinement the paper's future-work section gestures at); MMc with C = 1
+// coincides exactly with MM1.
+type MMc struct {
+	C      int     // number of servers
+	Mu     float64 // per-server service rate (jobs/second)
+	Lambda float64 // arrival rate (jobs/second)
+}
+
+// Validate checks that the station admits a steady state.
+func (q MMc) Validate() error {
+	if q.C < 1 {
+		return fmt.Errorf("queueing: need at least one server, got %d", q.C)
+	}
+	if q.Mu <= 0 {
+		return fmt.Errorf("queueing: non-positive service rate %g", q.Mu)
+	}
+	if q.Lambda < 0 {
+		return fmt.Errorf("queueing: negative arrival rate %g", q.Lambda)
+	}
+	if q.Lambda >= float64(q.C)*q.Mu {
+		return fmt.Errorf("%w: lambda=%g c*mu=%g", ErrUnstable, q.Lambda, float64(q.C)*q.Mu)
+	}
+	return nil
+}
+
+// Utilization returns rho = lambda/(c*mu), the per-server utilization.
+func (q MMc) Utilization() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// offeredLoad returns a = lambda/mu (in Erlangs).
+func (q MMc) offeredLoad() float64 { return q.Lambda / q.Mu }
+
+// ErlangC returns the probability an arriving job must wait (all servers
+// busy), computed with the numerically stable iterative form of the Erlang-C
+// formula. It returns 1 for an unstable station.
+func (q MMc) ErlangC() float64 {
+	if q.Lambda <= 0 {
+		return 0
+	}
+	if q.Utilization() >= 1 {
+		return 1
+	}
+	a := q.offeredLoad()
+	// Iterative Erlang-B, then convert to Erlang-C.
+	b := 1.0
+	for k := 1; k <= q.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Utilization()
+	return b / (1 - rho*(1-b))
+}
+
+// WaitingTime returns the expected time in queue (excluding service),
+// Wq = ErlangC / (c*mu - lambda).
+func (q MMc) WaitingTime() float64 {
+	if q.Utilization() >= 1 {
+		return math.Inf(1)
+	}
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// ResponseTime returns the expected sojourn time Wq + 1/mu.
+func (q MMc) ResponseTime() float64 {
+	if q.Utilization() >= 1 {
+		return math.Inf(1)
+	}
+	return q.WaitingTime() + 1/q.Mu
+}
+
+// JobsInSystem returns the expected number of jobs in the system
+// (Little's law: lambda * ResponseTime).
+func (q MMc) JobsInSystem() float64 {
+	if q.Utilization() >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.ResponseTime()
+}
+
+// JobsInQueue returns the expected queue length excluding jobs in service.
+func (q MMc) JobsInQueue() float64 {
+	if q.Utilization() >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.WaitingTime()
+}
+
+// EquivalentMM1Rate returns the service rate a single M/M/1 computer would
+// need to match this station's expected response time at the same load —
+// the correct way to fold a multicore node into the paper's single-server
+// game model. It returns lambda + 1/T from T = ResponseTime.
+func (q MMc) EquivalentMM1Rate() float64 {
+	t := q.ResponseTime()
+	if math.IsInf(t, 1) {
+		return q.Lambda
+	}
+	return q.Lambda + 1/t
+}

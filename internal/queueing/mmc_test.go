@@ -1,0 +1,116 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMMcValidate(t *testing.T) {
+	cases := []struct {
+		q    MMc
+		ok   bool
+		name string
+	}{
+		{MMc{C: 2, Mu: 10, Lambda: 15}, true, "stable"},
+		{MMc{C: 1, Mu: 10, Lambda: 5}, true, "single server"},
+		{MMc{C: 0, Mu: 10, Lambda: 5}, false, "no servers"},
+		{MMc{C: 2, Mu: 0, Lambda: 0}, false, "zero rate"},
+		{MMc{C: 2, Mu: 10, Lambda: -1}, false, "negative load"},
+		{MMc{C: 2, Mu: 10, Lambda: 20}, false, "critical"},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v", c.name, err)
+		}
+	}
+}
+
+func TestMMcWithOneServerMatchesMM1(t *testing.T) {
+	for _, lambda := range []float64{1, 5, 9, 9.9} {
+		c1 := MMc{C: 1, Mu: 10, Lambda: lambda}
+		m1 := MM1{Mu: 10, Lambda: lambda}
+		if got, want := c1.ResponseTime(), m1.ResponseTime(); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("lambda=%v: T = %v, MM1 %v", lambda, got, want)
+		}
+		if got, want := c1.WaitingTime(), m1.WaitingTime(); math.Abs(got-want) > 1e-12*(1+want) {
+			t.Errorf("lambda=%v: W = %v, MM1 %v", lambda, got, want)
+		}
+		if got, want := c1.JobsInSystem(), m1.JobsInSystem(); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("lambda=%v: L = %v, MM1 %v", lambda, got, want)
+		}
+	}
+}
+
+func TestErlangCKnownValue(t *testing.T) {
+	// Classic check: c=2, a=1 (rho=0.5) => ErlangC = 1/3.
+	q := MMc{C: 2, Mu: 1, Lambda: 1}
+	if got := q.ErlangC(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("ErlangC = %v, want 1/3", got)
+	}
+	// c=1: ErlangC = rho.
+	q1 := MMc{C: 1, Mu: 10, Lambda: 7}
+	if got := q1.ErlangC(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("single-server ErlangC = %v, want 0.7", got)
+	}
+}
+
+func TestErlangCEdges(t *testing.T) {
+	if got := (MMc{C: 3, Mu: 1, Lambda: 0}).ErlangC(); got != 0 {
+		t.Errorf("idle ErlangC = %v", got)
+	}
+	if got := (MMc{C: 2, Mu: 1, Lambda: 2}).ErlangC(); got != 1 {
+		t.Errorf("saturated ErlangC = %v", got)
+	}
+}
+
+func TestMMcPoolingBeatsSeparateQueues(t *testing.T) {
+	// A pooled M/M/2 beats two separate M/M/1s at the same per-server load.
+	pooled := MMc{C: 2, Mu: 10, Lambda: 16}
+	separate := MM1{Mu: 10, Lambda: 8}
+	if pooled.ResponseTime() >= separate.ResponseTime() {
+		t.Errorf("pooled %v should beat separate %v", pooled.ResponseTime(), separate.ResponseTime())
+	}
+	// And loses to a single double-speed server (less parallel slack but no
+	// head-of-line idling).
+	fast := MM1{Mu: 20, Lambda: 16}
+	if pooled.ResponseTime() <= fast.ResponseTime() {
+		t.Errorf("pooled %v should lose to fast single %v", pooled.ResponseTime(), fast.ResponseTime())
+	}
+}
+
+func TestMMcLittleLaw(t *testing.T) {
+	q := MMc{C: 4, Mu: 5, Lambda: 17}
+	if math.Abs(q.JobsInSystem()-q.Lambda*q.ResponseTime()) > 1e-12 {
+		t.Error("Little's law violated for L")
+	}
+	if math.Abs(q.JobsInQueue()-q.Lambda*q.WaitingTime()) > 1e-12 {
+		t.Error("Little's law violated for Lq")
+	}
+}
+
+func TestMMcUnstableInfinities(t *testing.T) {
+	q := MMc{C: 2, Mu: 5, Lambda: 10}
+	for name, v := range map[string]float64{
+		"T": q.ResponseTime(), "W": q.WaitingTime(),
+		"L": q.JobsInSystem(), "Lq": q.JobsInQueue(),
+	} {
+		if !math.IsInf(v, 1) {
+			t.Errorf("%s = %v, want +Inf", name, v)
+		}
+	}
+}
+
+func TestEquivalentMM1Rate(t *testing.T) {
+	q := MMc{C: 4, Mu: 10, Lambda: 30}
+	mu := q.EquivalentMM1Rate()
+	// The equivalent M/M/1 at the same load reproduces the response time.
+	eq := MM1{Mu: mu, Lambda: 30}
+	if math.Abs(eq.ResponseTime()-q.ResponseTime()) > 1e-12 {
+		t.Errorf("equivalent MM1 T = %v, MMc %v", eq.ResponseTime(), q.ResponseTime())
+	}
+	// The equivalent rate is below the raw capacity c*mu (pooling overhead)
+	// but above a single server's mu.
+	if mu >= 40 || mu <= 10 {
+		t.Errorf("equivalent rate %v outside (10, 40)", mu)
+	}
+}

@@ -1,0 +1,121 @@
+package queueing
+
+import "fmt"
+
+// This file carries the small QNA-style (Whitt's Queueing Network Analyzer)
+// approximation toolkit used when non-Poisson user streams are split across
+// computers and superposed: probabilistic thinning and superposition of
+// renewal streams tracked by their rate and squared coefficient of
+// variation (SCV), and the two-moment GI/M/1 waiting-time approximation.
+// These are approximations — the exact GI/M/1 results in gim1.go apply only
+// when a computer sees a single unsplit renewal stream — but they predict
+// the simulator's multi-user behaviour well (see internal/experiments EXT2).
+
+// ThinSCV returns the SCV of a renewal stream after independent
+// probabilistic thinning with probability p (each point kept with
+// probability p): c_thin^2 = p*c^2 + (1-p).
+func ThinSCV(c2, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("queueing: thinning probability %g outside [0,1]", p)
+	}
+	if c2 < 0 {
+		return 0, fmt.Errorf("queueing: negative SCV %g", c2)
+	}
+	return p*c2 + (1 - p), nil
+}
+
+// SuperposeSCV returns the rate-weighted stationary-interval approximation
+// of the SCV of a superposition of independent streams:
+// c^2 = sum_i (lambda_i/lambda) * c_i^2.
+func SuperposeSCV(rates, scvs []float64) (float64, error) {
+	if len(rates) != len(scvs) {
+		return 0, fmt.Errorf("queueing: %d rates for %d SCVs", len(rates), len(scvs))
+	}
+	var total, acc float64
+	for i := range rates {
+		if rates[i] < 0 || scvs[i] < 0 {
+			return 0, fmt.Errorf("queueing: negative rate/SCV at %d", i)
+		}
+		total += rates[i]
+		acc += rates[i] * scvs[i]
+	}
+	if total == 0 {
+		return 1, nil // no traffic: conventionally Poisson-like
+	}
+	return acc / total, nil
+}
+
+// ApproxGIWaitingTime is the two-moment GI/M/1 waiting approximation
+// W ≈ ((ca^2 + 1)/2) * W_{M/M/1}; exact for ca^2 = 1.
+func ApproxGIWaitingTime(mu, lambda, ca2 float64) (float64, error) {
+	q := MM1{Mu: mu, Lambda: lambda}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if ca2 < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival SCV %g", ca2)
+	}
+	return (ca2 + 1) / 2 * q.WaitingTime(), nil
+}
+
+// ApproxGIResponseTime returns the approximate sojourn time W + 1/mu.
+func ApproxGIResponseTime(mu, lambda, ca2 float64) (float64, error) {
+	w, err := ApproxGIWaitingTime(mu, lambda, ca2)
+	if err != nil {
+		return 0, err
+	}
+	return w + 1/mu, nil
+}
+
+// SplitSystemResponseTime predicts the overall expected response time when
+// m renewal user streams (rates userRates, SCVs userSCVs) are split across
+// computers by the fraction matrix split (split[i][j] of user i's jobs go
+// to computer j, rows summing to 1) and each computer is an exponential
+// server with rate compRates[j]. Thinning and superposition use the QNA
+// stationary-interval approximations above.
+func SplitSystemResponseTime(compRates []float64, userRates, userSCVs []float64, split [][]float64) (float64, error) {
+	n, m := len(compRates), len(userRates)
+	if len(userSCVs) != m || len(split) != m {
+		return 0, fmt.Errorf("queueing: inconsistent user dimensions")
+	}
+	var phi float64
+	var weighted float64
+	for j := 0; j < n; j++ {
+		var lambda float64
+		rates := make([]float64, 0, m)
+		scvs := make([]float64, 0, m)
+		for i := 0; i < m; i++ {
+			if len(split[i]) != n {
+				return 0, fmt.Errorf("queueing: split row %d has %d entries for %d computers", i, len(split[i]), n)
+			}
+			p := split[i][j]
+			if p == 0 {
+				continue
+			}
+			c2, err := ThinSCV(userSCVs[i], p)
+			if err != nil {
+				return 0, err
+			}
+			rates = append(rates, p*userRates[i])
+			scvs = append(scvs, c2)
+			lambda += p * userRates[i]
+		}
+		if lambda == 0 {
+			continue
+		}
+		ca2, err := SuperposeSCV(rates, scvs)
+		if err != nil {
+			return 0, err
+		}
+		t, err := ApproxGIResponseTime(compRates[j], lambda, ca2)
+		if err != nil {
+			return 0, fmt.Errorf("computer %d: %w", j, err)
+		}
+		weighted += lambda * t
+		phi += lambda
+	}
+	if phi == 0 {
+		return 0, nil
+	}
+	return weighted / phi, nil
+}

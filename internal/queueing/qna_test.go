@@ -1,0 +1,123 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThinSCV(t *testing.T) {
+	// Thinning drives any stream toward Poisson (c2 -> 1 as p -> 0).
+	if got, err := ThinSCV(16, 0); err != nil || got != 1 {
+		t.Errorf("full thinning: %v, %v", got, err)
+	}
+	if got, err := ThinSCV(16, 1); err != nil || got != 16 {
+		t.Errorf("no thinning: %v, %v", got, err)
+	}
+	if got, err := ThinSCV(0, 0.5); err != nil || got != 0.5 {
+		t.Errorf("deterministic thinned: %v, %v", got, err)
+	}
+	if _, err := ThinSCV(1, 1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := ThinSCV(-1, 0.5); err == nil {
+		t.Error("negative SCV accepted")
+	}
+}
+
+func TestSuperposeSCV(t *testing.T) {
+	got, err := SuperposeSCV([]float64{1, 3}, []float64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 { // (1*4 + 3*0)/4
+		t.Errorf("superposed SCV = %v, want 1", got)
+	}
+	if got, err := SuperposeSCV(nil, nil); err != nil || got != 1 {
+		t.Errorf("empty superposition: %v, %v", got, err)
+	}
+	if _, err := SuperposeSCV([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SuperposeSCV([]float64{-1}, []float64{1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestApproxGIExactForPoisson(t *testing.T) {
+	w, err := ApproxGIWaitingTime(10, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (MM1{Mu: 10, Lambda: 7}).WaitingTime(); math.Abs(w-want) > 1e-12 {
+		t.Errorf("ca2=1 approx %v != exact %v", w, want)
+	}
+	if _, err := ApproxGIWaitingTime(10, 11, 1); err == nil {
+		t.Error("unstable accepted")
+	}
+	if _, err := ApproxGIWaitingTime(10, 5, -1); err == nil {
+		t.Error("negative ca2 accepted")
+	}
+}
+
+func TestApproxGITracksExactGIM1(t *testing.T) {
+	// The two-moment approximation should be within ~25% of the exact
+	// GI/M/1 value at moderate load for both D and H2 interarrivals.
+	cases := []struct {
+		lst func(float64) float64
+		ca2 float64
+	}{
+		{DeterministicLST(7), 0},
+		{HyperExpLST(7, 4), 4},
+	}
+	for _, c := range cases {
+		exact, err := (GIM1{Mu: 10, Lambda: 7, LST: c.lst}).ResponseTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := ApproxGIResponseTime(10, 7, c.ca2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(approx-exact) > 0.25*exact {
+			t.Errorf("ca2=%v: approx %v vs exact %v", c.ca2, approx, exact)
+		}
+	}
+}
+
+func TestSplitSystemResponseTimePoissonReducesToMM1Mix(t *testing.T) {
+	// All-Poisson users: the prediction equals the exact M/M/1 mixture.
+	comp := []float64{20, 10}
+	users := []float64{9, 6}
+	scvs := []float64{1, 1}
+	split := [][]float64{{0.7, 0.3}, {0.5, 0.5}}
+	got, err := SplitSystemResponseTime(comp, users, scvs, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := 0.7*9 + 0.5*6
+	l1 := 0.3*9 + 0.5*6
+	want := (l0/(20-l0) + l1/(10-l1)) / (l0 + l1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("poisson split prediction %v, want %v", got, want)
+	}
+}
+
+func TestSplitSystemResponseTimeValidation(t *testing.T) {
+	if _, err := SplitSystemResponseTime([]float64{10}, []float64{5}, []float64{1, 1}, [][]float64{{1}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := SplitSystemResponseTime([]float64{10}, []float64{5}, []float64{1}, [][]float64{{1, 0}}); err == nil {
+		t.Error("split row width mismatch accepted")
+	}
+	if _, err := SplitSystemResponseTime([]float64{1}, []float64{5}, []float64{1}, [][]float64{{1}}); err == nil {
+		t.Error("overloaded computer accepted")
+	}
+	// Zero-load computers are skipped.
+	got, err := SplitSystemResponseTime([]float64{10, 10}, []float64{5}, []float64{1}, [][]float64{{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0 / 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("prediction %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Demo", "a", "long-col")
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a    long-col") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestAddRowPaddingAndTruncation(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("1", "2", "3-extra")
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[1] != "only," {
+		t.Errorf("short row = %q", lines[1])
+	}
+	if lines[2] != "1,2" {
+		t.Errorf("long row = %q", lines[2])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("quote not doubled: %s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Fix(3.14159, 2); got != "3.14" {
+		t.Errorf("Fix = %q", got)
+	}
+	if got := F(0.000123456, 3); got != "0.000123" {
+		t.Errorf("F = %q", got)
+	}
+	if got := CI(1.5, 0.25, 2); got != "1.50 ± 0.25" {
+		t.Errorf("CI = %q", got)
+	}
+}

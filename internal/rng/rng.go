@@ -1,0 +1,251 @@
+// Package rng implements the random-number substrate used by the simulator.
+//
+// The paper's evaluation was run on Sim++, whose experiments rely on multiple
+// independent random number streams (one per stochastic process) and
+// replications driven by distinct streams. This package reproduces that
+// discipline with a small, fully deterministic generator stack:
+//
+//   - SplitMix64 for seeding,
+//   - xoshiro256** as the core generator,
+//   - named sub-streams derived from a root seed so each source/server in a
+//     replication gets its own independent, replicable stream,
+//   - exponential and Poisson variates built on top.
+//
+// Only the Go standard library is used.
+package rng
+
+import (
+	"math"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used both to seed xoshiro and to hash stream labels.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**). It is not
+// safe for concurrent use; give each goroutine its own stream (see Derive).
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a stream seeded from the given seed. Distinct seeds give
+// streams that are independent for all practical purposes.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	st.Seed(seed)
+	return st
+}
+
+// Seed resets the stream to the deterministic state derived from seed.
+func (r *Stream) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 of any seed
+	// cannot produce four zero words, but be defensive anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// OpenFloat64 returns a uniform variate in the open interval (0, 1),
+// suitable as input to -log(u) transforms.
+func (r *Stream) OpenFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free-ish bounded generation.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0.
+func (r *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(r.OpenFloat64()) / rate
+}
+
+// HyperExp returns a variate from a balanced-means two-phase
+// hyperexponential distribution with the given rate (mean 1/rate) and
+// squared coefficient of variation scv >= 1. With scv == 1 it degenerates
+// to the exponential. Hyperexponential interarrivals model bursty traffic:
+// the same mean rate, delivered in clumps.
+func (r *Stream) HyperExp(rate, scv float64) float64 {
+	if rate <= 0 {
+		panic("rng: HyperExp with non-positive rate")
+	}
+	if scv < 1 {
+		panic("rng: HyperExp needs scv >= 1")
+	}
+	if scv == 1 {
+		return r.Exp(rate)
+	}
+	// Balanced means: phase probabilities p, 1-p with rates 2p*rate and
+	// 2(1-p)*rate; scv = 1/(2p(1-p)) - 1 inverts to the expression below.
+	p := 0.5 * (1 - math.Sqrt((scv-1)/(scv+1)))
+	if r.Float64() < p {
+		return r.Exp(2 * p * rate)
+	}
+	return r.Exp(2 * (1 - p) * rate)
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means it
+// uses Knuth multiplication; for large means the PTRS-like normal
+// approximation with continuity correction (adequate for workload-shaping
+// uses; exact inter-arrival processes use Exp instead).
+func (r *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation for large means.
+	n := mean + math.Sqrt(mean)*r.Normal()
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}
+
+// Normal returns a standard normal variate (Box–Muller, polar form).
+func (r *Stream) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Choose returns index i with probability weights[i] / sum(weights).
+// Weights must be non-negative with a positive sum; otherwise Choose panics.
+// This is the probabilistic branch used by the dispatcher to route a job to
+// computer i with probability s_ij.
+func (r *Stream) Choose(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: Choose with negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Choose with non-positive total weight")
+	}
+	u := r.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		cum += w
+		if u < cum {
+			return i
+		}
+	}
+	// Rounding residue: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Source is a factory for independent named streams, mirroring Sim++'s
+// multi-stream facility. Streams derived with the same root seed and label
+// are identical across runs; streams with different labels are independent.
+type Source struct {
+	root uint64
+}
+
+// NewSource returns a stream factory rooted at seed.
+func NewSource(seed uint64) *Source { return &Source{root: seed} }
+
+// hashLabel mixes a string label into a 64-bit value.
+func hashLabel(label string) uint64 {
+	// FNV-1a, then SplitMix64 finalization for avalanche.
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	state := h
+	return splitMix64(&state)
+}
+
+// Stream returns the deterministic stream for the given label.
+func (s *Source) Stream(label string) *Stream {
+	state := s.root
+	mix := splitMix64(&state) ^ hashLabel(label)
+	return New(mix)
+}
+
+// Replication returns a derived Source for replication r, so that each
+// replication of an experiment uses fully independent streams, as in the
+// paper ("each run was replicated five times with different random number
+// streams").
+func (s *Source) Replication(r int) *Source {
+	state := s.root ^ (0xda942042e4dd58b5 * uint64(r+1))
+	return &Source{root: splitMix64(&state)}
+}

@@ -1,0 +1,393 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("Seed did not reset the stream at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		u := s.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestOpenFloat64Positive(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		if u := s.OpenFloat64(); u <= 0 || u >= 1 {
+			t.Fatalf("OpenFloat64 out of (0,1): %v", u)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		u := s.Uniform(2, 6)
+		if u < 2 || u >= 6 {
+			t.Fatalf("Uniform(2,6) out of range: %v", u)
+		}
+		sum += u
+		sq += u * u
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.02 {
+		t.Errorf("uniform mean = %v, want ~4", mean)
+	}
+	variance := sq/n - mean*mean
+	if math.Abs(variance-16.0/12.0) > 0.02 {
+		t.Errorf("uniform variance = %v, want ~1.333", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) bucket %d count %d far from uniform 10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(13)
+	const n = 300000
+	const rate = 2.5
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := s.Exp(rate)
+		if x < 0 {
+			t.Fatalf("Exp produced negative %v", x)
+		}
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("exp mean = %v, want %v", mean, 1/rate)
+	}
+	variance := sq/n - mean*mean
+	if math.Abs(variance-1/(rate*rate)) > 0.02 {
+		t.Errorf("exp variance = %v, want %v", variance, 1/(rate*rate))
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) should panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestExpMemorylessProperty(t *testing.T) {
+	// P(X > a+b | X > a) == P(X > b): compare tail frequencies.
+	s := New(17)
+	const n = 400000
+	const rate = 1.0
+	var beyondA, beyondAB, beyondB int
+	const a, b = 0.5, 0.7
+	for i := 0; i < n; i++ {
+		x := s.Exp(rate)
+		if x > a {
+			beyondA++
+			if x > a+b {
+				beyondAB++
+			}
+		}
+		if x > b {
+			beyondB++
+		}
+	}
+	cond := float64(beyondAB) / float64(beyondA)
+	uncond := float64(beyondB) / float64(n)
+	if math.Abs(cond-uncond) > 0.01 {
+		t.Errorf("memorylessness violated: P(>a+b|>a)=%v vs P(>b)=%v", cond, uncond)
+	}
+}
+
+func TestHyperExpMoments(t *testing.T) {
+	s := New(37)
+	const n = 400000
+	const rate = 2.0
+	for _, scv := range []float64{1, 4, 16} {
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := s.HyperExp(rate, scv)
+			if x < 0 {
+				t.Fatalf("negative variate %v", x)
+			}
+			sum += x
+			sq += x * x
+		}
+		mean := sum / n
+		if math.Abs(mean-1/rate) > 0.02 {
+			t.Errorf("scv=%v: mean = %v, want %v", scv, mean, 1/rate)
+		}
+		variance := sq/n - mean*mean
+		gotSCV := variance / (mean * mean)
+		if math.Abs(gotSCV-scv) > 0.15*scv {
+			t.Errorf("scv=%v: measured scv %v", scv, gotSCV)
+		}
+	}
+}
+
+func TestHyperExpPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rate": func() { New(1).HyperExp(0, 4) },
+		"scv":  func() { New(1).HyperExp(1, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	const mean = 3.7
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		k := s.Poisson(mean)
+		if k < 0 {
+			t.Fatalf("negative Poisson variate %d", k)
+		}
+		sum += float64(k)
+		sq += float64(k) * float64(k)
+	}
+	m := sum / n
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("poisson mean = %v, want %v", m, mean)
+	}
+	variance := sq/n - m*m
+	if math.Abs(variance-mean) > 0.1 {
+		t.Errorf("poisson variance = %v, want ~%v", variance, mean)
+	}
+}
+
+func TestPoissonLargeMeanAndEdge(t *testing.T) {
+	s := New(23)
+	const n = 50000
+	const mean = 100.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Poisson(mean))
+	}
+	if m := sum / n; math.Abs(m-mean) > 1 {
+		t.Errorf("large poisson mean = %v, want ~%v", m, mean)
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(29)
+	const n = 300000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sq += x * x
+	}
+	if m := sum / n; math.Abs(m) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+	if v := sq / n; math.Abs(v-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", v)
+	}
+}
+
+func TestChooseFrequencies(t *testing.T) {
+	s := New(31)
+	w := []float64{0.5, 0, 0.3, 0.2}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Choose(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight branch chosen %d times", counts[1])
+	}
+	for i, want := range []float64{0.5, 0, 0.3, 0.2} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("branch %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	cases := map[string][]float64{
+		"negative": {0.5, -0.1},
+		"zero sum": {0, 0},
+		"nan":      {math.NaN()},
+	}
+	for name, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Choose should panic", name)
+				}
+			}()
+			New(1).Choose(w)
+		}()
+	}
+}
+
+func TestChooseAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed uint64, raw [6]float64) bool {
+		w := make([]float64, 6)
+		anyPos := false
+		for i, x := range raw[:] {
+			v := math.Abs(x)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			w[i] = v
+			if v > 0 {
+				anyPos = true
+			}
+		}
+		if !anyPos {
+			w[0] = 1
+		}
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			k := s.Choose(w)
+			if k < 0 || k >= len(w) || w[k] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceStreamsIndependentAndReplicable(t *testing.T) {
+	src := NewSource(99)
+	a1 := src.Stream("arrivals/user0")
+	a2 := src.Stream("arrivals/user0")
+	b := src.Stream("arrivals/user1")
+	diverged := false
+	for i := 0; i < 100; i++ {
+		va := a1.Uint64()
+		if va != a2.Uint64() {
+			t.Fatal("same label should give identical streams")
+		}
+		if va != b.Uint64() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestReplicationStreamsDiffer(t *testing.T) {
+	src := NewSource(7)
+	r0 := src.Replication(0).Stream("x")
+	r1 := src.Replication(1).Stream("x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r0.Uint64() == r1.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("replication streams collided %d/100 times", same)
+	}
+	// Replications must themselves be replicable.
+	x := src.Replication(3).Stream("y").Uint64()
+	y := src.Replication(3).Stream("y").Uint64()
+	if x != y {
+		t.Fatal("Replication is not deterministic")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Exp(1.5)
+	}
+	_ = sink
+}

@@ -1,0 +1,49 @@
+package schemes_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb/internal/game"
+	"nashlb/internal/schemes"
+)
+
+// ExampleRun evaluates the Wardrop (IOS) scheme: every user sees the same
+// expected response time.
+func ExampleRun() {
+	sys, err := game.NewSystem([]float64{30, 10}, []float64{10, 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := schemes.Run(schemes.IndividualOptimal{}, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("D = [%.4f %.4f], fairness %.3f\n", ev.UserTimes[0], ev.UserTimes[1], ev.Fairness)
+	// Output:
+	// D = [0.1000 0.1000], fairness 1.000
+}
+
+// ExampleWardropClosedForm solves the Wardrop loads directly: the slow
+// computer is left idle at light total load.
+func ExampleWardropClosedForm() {
+	loads, err := schemes.WardropClosedForm{}.Loads([]float64{30, 10}, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loads = [%.1f %.1f]\n", loads[0], loads[1])
+	// Output:
+	// loads = [15.0 0.0]
+}
+
+// ExampleOptimalLoads computes the globally optimal per-computer loads (the
+// GOS water-filling).
+func ExampleOptimalLoads() {
+	loads, err := schemes.OptimalLoads([]float64{30, 10}, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loads = [%.2f %.2f]\n", loads[0], loads[1])
+	// Output:
+	// loads = [17.32 2.68]
+}

@@ -1,0 +1,477 @@
+// Package schemes implements the static load-balancing schemes the paper
+// compares against (Section 4.2), plus the NASH scheme itself behind a
+// common interface:
+//
+//   - PS   — Proportional Scheme (Chow & Kohler 1979): every user allocates
+//     jobs to computers in proportion to their processing rates.
+//   - GOS  — Global Optimal Scheme (Kim & Kameda 1992): minimizes the
+//     expected response time over all jobs in the system.
+//   - IOS  — Individual Optimal Scheme (Kameda et al. 1997): the Wardrop
+//     equilibrium in which every job individually optimizes its own
+//     response time; all users see the same expected response time.
+//   - NASH — the paper's noncooperative user-optimal scheme (internal/core).
+package schemes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/numeric"
+	"nashlb/internal/stats"
+)
+
+// Scheme computes a full strategy profile for a system.
+type Scheme interface {
+	// Name returns the scheme's short name as used in the paper's figures.
+	Name() string
+	// Allocate returns a feasible strategy profile for the system.
+	Allocate(sys *game.System) (game.Profile, error)
+}
+
+// Evaluation bundles the analytic performance of a profile: the metrics the
+// paper reports for every scheme.
+type Evaluation struct {
+	Scheme      string
+	Profile     game.Profile
+	Loads       []float64 // lambda_j
+	UserTimes   []float64 // D_i
+	OverallTime float64   // load-weighted mean response time
+	Fairness    float64   // Jain's index over D_i
+}
+
+// Evaluate computes the analytic metrics of a profile under the system.
+func Evaluate(sys *game.System, name string, p game.Profile) Evaluation {
+	return Evaluation{
+		Scheme:      name,
+		Profile:     p,
+		Loads:       sys.Loads(p),
+		UserTimes:   sys.UserResponseTimes(p),
+		OverallTime: sys.OverallResponseTime(p),
+		Fairness:    stats.JainFairness(sys.UserResponseTimes(p)),
+	}
+}
+
+// Run allocates with the scheme and evaluates the result.
+func Run(s Scheme, sys *game.System) (Evaluation, error) {
+	p, err := s.Allocate(sys)
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	if err := sys.CheckProfile(p); err != nil {
+		return Evaluation{}, fmt.Errorf("%s produced infeasible profile: %w", s.Name(), err)
+	}
+	return Evaluate(sys, s.Name(), p), nil
+}
+
+// ---------------------------------------------------------------------------
+// PS — Proportional Scheme
+// ---------------------------------------------------------------------------
+
+// Proportional is the PS scheme: s_ij = mu_j / sum_k mu_k for every user.
+// Its fairness index is identically 1 (every user sees the same mix of
+// computers), but it overloads slow computers because it ignores queueing.
+type Proportional struct{}
+
+// Name returns "PS".
+func (Proportional) Name() string { return "PS" }
+
+// Allocate returns the proportional profile.
+func (Proportional) Allocate(sys *game.System) (game.Profile, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return game.ProportionalProfile(sys), nil
+}
+
+// ---------------------------------------------------------------------------
+// GOS — Global Optimal Scheme
+// ---------------------------------------------------------------------------
+
+// GOSAssignment selects how the globally optimal per-computer loads are
+// split among users; the convex program determines only the totals, so the
+// split is a free design choice that affects fairness but not the overall
+// expected response time.
+type GOSAssignment int
+
+const (
+	// SequentialFill packs users one after another onto the computers
+	// sorted fastest-first. This mirrors the unfair per-user times the
+	// paper reports for GOS (fairness well below 1 at high load): users
+	// early in the order monopolize fast computers.
+	SequentialFill GOSAssignment = iota
+	// UniformSplit gives every user the same mix s_ij = lambda_j/Phi; the
+	// result is perfectly fair but is not what the paper's GOS numbers
+	// show. Provided for the ABL3 ablation.
+	UniformSplit
+)
+
+// GlobalOptimal is the GOS scheme: it minimizes the overall expected
+// response time (1/Phi) sum_j lambda_j/(mu_j - lambda_j) over per-computer
+// loads, then splits the optimal loads among users per Assignment.
+type GlobalOptimal struct {
+	Assignment GOSAssignment
+}
+
+// Name returns "GOS".
+func (GlobalOptimal) Name() string { return "GOS" }
+
+// OptimalLoads returns the per-computer loads of the global optimum. The
+// single-class optimum has the same water-filling structure as the paper's
+// OPTIMAL run on the raw rates with the total arrival Phi (Theorem 2.1
+// specialized to one user), so it reuses core.Optimal.
+func OptimalLoads(rates []float64, phi float64) ([]float64, error) {
+	s, err := core.Optimal(rates, phi)
+	if err != nil {
+		return nil, err
+	}
+	loads := make([]float64, len(s))
+	for j := range s {
+		loads[j] = s[j] * phi
+	}
+	return loads, nil
+}
+
+// Allocate computes the GOS profile.
+func (g GlobalOptimal) Allocate(sys *game.System) (game.Profile, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	phi := sys.TotalArrival()
+	loads, err := OptimalLoads(sys.Rates, phi)
+	if err != nil {
+		return nil, err
+	}
+	switch g.Assignment {
+	case UniformSplit:
+		p := game.NewProfile(sys.Users(), sys.Computers())
+		for i := range p {
+			for j := range p[i] {
+				p[i][j] = loads[j] / phi
+			}
+		}
+		return p, nil
+	case SequentialFill:
+		return sequentialFill(sys, loads)
+	default:
+		return nil, fmt.Errorf("schemes: unknown GOS assignment %d", g.Assignment)
+	}
+}
+
+// sequentialFill splits per-computer load totals among users by packing the
+// users, in order, onto the computers sorted fastest-first.
+func sequentialFill(sys *game.System, loads []float64) (game.Profile, error) {
+	order := numeric.ArgsortDescending(sys.Rates)
+	p := game.NewProfile(sys.Users(), sys.Computers())
+	remaining := append([]float64(nil), loads...)
+	pos := 0 // index into order
+	for i := range p {
+		need := sys.Arrivals[i]
+		for need > 1e-12 {
+			if pos >= len(order) {
+				return nil, errors.New("schemes: sequential fill ran out of capacity (internal error)")
+			}
+			j := order[pos]
+			if remaining[j] <= 1e-12 {
+				pos++
+				continue
+			}
+			take := math.Min(need, remaining[j])
+			p[i][j] += take / sys.Arrivals[i]
+			remaining[j] -= take
+			need -= take
+		}
+		// Repair rounding so each strategy sums to exactly 1.
+		var sum numeric.Accumulator
+		for j := range p[i] {
+			sum.Add(p[i][j])
+		}
+		if sv := sum.Value(); sv > 0 {
+			for j := range p[i] {
+				p[i][j] /= sv
+			}
+		}
+	}
+	return p, nil
+}
+
+// ---------------------------------------------------------------------------
+// IOS — Individual Optimal Scheme (Wardrop equilibrium)
+// ---------------------------------------------------------------------------
+
+// IndividualOptimal is the IOS scheme. At the Wardrop equilibrium every job
+// sees the same expected response time T on every used computer:
+// lambda_j = max(0, mu_j - 1/T) with sum_j lambda_j = Phi. Every user
+// splits identically, s_ij = lambda_j/Phi, so the fairness index is 1.
+type IndividualOptimal struct {
+	// Solver selects the equilibrium computation; WardropClosedForm is the
+	// default (exact O(n log n)); the alternatives exist for the ABL2
+	// ablation and mirror the "not very efficient" iterative procedure of
+	// the IOS reference.
+	Solver WardropSolver
+}
+
+// Name returns "IOS".
+func (IndividualOptimal) Name() string { return "IOS" }
+
+// Allocate computes the IOS profile.
+func (s IndividualOptimal) Allocate(sys *game.System) (game.Profile, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	solver := s.Solver
+	if solver == nil {
+		solver = WardropClosedForm{}
+	}
+	loads, err := solver.Loads(sys.Rates, sys.TotalArrival())
+	if err != nil {
+		return nil, err
+	}
+	phi := sys.TotalArrival()
+	p := game.NewProfile(sys.Users(), sys.Computers())
+	for i := range p {
+		for j := range p[i] {
+			p[i][j] = loads[j] / phi
+		}
+	}
+	return p, nil
+}
+
+// WardropSolver computes the per-computer loads of the Wardrop equilibrium.
+type WardropSolver interface {
+	// Loads returns lambda_j with sum = phi such that all loaded computers
+	// share a common response time and unloaded ones are no faster.
+	Loads(rates []float64, phi float64) ([]float64, error)
+}
+
+// WardropClosedForm solves the equilibrium exactly: with computers sorted by
+// decreasing rate and an active prefix of size c, the common response time
+// is T = c / (sum_{j<=c} mu_j - phi); c is the largest prefix for which
+// 1/T < mu_c still holds.
+type WardropClosedForm struct{}
+
+// Loads implements WardropSolver.
+func (WardropClosedForm) Loads(rates []float64, phi float64) ([]float64, error) {
+	if err := checkWardropInput(rates, phi); err != nil {
+		return nil, err
+	}
+	perm := numeric.ArgsortDescending(rates)
+	sorted := numeric.Permute(rates, perm)
+	n := len(sorted)
+	var prefix numeric.Accumulator
+	c, level := 0, 0.0
+	for k := 0; k < n; k++ {
+		prefix.Add(sorted[k])
+		candidate := (prefix.Value() - phi) / float64(k+1) // 1/T with prefix k+1
+		// Computer k stays active iff its rate exceeds the implied level.
+		if sorted[k] > candidate {
+			c, level = k+1, candidate
+		} else {
+			break
+		}
+	}
+	if c == 0 {
+		return nil, errors.New("schemes: wardrop found no active computer (internal error)")
+	}
+	loads := make([]float64, n)
+	for k := 0; k < c; k++ {
+		loads[perm[k]] = sorted[k] - level
+	}
+	return loads, nil
+}
+
+// WardropBisection solves the same fixed point by bisection on the common
+// response time T; used to cross-check the closed form.
+type WardropBisection struct{}
+
+// Loads implements WardropSolver.
+func (WardropBisection) Loads(rates []float64, phi float64) ([]float64, error) {
+	if err := checkWardropInput(rates, phi); err != nil {
+		return nil, err
+	}
+	muMax := 0.0
+	var total float64
+	for _, mu := range rates {
+		total += mu
+		if mu > muMax {
+			muMax = mu
+		}
+	}
+	assigned := func(T float64) float64 {
+		var s float64
+		for _, mu := range rates {
+			if x := mu - 1/T; x > 0 {
+				s += x
+			}
+		}
+		return s - phi
+	}
+	lo := 1 / muMax
+	hi := float64(len(rates)) / (total - phi)
+	if hi <= lo {
+		hi = lo * 2
+	}
+	for assigned(hi) < 0 {
+		hi *= 2
+	}
+	T, err := numeric.Bisect(assigned, lo, hi, 1e-14*hi, 200)
+	if err != nil && !errors.Is(err, numeric.ErrMaxIterations) {
+		return nil, err
+	}
+	loads := make([]float64, len(rates))
+	var sum float64
+	for j, mu := range rates {
+		if x := mu - 1/T; x > 0 {
+			loads[j] = x
+			sum += x
+		}
+	}
+	// Normalize residual bisection error onto the active set.
+	if sum > 0 {
+		for j := range loads {
+			loads[j] *= phi / sum
+		}
+	}
+	return loads, nil
+}
+
+// WardropFrankWolfe is the deliberately slow iterative procedure kept as the
+// ABL2 baseline: Frank–Wolfe descent on the Beckmann potential
+// sum_j -ln(1 - lambda_j/mu_j), whose minimizer is the Wardrop equilibrium.
+// Each iteration routes a diminishing fraction of all traffic to the
+// currently fastest-responding computer.
+type WardropFrankWolfe struct {
+	// MaxIter bounds the iterations (default 20000).
+	MaxIter int
+	// Tol is the stopping tolerance on the duality-gap proxy (default 1e-9).
+	Tol float64
+	// Iterations reports how many iterations the last call used, for the
+	// ablation bench. It makes the solver stateful; use one per goroutine.
+	Iterations int
+}
+
+// Loads implements WardropSolver.
+func (w *WardropFrankWolfe) Loads(rates []float64, phi float64) ([]float64, error) {
+	if err := checkWardropInput(rates, phi); err != nil {
+		return nil, err
+	}
+	maxIter := w.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20000
+	}
+	tol := w.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	n := len(rates)
+	// Feasible start: proportional loads (strictly stable).
+	var total float64
+	for _, mu := range rates {
+		total += mu
+	}
+	loads := make([]float64, n)
+	for j := range loads {
+		loads[j] = phi * rates[j] / total
+	}
+	respTime := func(j int) float64 {
+		rem := rates[j] - loads[j]
+		if rem <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / rem
+	}
+	for k := 0; k < maxIter; k++ {
+		w.Iterations = k + 1
+		// Linearized subproblem: all flow to the computer with minimal
+		// marginal cost (response time).
+		best, bestT := 0, respTime(0)
+		for j := 1; j < n; j++ {
+			if t := respTime(j); t < bestT {
+				best, bestT = j, t
+			}
+		}
+		// Frank–Wolfe duality gap: grad(F)·(lambda - lambda_FW) =
+		// sum_j F_j*lambda_j - Phi*bestT; zero exactly at the Wardrop point.
+		var gap float64
+		for j := 0; j < n; j++ {
+			if loads[j] > 0 {
+				gap += respTime(j) * loads[j]
+			}
+		}
+		gap -= phi * bestT
+		if gap <= tol*phi*bestT {
+			return loads, nil
+		}
+		gamma := 2 / float64(k+3) // classic diminishing step
+		// Cap the step so the target computer stays strictly stable.
+		if headroom := rates[best] - loads[best]; phi-loads[best] > 0 {
+			maxGamma := 0.95 * headroom / (phi - loads[best])
+			if gamma > maxGamma {
+				gamma = maxGamma
+			}
+		}
+		for j := range loads {
+			target := 0.0
+			if j == best {
+				target = phi
+			}
+			loads[j] = (1-gamma)*loads[j] + gamma*target
+		}
+	}
+	return loads, fmt.Errorf("schemes: %w (frank-wolfe, %d iterations)", numeric.ErrMaxIterations, maxIter)
+}
+
+func checkWardropInput(rates []float64, phi float64) error {
+	if len(rates) == 0 {
+		return errors.New("schemes: no computers")
+	}
+	var total float64
+	for j, mu := range rates {
+		if !(mu > 0) {
+			return fmt.Errorf("schemes: invalid rate mu[%d]=%g", j, mu)
+		}
+		total += mu
+	}
+	if !(phi > 0) || phi >= total {
+		return fmt.Errorf("schemes: total arrival %g outside (0, %g)", phi, total)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// NASH — the paper's scheme, adapted to the Scheme interface
+// ---------------------------------------------------------------------------
+
+// Nash wraps the core solver as a Scheme for side-by-side evaluation.
+type Nash struct {
+	// Init selects NASH_0 or NASH_P (default NASH_P: fewer rounds, same
+	// equilibrium).
+	Init core.Init
+	// Epsilon is the convergence tolerance (core.DefaultEpsilon if zero).
+	Epsilon float64
+}
+
+// Name returns "NASH".
+func (Nash) Name() string { return "NASH" }
+
+// Allocate runs the NASH best-reply iteration to equilibrium.
+func (s Nash) Allocate(sys *game.System) (game.Profile, error) {
+	res, err := core.Solve(sys, core.Options{Init: s.Init, Epsilon: s.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	return res.Profile, nil
+}
+
+// All returns the paper's four schemes in presentation order, with GOS in
+// the paper-matching sequential-fill flavour.
+func All() []Scheme {
+	return []Scheme{
+		Nash{Init: core.InitProportional},
+		GlobalOptimal{},
+		IndividualOptimal{},
+		Proportional{},
+	}
+}

@@ -1,0 +1,411 @@
+package schemes
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+)
+
+// table1 builds the paper's Table-1 system at the given utilization.
+func table1(t testing.TB, rho float64) *game.System {
+	t.Helper()
+	rates := make([]float64, 0, 16)
+	for i := 0; i < 6; i++ {
+		rates = append(rates, 10)
+	}
+	for i := 0; i < 5; i++ {
+		rates = append(rates, 20)
+	}
+	for i := 0; i < 3; i++ {
+		rates = append(rates, 50)
+	}
+	for i := 0; i < 2; i++ {
+		rates = append(rates, 100)
+	}
+	mix := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.05, 0.05, 0.04}
+	arr := make([]float64, len(mix))
+	for i, q := range mix {
+		arr[i] = q * 510 * rho
+	}
+	sys, err := game.NewSystem(rates, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAllSchemesProduceFeasibleProfiles(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		sys := table1(t, rho)
+		for _, s := range All() {
+			ev, err := Run(s, sys)
+			if err != nil {
+				t.Fatalf("rho=%v %s: %v", rho, s.Name(), err)
+			}
+			if math.IsInf(ev.OverallTime, 1) {
+				t.Fatalf("rho=%v %s: infinite overall time", rho, s.Name())
+			}
+			if ev.Fairness <= 0 || ev.Fairness > 1+1e-12 {
+				t.Fatalf("rho=%v %s: fairness %v out of range", rho, s.Name(), ev.Fairness)
+			}
+		}
+	}
+}
+
+func TestProportionalFairnessIsOne(t *testing.T) {
+	// The paper: "for this scheme the fairness index is always 1".
+	for _, rho := range []float64{0.1, 0.6, 0.9} {
+		ev, err := Run(Proportional{}, table1(t, rho))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ev.Fairness-1) > 1e-12 {
+			t.Fatalf("rho=%v: PS fairness = %v, want 1", rho, ev.Fairness)
+		}
+	}
+}
+
+func TestIOSFairnessIsOneAndTimesEqual(t *testing.T) {
+	sys := table1(t, 0.7)
+	ev, err := Run(IndividualOptimal{}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Fairness-1) > 1e-9 {
+		t.Fatalf("IOS fairness = %v, want 1", ev.Fairness)
+	}
+	for i := 1; i < len(ev.UserTimes); i++ {
+		if math.Abs(ev.UserTimes[i]-ev.UserTimes[0]) > 1e-9 {
+			t.Fatalf("IOS user times differ: %v", ev.UserTimes)
+		}
+	}
+}
+
+func TestWardropEqualizesResponseTimes(t *testing.T) {
+	rates := []float64{100, 100, 50, 20, 20, 10}
+	loads, err := WardropClosedForm{}.Loads(rates, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var common float64
+	for j, l := range loads {
+		if l == 0 {
+			continue
+		}
+		f := 1 / (rates[j] - l)
+		if common == 0 {
+			common = f
+		} else if math.Abs(f-common) > 1e-9*common {
+			t.Fatalf("loaded computers not equalized: %v", loads)
+		}
+	}
+	// Unloaded computers must be no faster than the common time.
+	for j, l := range loads {
+		if l == 0 && 1/rates[j] < common*(1-1e-9) {
+			t.Fatalf("unloaded computer %d faster (1/mu=%v) than common %v", j, 1/rates[j], common)
+		}
+	}
+}
+
+func TestWardropConservation(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(12)
+		rates := make([]float64, n)
+		var total float64
+		for j := range rates {
+			rates[j] = r.Uniform(1, 100)
+			total += rates[j]
+		}
+		phi := r.Uniform(0.02, 0.98) * total
+		loads, err := WardropClosedForm{}.Loads(rates, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for j, l := range loads {
+			if l < 0 {
+				t.Fatalf("negative load %v", l)
+			}
+			if l >= rates[j] {
+				t.Fatalf("computer %d saturated: %v >= %v", j, l, rates[j])
+			}
+			sum += l
+		}
+		if math.Abs(sum-phi) > 1e-9*(1+phi) {
+			t.Fatalf("loads sum %v != phi %v", sum, phi)
+		}
+	}
+}
+
+func TestWardropClosedFormMatchesBisection(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(10)
+		rates := make([]float64, n)
+		var total float64
+		for j := range rates {
+			rates[j] = r.Uniform(1, 80)
+			total += rates[j]
+		}
+		phi := r.Uniform(0.1, 0.95) * total
+		a, err := WardropClosedForm{}.Loads(rates, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := WardropBisection{}.Loads(rates, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-6*(1+phi) {
+				t.Fatalf("solvers disagree at %d: %v vs %v", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestWardropFrankWolfeApproaches(t *testing.T) {
+	rates := []float64{100, 50, 20, 10}
+	phi := 120.0
+	exact, err := WardropClosedForm{}.Loads(rates, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &WardropFrankWolfe{MaxIter: 200000, Tol: 1e-4}
+	approx, err := fw.Loads(rates, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range exact {
+		if math.Abs(exact[j]-approx[j]) > 0.02*phi {
+			t.Fatalf("frank-wolfe load %d = %v, exact %v", j, approx[j], exact[j])
+		}
+	}
+	if fw.Iterations < 10 {
+		t.Fatalf("frank-wolfe suspiciously fast (%d iterations); it should be the slow baseline", fw.Iterations)
+	}
+}
+
+func TestWardropInputValidation(t *testing.T) {
+	if _, err := (WardropClosedForm{}).Loads(nil, 1); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := (WardropClosedForm{}).Loads([]float64{0, 1}, 0.5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := (WardropClosedForm{}).Loads([]float64{1, 1}, 2); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := (WardropClosedForm{}).Loads([]float64{1, 1}, 0); err == nil {
+		t.Error("zero arrival accepted")
+	}
+}
+
+func TestGOSMinimizesOverallTime(t *testing.T) {
+	// GOS's loads satisfy the KKT conditions of the single-class program
+	// and beat every other scheme's overall response time.
+	sys := table1(t, 0.6)
+	gos, err := Run(GlobalOptimal{}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := sys.TotalArrival()
+	frac := make(game.Strategy, len(gos.Loads))
+	for j := range frac {
+		frac[j] = gos.Loads[j] / phi
+	}
+	if res := core.KKTResidual(sys.Rates, phi, frac); res > 1e-7 {
+		t.Fatalf("GOS loads violate KKT: residual %v", res)
+	}
+	for _, s := range All() {
+		ev, err := Run(s, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.OverallTime < gos.OverallTime*(1-1e-9) {
+			t.Fatalf("%s overall %v beats GOS %v", s.Name(), ev.OverallTime, gos.OverallTime)
+		}
+	}
+}
+
+func TestGOSAssignmentsShareLoadsDifferInFairness(t *testing.T) {
+	sys := table1(t, 0.9)
+	seq, err := Run(GlobalOptimal{Assignment: SequentialFill}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Run(GlobalOptimal{Assignment: UniformSplit}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range seq.Loads {
+		if math.Abs(seq.Loads[j]-uni.Loads[j]) > 1e-6*(1+uni.Loads[j]) {
+			t.Fatalf("per-computer loads differ at %d: %v vs %v", j, seq.Loads[j], uni.Loads[j])
+		}
+	}
+	if math.Abs(seq.OverallTime-uni.OverallTime) > 1e-6*uni.OverallTime {
+		t.Fatalf("overall times differ: %v vs %v", seq.OverallTime, uni.OverallTime)
+	}
+	if math.Abs(uni.Fairness-1) > 1e-9 {
+		t.Fatalf("uniform split fairness = %v, want 1", uni.Fairness)
+	}
+	// The paper's GOS unfairness at high load: sequential fill well below 1.
+	if seq.Fairness > 0.99 {
+		t.Fatalf("sequential fill fairness = %v, expected visibly unfair at rho=0.9", seq.Fairness)
+	}
+}
+
+func TestGOSUnknownAssignment(t *testing.T) {
+	g := GlobalOptimal{Assignment: GOSAssignment(42)}
+	if _, err := g.Allocate(table1(t, 0.5)); err == nil {
+		t.Fatal("unknown assignment accepted")
+	}
+}
+
+func TestPaperOrderingAtMediumLoad(t *testing.T) {
+	// Figure 4 shape at rho=0.6: GOS <= NASH <= IOS <= PS (overall time).
+	sys := table1(t, 0.6)
+	get := func(s Scheme) float64 {
+		ev, err := Run(s, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return ev.OverallTime
+	}
+	gos := get(GlobalOptimal{})
+	nash := get(Nash{})
+	ios := get(IndividualOptimal{})
+	ps := get(Proportional{})
+	if !(gos <= nash*(1+1e-9)) {
+		t.Errorf("GOS %v > NASH %v", gos, nash)
+	}
+	if !(nash <= ios*(1+1e-9)) {
+		t.Errorf("NASH %v > IOS %v", nash, ios)
+	}
+	if !(ios <= ps*(1+1e-9)) {
+		t.Errorf("IOS %v > PS %v", ios, ps)
+	}
+	// And the paper's headline: NASH close to GOS (within ~10% at medium
+	// load), far below PS.
+	if nash > gos*1.15 {
+		t.Errorf("NASH %v not within 15%% of GOS %v", nash, gos)
+	}
+	if nash > ps*0.9 {
+		t.Errorf("NASH %v not clearly below PS %v", nash, ps)
+	}
+}
+
+func TestIOSEqualsPSWhenAllComputersActive(t *testing.T) {
+	// Analytic identity: once the Wardrop active set includes every
+	// computer, overall IOS time equals PS time n/(sum(mu) - Phi) —
+	// the paper's observation that IOS and PS coincide at high load.
+	sys := table1(t, 0.95)
+	ios, err := Run(IndividualOptimal{}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, l := range ios.Loads {
+		if l <= 0 {
+			t.Fatalf("computer %d inactive at rho=0.95; identity needs all active", j)
+		}
+	}
+	ps, err := Run(Proportional{}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(sys.Computers())
+	want := n / (sys.TotalCapacity() - sys.TotalArrival())
+	if math.Abs(ios.OverallTime-want) > 1e-9*want {
+		t.Errorf("IOS overall %v, closed form %v", ios.OverallTime, want)
+	}
+	if math.Abs(ps.OverallTime-want) > 1e-9*want {
+		t.Errorf("PS overall %v, closed form %v", ps.OverallTime, want)
+	}
+}
+
+func TestNashSchemeIsEquilibrium(t *testing.T) {
+	sys := table1(t, 0.6)
+	p, err := Nash{}.Allocate(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, impr, err := core.VerifyEquilibrium(sys, p, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("NASH scheme output not an equilibrium (improvement %g)", impr)
+	}
+}
+
+func TestSchemesRejectInvalidSystem(t *testing.T) {
+	bad := &game.System{Rates: []float64{1}, Arrivals: []float64{2}}
+	for _, s := range All() {
+		if _, err := s.Allocate(bad); err == nil {
+			t.Errorf("%s accepted overloaded system", s.Name())
+		}
+	}
+}
+
+func TestRunRejectsInfeasibleOutput(t *testing.T) {
+	sys := table1(t, 0.5)
+	if _, err := Run(brokenScheme{}, sys); err == nil {
+		t.Fatal("Run accepted an infeasible profile")
+	}
+}
+
+type brokenScheme struct{}
+
+func (brokenScheme) Name() string { return "BROKEN" }
+func (brokenScheme) Allocate(sys *game.System) (game.Profile, error) {
+	p := game.NewProfile(sys.Users(), sys.Computers())
+	// Fractions that do not sum to 1.
+	for i := range p {
+		p[i][0] = 0.5
+	}
+	return p, nil
+}
+
+func TestSequentialFillMatchesOptimalLoads(t *testing.T) {
+	sys := table1(t, 0.8)
+	loads, err := OptimalLoads(sys.Rates, sys.TotalArrival())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sequentialFill(sys, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Loads(p)
+	for j := range loads {
+		if math.Abs(got[j]-loads[j]) > 1e-6*(1+loads[j]) {
+			t.Fatalf("fill load %d = %v, want %v", j, got[j], loads[j])
+		}
+	}
+}
+
+func BenchmarkWardropClosedForm(b *testing.B) {
+	sys := table1(b, 0.6)
+	phi := sys.TotalArrival()
+	for i := 0; i < b.N; i++ {
+		if _, err := (WardropClosedForm{}).Loads(sys.Rates, phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGOS(b *testing.B) {
+	sys := table1(b, 0.6)
+	for i := 0; i < b.N; i++ {
+		if _, err := (GlobalOptimal{}).Allocate(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

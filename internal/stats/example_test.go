@@ -1,0 +1,45 @@
+package stats_test
+
+import (
+	"fmt"
+	"log"
+
+	"nashlb/internal/stats"
+)
+
+// ExampleJainFairness reproduces the classic Jain-index example: a (4, 2)
+// allocation scores 0.9.
+func ExampleJainFairness() {
+	fmt.Println(stats.JainFairness([]float64{4, 2}))
+	// Output:
+	// 0.9
+}
+
+// ExampleMeanCI95 forms the paper's five-replication confidence interval.
+func ExampleMeanCI95() {
+	iv, err := stats.MeanCI95([]float64{10.1, 9.8, 10.3, 9.9, 10.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.3f ± %.3f (rel. err %.1f%%)\n", iv.Mean, iv.HalfWide, 100*iv.RelativeError())
+	// Output:
+	// 10.020 ± 0.239 (rel. err 2.4%)
+}
+
+// ExampleRunning accumulates streaming moments with Welford's method.
+func ExampleRunning() {
+	var r stats.Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	fmt.Printf("n=%d mean=%.1f sd=%.2f\n", r.N(), r.Mean(), r.StdDev())
+	// Output:
+	// n=8 mean=5.0 sd=2.14
+}
+
+// ExampleQuantile computes an interpolated median.
+func ExampleQuantile() {
+	fmt.Println(stats.Quantile([]float64{3, 1, 4, 1, 5, 9, 2, 6}, 0.5))
+	// Output:
+	// 3.5
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"nashlb/internal/rng"
+)
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (type-7, the common default). It
+// copies and sorts the input; it panics on empty input or p outside [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("stats: Quantile probability outside [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Reservoir maintains a fixed-size uniform random sample of a stream
+// (Vitter's Algorithm R), so quantiles of millions of simulated response
+// times can be estimated in bounded memory.
+type Reservoir struct {
+	sample []float64
+	seen   int64
+	stream *rng.Stream
+}
+
+// NewReservoir returns a reservoir holding at most size values, using the
+// seed for its replacement decisions. It panics if size < 1.
+func NewReservoir(size int, seed uint64) *Reservoir {
+	if size < 1 {
+		panic("stats: reservoir size must be positive")
+	}
+	return &Reservoir{
+		sample: make([]float64, 0, size),
+		stream: rng.New(seed),
+	}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.sample) < cap(r.sample) {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if k := r.stream.Intn(int(min64(r.seen, math.MaxInt32))); k < len(r.sample) {
+		r.sample[k] = x
+	}
+}
+
+// Seen returns the number of observations offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns a copy of the current sample.
+func (r *Reservoir) Sample() []float64 {
+	return append([]float64(nil), r.sample...)
+}
+
+// Quantile estimates the p-quantile of the stream from the sample. It
+// panics if the reservoir is empty.
+func (r *Reservoir) Quantile(p float64) float64 {
+	return Quantile(r.sample, p)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

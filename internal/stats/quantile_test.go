@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/rng"
+)
+
+func TestQuantileExactValues(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Errorf("max = %v", got)
+	}
+	// sorted: 1 1 2 3 4 5 6 9; median = (3+4)/2.
+	if got := Quantile(xs, 0.5); got != 3.5 {
+		t.Errorf("median = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+	if got := Quantile([]float64{42}, 0.7); got != 42 {
+		t.Errorf("single value = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"p>1":   func() { Quantile([]float64{1}, 1.5) },
+		"p<0":   func() { Quantile([]float64{1}, -0.1) },
+		"NaN":   func() { Quantile([]float64{1}, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Exp(1)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := Quantile(xs, p)
+		if q < prev {
+			t.Fatalf("quantiles not monotone at p=%v", p)
+		}
+		prev = q
+	}
+}
+
+func TestReservoirSmallStreamKeepsEverything(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 0; i < 50; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 50 || len(r.Sample()) != 50 {
+		t.Fatalf("seen=%d sample=%d", r.Seen(), len(r.Sample()))
+	}
+	if got := r.Quantile(1); got != 49 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Stream 0..9999 into a 1000-slot reservoir: the sample mean should be
+	// close to the stream mean, and the sample must hold exactly 1000.
+	r := NewReservoir(1000, 7)
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	s := r.Sample()
+	if len(s) != 1000 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	mean := sum / float64(len(s))
+	if math.Abs(mean-4999.5) > 300 {
+		t.Errorf("sample mean %v far from 4999.5", mean)
+	}
+	// Quantile estimates track the stream's.
+	if q := r.Quantile(0.5); math.Abs(q-5000) > 500 {
+		t.Errorf("median estimate %v", q)
+	}
+}
+
+func TestReservoirPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}
+
+func TestReservoirExponentialQuantiles(t *testing.T) {
+	// Exponential stream: reservoir quantiles vs the closed form
+	// -ln(1-p)/rate.
+	src := rng.New(11)
+	r := NewReservoir(5000, 13)
+	const rate = 2.0
+	for i := 0; i < 200000; i++ {
+		r.Add(src.Exp(rate))
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		want := -math.Log(1-p) / rate
+		got := r.Quantile(p)
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("p=%v: quantile %v, want %v", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package stats provides the statistics substrate for the simulation study:
+// streaming moments (Welford), Student-t confidence intervals over
+// replications, relative standard error checks (the paper reports "standard
+// error less than 5% at the 95% confidence level"), and Jain's fairness
+// index used throughout the paper's evaluation.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooFewSamples is returned when an estimate needs more observations
+// than were provided.
+var ErrTooFewSamples = errors.New("stats: too few samples")
+
+// Running accumulates streaming mean and variance with Welford's algorithm.
+// The zero value is an empty accumulator ready for use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a new observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest observation (0 if empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 if empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator); it is 0
+// for fewer than two observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n < 1 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Merge combines another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	r.mean += delta * float64(o.n) / float64(n)
+	r.m2 += o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n = n
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values for df = 1..30.
+var tCritical95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom, falling back to the normal value 1.96 for large
+// df. It panics if df < 1.
+func TCritical95(df int) float64 {
+	if df < 1 {
+		panic("stats: TCritical95 with df < 1")
+	}
+	if df <= len(tCritical95) {
+		return tCritical95[df-1]
+	}
+	switch {
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Mean     float64 // point estimate
+	HalfWide float64 // half-width of the interval
+	Level    float64 // confidence level, e.g. 0.95
+	N        int     // number of observations behind the estimate
+}
+
+// Lo returns the lower bound of the interval.
+func (iv Interval) Lo() float64 { return iv.Mean - iv.HalfWide }
+
+// Hi returns the upper bound of the interval.
+func (iv Interval) Hi() float64 { return iv.Mean + iv.HalfWide }
+
+// RelativeError returns HalfWide/|Mean|, the paper's "standard error"
+// acceptance metric; it is +Inf for a zero mean with a nonzero half-width.
+func (iv Interval) RelativeError() float64 {
+	if iv.Mean == 0 {
+		if iv.HalfWide == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return iv.HalfWide / math.Abs(iv.Mean)
+}
+
+// Contains reports whether x falls inside the interval.
+func (iv Interval) Contains(x float64) bool {
+	return x >= iv.Lo() && x <= iv.Hi()
+}
+
+// BatchMeansCI95 estimates a 95% confidence interval for the mean of a
+// single long (possibly autocorrelated) observation series by the method of
+// batch means: the series is cut into nbatches contiguous batches, whose
+// means are approximately independent when batches are long relative to the
+// autocorrelation time, and a Student-t interval is formed over the batch
+// means. This is the classic single-run alternative to the paper's
+// independent replications. It requires at least 2 batches and at least one
+// observation per batch; trailing observations that do not fill the last
+// batch are dropped.
+func BatchMeansCI95(xs []float64, nbatches int) (Interval, error) {
+	if nbatches < 2 {
+		return Interval{}, ErrTooFewSamples
+	}
+	batchLen := len(xs) / nbatches
+	if batchLen < 1 {
+		return Interval{}, ErrTooFewSamples
+	}
+	means := make([]float64, nbatches)
+	for b := 0; b < nbatches; b++ {
+		var r Running
+		for k := b * batchLen; k < (b+1)*batchLen; k++ {
+			r.Add(xs[k])
+		}
+		means[b] = r.Mean()
+	}
+	return MeanCI95(means)
+}
+
+// MeanCI95 returns the 95% Student-t confidence interval for the mean of
+// samples. It requires at least two samples.
+func MeanCI95(samples []float64) (Interval, error) {
+	if len(samples) < 2 {
+		return Interval{}, ErrTooFewSamples
+	}
+	var r Running
+	for _, x := range samples {
+		r.Add(x)
+	}
+	t := TCritical95(len(samples) - 1)
+	return Interval{
+		Mean:     r.Mean(),
+		HalfWide: t * r.StdErr(),
+		Level:    0.95,
+		N:        len(samples),
+	}, nil
+}
+
+// JainFairness returns Jain's fairness index
+//
+//	I(x) = (sum x_i)^2 / (n * sum x_i^2)
+//
+// proposed by Jain, Chiu and Hawe (DEC-TR-301, 1984) and used by the paper to
+// quantify fairness of the per-user expected response times. The index is 1
+// when all entries are equal and tends to 1/n when a single entry dominates.
+// It returns 0 for an empty or all-zero input.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.Mean()
+}
+
+// WeightedMean returns sum(w_i x_i)/sum(w_i). It panics on length mismatch
+// and returns 0 when the total weight is zero.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var num, den float64
+	for i := range xs {
+		num += ws[i] * xs[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); observations outside the
+// range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with nbins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 || !(hi > lo) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of observations landing in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

@@ -1,0 +1,353 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nashlb/internal/rng"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if want := 32.0 / 7.0; math.Abs(r.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Variance() != 0 || r.StdErr() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+	if r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Error("min/max of single sample wrong")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(a, b [16]float64) bool {
+		sane := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 1e6)
+		}
+		var whole, left, right Running
+		for _, x := range a {
+			x = sane(x)
+			whole.Add(x)
+			left.Add(x)
+		}
+		for _, x := range b {
+			x = sane(x)
+			whole.Add(x)
+			right.Add(x)
+		}
+		left.Merge(right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) <= 1e-9*(1+math.Abs(whole.Mean())) &&
+			math.Abs(left.Variance()-whole.Variance()) <= 1e-6*(1+whole.Variance()) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := TCritical95(4); got != 2.776 {
+		t.Errorf("df=4: %v", got)
+	}
+	if got := TCritical95(1); got != 12.706 {
+		t.Errorf("df=1: %v", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Errorf("df=1000: %v", got)
+	}
+	if got := TCritical95(35); got != 2.021 {
+		t.Errorf("df=35: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("df=0 should panic")
+		}
+	}()
+	TCritical95(0)
+}
+
+func TestMeanCI95(t *testing.T) {
+	// Five replications, as in the paper.
+	samples := []float64{10.1, 9.8, 10.3, 9.9, 10.0}
+	iv, err := MeanCI95(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-10.02) > 1e-9 {
+		t.Errorf("mean = %v", iv.Mean)
+	}
+	if iv.N != 5 || iv.Level != 0.95 {
+		t.Errorf("meta wrong: %+v", iv)
+	}
+	if !iv.Contains(10.0) {
+		t.Error("interval should contain 10.0")
+	}
+	if iv.Contains(12) {
+		t.Error("interval should not contain 12")
+	}
+	if iv.RelativeError() > 0.05 {
+		t.Errorf("relative error %v exceeds the paper's 5%% criterion", iv.RelativeError())
+	}
+}
+
+func TestMeanCI95TooFew(t *testing.T) {
+	if _, err := MeanCI95([]float64{1}); err == nil {
+		t.Fatal("want error for single sample")
+	}
+}
+
+func TestMeanCI95Coverage(t *testing.T) {
+	// Empirical coverage of the t-interval on normal data should be ~95%.
+	src := rng.New(123)
+	const trials = 2000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		samples := make([]float64, 5)
+		for j := range samples {
+			samples[j] = 7 + 2*src.Normal()
+		}
+		iv, err := MeanCI95(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(7) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.93 || frac > 0.97 {
+		t.Errorf("coverage = %v, want ~0.95", frac)
+	}
+}
+
+func TestIntervalRelativeErrorEdge(t *testing.T) {
+	if iv := (Interval{Mean: 0, HalfWide: 0}); iv.RelativeError() != 0 {
+		t.Error("0/0 relative error should be 0")
+	}
+	if iv := (Interval{Mean: 0, HalfWide: 1}); !math.IsInf(iv.RelativeError(), 1) {
+		t.Error("x/0 relative error should be +Inf")
+	}
+}
+
+func TestBatchMeansCI95(t *testing.T) {
+	// IID normal data: the batch-means interval should cover the true mean
+	// and roughly agree with the direct t-interval.
+	src := rng.New(55)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 3 + src.Normal()
+	}
+	bm, err := BatchMeansCI95(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bm.Contains(3) {
+		t.Errorf("batch means CI %v..%v misses 3", bm.Lo(), bm.Hi())
+	}
+	if bm.N != 10 {
+		t.Errorf("N = %d, want 10 batches", bm.N)
+	}
+	// Autocorrelated data (AR(1) with phi=0.9): batch means must widen the
+	// interval relative to the naive IID formula, which underestimates.
+	ar := make([]float64, 20000)
+	prev := 0.0
+	for i := range ar {
+		prev = 0.9*prev + src.Normal()
+		ar[i] = 5 + prev
+	}
+	naive, err := MeanCI95(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := BatchMeansCI95(ar, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.HalfWide <= naive.HalfWide {
+		t.Errorf("batch means %v not wider than naive %v on AR(1) data", batched.HalfWide, naive.HalfWide)
+	}
+	if !batched.Contains(5) {
+		t.Errorf("AR(1) batch CI %v..%v misses 5", batched.Lo(), batched.Hi())
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := BatchMeansCI95([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("1 batch accepted")
+	}
+	if _, err := BatchMeansCI95([]float64{1}, 5); err == nil {
+		t.Error("more batches than points accepted")
+	}
+}
+
+func TestJainFairnessEqualAllocations(t *testing.T) {
+	if got := JainFairness([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-15 {
+		t.Errorf("equal vector fairness = %v, want 1", got)
+	}
+}
+
+func TestJainFairnessKnownValues(t *testing.T) {
+	// One dominant user among n tends to 1/n.
+	got := JainFairness([]float64{1, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("single-user fairness = %v, want 0.25", got)
+	}
+	// Classic Jain example: (4,2): (6^2)/(2*20) = 0.9.
+	if got := JainFairness([]float64{4, 2}); math.Abs(got-0.9) > 1e-15 {
+		t.Errorf("fairness(4,2) = %v, want 0.9", got)
+	}
+}
+
+func TestJainFairnessRangeProperty(t *testing.T) {
+	f := func(raw [10]float64) bool {
+		xs := make([]float64, 0, 10)
+		for _, x := range raw {
+			v := math.Abs(x)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			xs = append(xs, math.Mod(v, 1e6))
+		}
+		idx := JainFairness(xs)
+		if idx == 0 { // all-zero input
+			for _, x := range xs {
+				if x != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		return idx >= 1.0/float64(len(xs))-1e-12 && idx <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainFairnessScaleInvariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	a := JainFairness(xs)
+	scaled := make([]float64, len(xs))
+	for i, x := range xs {
+		scaled[i] = 17.5 * x
+	}
+	if b := JainFairness(scaled); math.Abs(a-b) > 1e-12 {
+		t.Errorf("fairness not scale invariant: %v vs %v", a, b)
+	}
+}
+
+func TestJainFairnessEmptyAndZero(t *testing.T) {
+	if JainFairness(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	if JainFairness([]float64{0, 0}) != 0 {
+		t.Error("all-zero input should give 0")
+	}
+}
+
+func TestMeanAndWeightedMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := WeightedMean([]float64{10, 20}, []float64{3, 1}); got != 12.5 {
+		t.Errorf("WeightedMean = %v", got)
+	}
+	if got := WeightedMean([]float64{10}, []float64{0}); got != 0 {
+		t.Errorf("zero-weight WeightedMean = %v", got)
+	}
+}
+
+func TestWeightedMeanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.999
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/7.0) > 1e-15 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic for invalid histogram")
+				}
+			}()
+			f()
+		}()
+	}
+}

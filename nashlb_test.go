@@ -1,0 +1,162 @@
+package nashlb_test
+
+import (
+	"math"
+	"testing"
+
+	"nashlb"
+)
+
+func demoSystem(t testing.TB) *nashlb.System {
+	t.Helper()
+	sys, err := nashlb.NewSystem([]float64{100, 50, 20, 10}, []float64{40, 30, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := nashlb.SolveNash(sys, nashlb.NashOptions{Init: nashlb.InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, impr, err := nashlb.VerifyEquilibrium(sys, res.Profile, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("not an equilibrium (improvement %g)", impr)
+	}
+	// Ring solvers agree with the sequential one.
+	ring, err := nashlb.SolveNashRing(sys, nashlb.RingOptions{Init: nashlb.InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ring.OverallTime-res.OverallTime) > 1e-9 {
+		t.Fatalf("ring %v vs sequential %v", ring.OverallTime, res.OverallTime)
+	}
+}
+
+func TestPublicSchemes(t *testing.T) {
+	sys := demoSystem(t)
+	if len(nashlb.AllSchemes()) != 4 {
+		t.Fatal("expected 4 schemes")
+	}
+	var gosTime float64
+	for _, s := range nashlb.AllSchemes() {
+		ev, err := nashlb.RunScheme(s, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if ev.OverallTime <= 0 {
+			t.Fatalf("%s: bad overall time %v", s.Name(), ev.OverallTime)
+		}
+		if s.Name() == "GOS" {
+			gosTime = ev.OverallTime
+		}
+	}
+	if gosTime == 0 {
+		t.Fatal("GOS missing from AllSchemes")
+	}
+}
+
+func TestPublicOptimalAndEvaluate(t *testing.T) {
+	s, err := nashlb.Optimal([]float64{30, 10}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	sys := demoSystem(t)
+	p := make(nashlb.Profile, sys.Users())
+	for i := range p {
+		p[i] = nashlb.Strategy{0.5, 0.3, 0.1, 0.1}
+	}
+	ev := nashlb.Evaluate(sys, "demo", p)
+	if ev.Scheme != "demo" || ev.OverallTime <= 0 {
+		t.Fatalf("evaluation wrong: %+v", ev)
+	}
+	if f := nashlb.JainFairness(ev.UserTimes); f <= 0 || f > 1+1e-12 {
+		t.Fatalf("fairness %v", f)
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := nashlb.SolveNash(sys, nashlb.NashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nashlb.SimConfig{
+		Rates:    sys.Rates,
+		Arrivals: sys.Arrivals,
+		Profile:  res.Profile,
+		Duration: 2000,
+		Warmup:   200,
+		Seed:     9,
+	}
+	sum, err := nashlb.Replicate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.OverallTime.Mean-res.OverallTime) > 0.15*res.OverallTime {
+		t.Fatalf("simulated %v far from analytic %v", sum.OverallTime.Mean, res.OverallTime)
+	}
+}
+
+func TestPublicTCPRing(t *testing.T) {
+	sys, err := nashlb.NewSystem([]float64{50, 20}, []float64{15, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := nashlb.SolveNash(sys, nashlb.NashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := nashlb.SolveNashTCP(sys, nashlb.RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tcp.OverallTime-seq.OverallTime) > 1e-9 {
+		t.Fatalf("TCP %v vs sequential %v", tcp.OverallTime, seq.OverallTime)
+	}
+}
+
+func TestPublicSingleSimulate(t *testing.T) {
+	res, err := nashlb.Simulate(nashlb.SimConfig{
+		Rates:    []float64{10},
+		Arrivals: []float64{6},
+		Profile:  nashlb.Profile{{1}},
+		Duration: 3000,
+		Warmup:   300,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.25; math.Abs(res.OverallMean()-want) > 0.05*want {
+		t.Fatalf("simulated %v, closed form %v", res.OverallMean(), want)
+	}
+}
+
+func TestPublicWarmStart(t *testing.T) {
+	sys := demoSystem(t)
+	first, err := nashlb.SolveNash(sys, nashlb.NashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := nashlb.SolveNashFrom(sys, first.Profile, nashlb.NashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Rounds > 2 {
+		t.Fatalf("warm start took %d rounds", warm.Rounds)
+	}
+}
