@@ -307,3 +307,28 @@ func BenchmarkAblationRateEstimation(b *testing.B) {
 	b.ReportMetric(res.Rows[0].Suboptimality, "subopt-short-window")
 	b.ReportMetric(res.Rows[len(res.Rows)-1].Suboptimality, "subopt-long-window")
 }
+
+// BenchmarkExtFaultTolerance regenerates EXT7's quick grid (the supervised
+// NASH ring under injected chaos, a permanent crash and a crash-then-restart
+// on the Table-1 system), reporting the recovery work and how far the
+// recovered equilibrium sits from the sequential solver.
+func BenchmarkExtFaultTolerance(b *testing.B) {
+	var res *experiments.Ext7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Ext7(0.6, 2002, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var recoveries, ejections float64
+	var worstDev float64
+	for _, row := range res.Rows {
+		recoveries += float64(row.Recoveries)
+		ejections += float64(len(row.Ejected))
+		worstDev = math.Max(worstDev, row.DevVsSeq)
+	}
+	b.ReportMetric(recoveries, "recoveries")
+	b.ReportMetric(ejections, "ejections")
+	b.ReportMetric(worstDev, "worst-dev-vs-seq")
+}

@@ -1,6 +1,6 @@
 // Command experiments regenerates the paper's evaluation artifacts — Table
 // 1 and Figures 2-6 — plus the DESIGN.md ablations ABL1-ABL6 and extensions
-// EXT1-EXT6. Results print as aligned text tables; -csv writes one CSV per
+// EXT1-EXT7. Results print as aligned text tables; -csv writes one CSV per
 // artifact into a directory and -plot adds ASCII charts for the figures.
 //
 // Usage:
@@ -28,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag   = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext6 or all")
+		runFlag   = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext7 or all")
 		simFlag   = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
 		quickFlag = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
 		csvFlag   = flag.String("csv", "", "directory to write CSV files into (created if missing)")
@@ -208,6 +208,14 @@ func main() {
 			log.Fatalf("ext6: %v", err)
 		}
 		emit("ext6_static_vs_dynamic", res.Table())
+		ran++
+	}
+	if selected("ext7") {
+		res, err := experiments.Ext7(*utilFlag, params.Seed, *quickFlag)
+		if err != nil {
+			log.Fatalf("ext7: %v", err)
+		}
+		emit("ext7_fault_tolerance", res.Table())
 		ran++
 	}
 	if ran == 0 {

@@ -5,6 +5,13 @@
 //
 //	nashd -rates 6x10,5x20,3x50,2x100 -arrivals 10x30.6 [-eps 1e-9] [-verify]
 //
+// Adding -supervise runs the demo under the fault supervisor with seeded
+// chaos injection (token recovery, node ejection, crash-then-restart):
+//
+//	nashd -supervise -drop 0.05 -dup 0.1 -delay 0.1 -reorder 0.05 -verify
+//	nashd -supervise -crash 7 -crash-after 4            # permanent crash: ejection
+//	nashd -supervise -crash 4 -crash-after 4 -restart   # crash then rejoin
+//
 // state — the cluster-state service (the deployment analogue of the paper's
 // "inspect the run queue of each computer"):
 //
@@ -16,6 +23,11 @@
 //
 //	nashd -mode node -id 0 -users 3 -arrival 30 -state 127.0.0.1:7000 \
 //	      -listen 127.0.0.1:7100 -next 127.0.0.1:7101
+//
+// Node mode accepts -recv-timeout (liveness guard), -recover (leader only:
+// re-inject lost tokens instead of failing) and -epoch (bump when
+// restarting a crashed node so the ring accepts its restarted sequence
+// numbers).
 package main
 
 import (
@@ -28,9 +40,11 @@ import (
 
 	"nashlb"
 	"nashlb/internal/cli"
+	"nashlb/internal/core"
 	"nashlb/internal/dist"
 	"nashlb/internal/game"
 	"nashlb/internal/report"
+	"nashlb/internal/rng"
 )
 
 func main() {
@@ -48,16 +62,45 @@ func main() {
 		idFlag       = flag.Int("id", 0, "this node's 0-based id (node mode)")
 		usersFlag    = flag.Int("users", 0, "ring size (node mode)")
 		arrivalFlag  = flag.Float64("arrival", 0, "this user's arrival rate (node mode)")
+
+		superviseFlag = flag.Bool("supervise", false, "run the demo under the fault supervisor (in-process ring with chaos injection)")
+		dropFlag      = flag.Float64("drop", 0, "chaos: per-message drop probability (supervised demo)")
+		dupFlag       = flag.Float64("dup", 0, "chaos: per-message duplication probability (supervised demo)")
+		delayFlag     = flag.Float64("delay", 0, "chaos: per-message delay probability (supervised demo)")
+		delayMaxFlag  = flag.Duration("delay-max", 2*time.Millisecond, "chaos: maximum injected delay (supervised demo)")
+		reorderFlag   = flag.Float64("reorder", 0, "chaos: per-message reorder probability (supervised demo)")
+		crashFlag     = flag.Int("crash", -1, "chaos: node id to crash (supervised demo; -1 = none, node 0 cannot crash)")
+		crashAfterFlag = flag.Int("crash-after", 4, "chaos: crash the node after this many received tokens (supervised demo)")
+		restartFlag   = flag.Bool("restart", false, "restart the crashed node instead of ejecting it (supervised demo)")
+		restartDelayFlag = flag.Duration("restart-delay", 5*time.Millisecond, "downtime before a restart (supervised demo)")
+		chaosSeedFlag = flag.Uint64("chaos-seed", 2002, "seed for the chaos fault streams (supervised demo)")
+		recvTimeoutFlag = flag.Duration("recv-timeout", 0, "liveness deadline: supervised-demo stall detection (default 250ms) or node-mode receive guard (0 = off)")
+		maxMissesFlag = flag.Int("max-misses", 0, "generations a node may miss before ejection (supervised demo; 0 = default 3)")
+		recoverFlag   = flag.Bool("recover", false, "node mode, leader only: re-inject lost tokens instead of failing (needs -recv-timeout)")
+		epochFlag     = flag.Uint64("epoch", 0, "node mode: restart incarnation; bump when restarting a crashed node")
 	)
 	flag.Parse()
 
 	switch *modeFlag {
 	case "demo":
+		if *superviseFlag {
+			runSupervised(*ratesFlag, *arrivalsFlag, *epsFlag, *verifyFlag, supervisedConfig{
+				drop: *dropFlag, dup: *dupFlag, delay: *delayFlag, delayMax: *delayMaxFlag,
+				reorder: *reorderFlag, crash: *crashFlag, crashAfter: *crashAfterFlag,
+				restart: *restartFlag, restartDelay: *restartDelayFlag, seed: *chaosSeedFlag,
+				recvTimeout: *recvTimeoutFlag, maxMisses: *maxMissesFlag,
+			})
+			return
+		}
 		runDemo(*ratesFlag, *arrivalsFlag, *epsFlag, *verifyFlag)
 	case "state":
 		runState(*ratesFlag, *arrivalsFlag, *listenFlag)
 	case "node":
-		runNode(*idFlag, *usersFlag, *arrivalFlag, *stateFlag, *listenFlag, *nextFlag, *epsFlag)
+		runNode(nodeParams{
+			id: *idFlag, users: *usersFlag, arrival: *arrivalFlag,
+			stateAddr: *stateFlag, listen: *listenFlag, next: *nextFlag, eps: *epsFlag,
+			recvTimeout: *recvTimeoutFlag, recover: *recoverFlag, epoch: *epochFlag,
+		})
 	default:
 		log.Fatalf("-mode: unknown mode %q (want demo, state or node)", *modeFlag)
 	}
@@ -111,6 +154,90 @@ func runDemo(rates, arrivals string, eps float64, verify bool) {
 	}
 }
 
+// supervisedConfig bundles the chaos/supervision flags of the demo.
+type supervisedConfig struct {
+	drop, dup, delay, reorder float64
+	delayMax                  time.Duration
+	crash                     int
+	crashAfter                int
+	restart                   bool
+	restartDelay              time.Duration
+	seed                      uint64
+	recvTimeout               time.Duration
+	maxMisses                 int
+}
+
+func runSupervised(rates, arrivals string, eps float64, verify bool, cfg supervisedConfig) {
+	sys := parseSystem(rates, arrivals)
+	if cfg.crash == 0 {
+		log.Fatal("-crash: node 0 is the leader/recovery agent and cannot be crashed")
+	}
+	fmt.Printf("starting a supervised ring of %d user nodes (chaos seed %d)...\n", sys.Users(), cfg.seed)
+	store := dist.NewMemoryStore(sys, nil)
+	src := rng.NewSource(cfg.seed)
+	start := time.Now()
+	res, err := dist.Supervise(sys, store, dist.SupervisorOptions{
+		Epsilon:      eps,
+		RecvTimeout:  cfg.recvTimeout,
+		MaxMisses:    cfg.maxMisses,
+		Restart:      cfg.restart,
+		RestartDelay: cfg.restartDelay,
+		Wrap: func(id int, tr dist.Transport) dist.Transport {
+			c := dist.ChaosConfig{
+				Drop: cfg.drop, Dup: cfg.dup, DelayProb: cfg.delay, MaxDelay: cfg.delayMax,
+				Reorder: cfg.reorder, R: src.Stream(fmt.Sprintf("link%d", id)),
+			}
+			if id == cfg.crash {
+				c.CrashAfterRecvs = cfg.crashAfter
+			}
+			if c.Drop == 0 && c.Dup == 0 && c.DelayProb == 0 && c.Reorder == 0 && c.CrashAfterRecvs == 0 {
+				return tr
+			}
+			return dist.NewChaos(tr, c)
+		},
+	})
+	if res == nil {
+		log.Fatal(err)
+	}
+	if err != nil {
+		fmt.Printf("run ended without full convergence: %v\n", err)
+	}
+	fmt.Printf("%d token circulations in %v: %d recoveries, %d generations, %d restarts\n",
+		res.Rounds, time.Since(start).Round(time.Millisecond), res.Recoveries, res.Generations, res.Restarts)
+	if len(res.Ejected) > 0 {
+		fmt.Printf("ejected nodes %v (strategies frozen at their last published values)\n", res.Ejected)
+	}
+	fmt.Printf("final norm %.3g, overall expected response time %.6g s\n", res.Norm, res.OverallTime)
+
+	if verify {
+		ejected := make(map[int]bool)
+		for _, i := range res.Ejected {
+			ejected[i] = true
+		}
+		worst := 0.0
+		for i := range res.Profile {
+			if ejected[i] {
+				continue
+			}
+			avail := sys.AvailableRates(res.Profile, i)
+			best, err := core.Optimal(avail, sys.Arrivals[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			gain := core.ResponseTime(avail, sys.Arrivals[i], res.Profile[i]) -
+				core.ResponseTime(avail, sys.Arrivals[i], best)
+			if gain > worst {
+				worst = gain
+			}
+		}
+		if worst <= 1e-6 {
+			fmt.Println("verified: no surviving user can improve by a unilateral deviation")
+		} else {
+			log.Fatalf("NOT an equilibrium: best surviving-user deviation improves %g s", worst)
+		}
+	}
+}
+
 func runState(rates, arrivals, listen string) {
 	sys := parseSystem(rates, arrivals)
 	store := dist.NewMemoryStore(sys, nil)
@@ -133,25 +260,39 @@ func runState(rates, arrivals, listen string) {
 	}
 }
 
-func runNode(id, users int, arrival float64, stateAddr, listen, next string, eps float64) {
-	if stateAddr == "" || next == "" || users < 1 {
+// nodeParams bundles the node-mode flags.
+type nodeParams struct {
+	id, users   int
+	arrival     float64
+	stateAddr   string
+	listen      string
+	next        string
+	eps         float64
+	recvTimeout time.Duration
+	recover     bool
+	epoch       uint64
+}
+
+func runNode(p nodeParams) {
+	if p.stateAddr == "" || p.next == "" || p.users < 1 {
 		log.Fatal("node mode needs -state, -next, -users, -id and -arrival")
 	}
-	tr, err := dist.NewTCPNode(listen, next)
+	tr, err := dist.NewTCPNode(p.listen, p.next)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer tr.Close()
 	fmt.Printf("node %d/%d listening on %s, successor %s, state %s\n",
-		id, users, dist.NodeAddr(tr), next, stateAddr)
-	client := dist.DialState(stateAddr)
+		p.id, p.users, dist.NodeAddr(tr), p.next, p.stateAddr)
+	client := dist.DialState(p.stateAddr)
 	defer client.Close()
 	res, err := dist.RunNode(dist.NodeConfig{
-		ID: id, Users: users, Arrival: arrival, Epsilon: eps,
+		ID: p.id, Users: p.users, Arrival: p.arrival, Epsilon: p.eps,
+		Epoch: p.epoch, RecvTimeout: p.recvTimeout, Recover: p.recover,
 	}, client, tr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("node %d done: %d rounds, converged=%v\n", id, res.Rounds, res.Converged)
+	fmt.Printf("node %d done: %d rounds, converged=%v\n", p.id, res.Rounds, res.Converged)
 	fmt.Printf("final strategy: %v\n", []float64(game.Strategy(res.Strategy)))
 }

@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeMessage feeds arbitrary bytes to the ring frame decoder: it
+// must reject garbage with an error (never panic), and everything it
+// accepts must survive an encode/decode round trip unchanged.
+func FuzzDecodeMessage(f *testing.F) {
+	f.Add([]byte(`{"kind":0,"round":1,"norm":0.5,"seq":1,"from":0}`))
+	f.Add([]byte(`{"kind":1,"round":3,"aborted":true,"seq":9,"from":2,"epoch":1,"gen":4}`))
+	f.Add([]byte(`{"kind":99,"round":1}`))
+	f.Add([]byte(`{"kind":0,"round":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMessage(data)
+		if err != nil {
+			return // rejected, as long as it did not panic
+		}
+		frame, err := encodeMessage(m, DefaultMaxMessage)
+		if err != nil {
+			t.Fatalf("accepted message failed to encode: %+v: %v", m, err)
+		}
+		if !bytes.HasSuffix(frame, []byte("\n")) {
+			t.Fatal("frame not newline-terminated")
+		}
+		back, err := decodeMessage(frame[:len(frame)-1])
+		if err != nil {
+			t.Fatalf("round trip failed: %+v: %v", m, err)
+		}
+		if back != m {
+			t.Fatalf("round trip changed the message: %+v -> %+v", m, back)
+		}
+	})
+}
+
+// FuzzDecodeStateRequest feeds arbitrary bytes to the state-service request
+// parser: malformed input must come back as an error, never a panic, and
+// accepted requests must be structurally valid.
+func FuzzDecodeStateRequest(f *testing.F) {
+	f.Add([]byte(`{"op":"available","user":3}`))
+	f.Add([]byte(`{"op":"publish","user":0,"strategy":[0.5,0.5]}`))
+	f.Add([]byte(`{"op":"snapshot"}`))
+	f.Add([]byte(`{"user":-7}`))
+	f.Add([]byte(`{{{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeStateRequest(data)
+		if err != nil {
+			return
+		}
+		if req.User < 0 {
+			t.Fatalf("negative user accepted: %+v", req)
+		}
+	})
+}

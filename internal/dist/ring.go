@@ -95,6 +95,9 @@ type Result struct {
 	Rounds int
 	// Converged reports whether the norm criterion was met.
 	Converged bool
+	// Norm is the accumulated norm carried by the token circulation that
+	// triggered termination.
+	Norm float64
 	// UserTimes and OverallTime evaluate Profile on the system.
 	UserTimes   []float64
 	OverallTime float64
@@ -111,6 +114,21 @@ type node struct {
 	maxR    int
 	prevD   float64
 	seq     uint64
+	// epoch is this node's restart incarnation, stamped on every message so
+	// receivers reset their duplicate-suppression mark after a restart.
+	epoch uint64
+	// gen is the highest token generation seen (leader: the generation it
+	// stamps). The leader bumps it when recovering a lost token; everyone
+	// discards messages from superseded generations.
+	gen uint64
+	// recover, when set on the leader, is consulted after a receive timeout:
+	// returning true authorizes re-injecting the token under a bumped
+	// generation (the supervisor uses this hook to also run its liveness
+	// accounting). Nil keeps the node fail-fast.
+	recover func(gen uint64) bool
+	// finalNorm records (on the leader) the norm of the circulation that
+	// triggered termination.
+	finalNorm float64
 }
 
 // update recomputes this user's best response against the store and returns
@@ -133,12 +151,15 @@ func (n *node) update() (float64, error) {
 	return delta, nil
 }
 
-// send stamps a fresh sequence number and transmits, retrying transient link
-// faults; retransmissions reuse the sequence number so the receiver's
-// duplicate suppression makes them idempotent.
+// send stamps the sender identity, epoch and a fresh sequence number, then
+// transmits, retrying transient link faults; retransmissions reuse the
+// sequence number so the receiver's duplicate suppression makes them
+// idempotent.
 func (n *node) send(m Message) error {
 	n.seq++
 	m.Seq = n.seq
+	m.From = n.id
+	m.Epoch = n.epoch
 	var err error
 	for attempt := 0; attempt < 8; attempt++ {
 		if err = n.tr.Send(m); err == nil {
@@ -149,41 +170,86 @@ func (n *node) send(m Message) error {
 }
 
 // runLeader executes node 0's role: it starts every round, accumulates its
-// own delta, and decides termination when the token returns.
+// own delta, and decides termination when the token returns. When a recover
+// hook is installed, a receive timeout triggers token recovery instead of
+// failure: the generation is bumped and the in-flight message (pending Done,
+// or the current round's token) is re-injected; stale-generation and
+// duplicate tokens are discarded, so a late original can never corrupt the
+// norm accumulation.
 func (n *node) runLeader() (rounds int, converged bool, err error) {
+	if n.gen == 0 {
+		n.gen = 1
+	}
 	round := 1
 	delta, err := n.update()
 	if err != nil {
 		return 0, false, err
 	}
-	if err := n.send(Message{Kind: Token, Round: round, Norm: delta}); err != nil {
+	if err := n.send(Message{Kind: Token, Round: round, Norm: delta, Gen: n.gen}); err != nil {
 		return 0, false, err
 	}
+	// pendingDone holds the termination message while we wait for it to
+	// circulate back, so a recovery re-injects it instead of a token.
+	var pendingDone *Message
 	for {
 		msg, err := n.tr.Recv()
 		if err != nil {
+			if n.recover != nil && errors.Is(err, ErrRecvTimeout) && n.recover(n.gen) {
+				n.gen++
+				if pendingDone != nil {
+					d := *pendingDone
+					d.Gen = n.gen
+					if err := n.send(d); err != nil {
+						return round, false, err
+					}
+					continue
+				}
+				// The token died mid-circulation: recompute our best
+				// response against the published state and restart the
+				// round under the new generation.
+				delta, uerr := n.update()
+				if uerr != nil {
+					return round, false, uerr
+				}
+				if serr := n.send(Message{Kind: Token, Round: round, Norm: delta, Gen: n.gen}); serr != nil {
+					return round, false, serr
+				}
+				continue
+			}
 			return round, false, err
+		}
+		if msg.Gen < n.gen {
+			continue // token from a superseded generation
 		}
 		if msg.Kind == Done {
 			// Our own Done came back; the ring is drained.
 			return round, !msg.Aborted, nil
 		}
+		if pendingDone != nil || msg.Round != round {
+			continue // duplicate of an already-processed token
+		}
 		if msg.Norm <= n.eps {
-			if err := n.send(Message{Kind: Done, Round: msg.Round}); err != nil {
+			n.finalNorm = msg.Norm
+			done := Message{Kind: Done, Round: msg.Round, Gen: n.gen}
+			if err := n.send(done); err != nil {
 				return round, false, err
 			}
 			if n.size == 1 {
 				return round, true, nil
 			}
+			pendingDone = &done
 			continue // wait for Done to come back
 		}
 		if msg.Round >= n.maxR {
-			if err := n.send(Message{Kind: Done, Round: msg.Round, Aborted: true}); err != nil {
+			n.finalNorm = msg.Norm
+			done := Message{Kind: Done, Round: msg.Round, Aborted: true, Gen: n.gen}
+			if err := n.send(done); err != nil {
 				return round, false, err
 			}
 			if n.size == 1 {
 				return round, false, nil
 			}
+			pendingDone = &done
 			continue
 		}
 		round = msg.Round + 1
@@ -191,7 +257,7 @@ func (n *node) runLeader() (rounds int, converged bool, err error) {
 		if err != nil {
 			return round, false, err
 		}
-		if err := n.send(Message{Kind: Token, Round: round, Norm: delta}); err != nil {
+		if err := n.send(Message{Kind: Token, Round: round, Norm: delta, Gen: n.gen}); err != nil {
 			return round, false, err
 		}
 	}
@@ -206,6 +272,10 @@ func (n *node) runFollower() (rounds int, converged bool, err error) {
 		if err != nil {
 			return rounds, false, err
 		}
+		if msg.Gen < n.gen {
+			continue // superseded by a leader recovery; discard
+		}
+		n.gen = msg.Gen
 		if msg.Kind == Done {
 			return rounds, !msg.Aborted, n.send(msg)
 		}
@@ -235,6 +305,20 @@ type NodeConfig struct {
 	Epsilon float64
 	// MaxRounds bounds the iteration (leader only; core default if 0).
 	MaxRounds int
+	// Epoch is this node's restart incarnation. A node rejoining after a
+	// crash must pass a higher epoch than its previous life so the ring's
+	// duplicate suppression accepts its restarted sequence numbers.
+	Epoch uint64
+	// RecvTimeout, when positive, arms the liveness guard: the node fails
+	// with ErrRecvTimeout (or, on a recovering leader, re-injects the token)
+	// when nothing arrives within this duration.
+	RecvTimeout time.Duration
+	// Recover, on the leader (ID 0), turns receive timeouts into token
+	// recovery: the generation is bumped and the token re-injected instead
+	// of failing the run. Requires RecvTimeout > 0 to have any effect.
+	Recover bool
+	// MaxRecoveries bounds the leader's recovery attempts (16 if 0).
+	MaxRecoveries int
 }
 
 // NodeResult reports a standalone node's outcome.
@@ -266,14 +350,41 @@ func RunNode(cfg NodeConfig, store StateStore, tr Transport) (*NodeResult, error
 	if maxR <= 0 {
 		maxR = core.DefaultMaxRounds
 	}
+	guarded := tr
+	if cfg.RecvTimeout > 0 {
+		guarded = &Timeout{Inner: tr, D: cfg.RecvTimeout}
+	}
 	n := &node{
 		id:      cfg.ID,
 		size:    cfg.Users,
 		arrival: cfg.Arrival,
 		store:   store,
-		tr:      NewDedup(tr),
+		tr:      NewDedup(guarded),
 		eps:     eps,
 		maxR:    maxR,
+		epoch:   cfg.Epoch,
+	}
+	if cfg.ID == 0 && cfg.Recover && cfg.RecvTimeout > 0 {
+		budget := cfg.MaxRecoveries
+		if budget <= 0 {
+			budget = 16
+		}
+		n.recover = func(uint64) bool {
+			if budget <= 0 {
+				return false
+			}
+			budget--
+			return true
+		}
+	}
+	// Warm rejoin: a restarted node resumes from its previously published
+	// strategy so its first delta measures real change, not a cold start.
+	// (On a cold start the published strategy is all-zero and prevD stays 0,
+	// exactly as NASH_0 prescribes.)
+	if p := store.Snapshot(); len(p) > cfg.ID && !isZero(p[cfg.ID]) {
+		if avail, err := store.Available(cfg.ID); err == nil {
+			n.prevD = core.ResponseTime(avail, cfg.Arrival, p[cfg.ID])
+		}
 	}
 	var res NodeResult
 	var err error
@@ -364,6 +475,7 @@ func Run(sys *game.System, store StateStore, transports []Transport, opts Option
 		Profile:     profile,
 		Rounds:      rounds,
 		Converged:   converged,
+		Norm:        nodes[0].finalNorm,
 		UserTimes:   sys.UserResponseTimes(profile),
 		OverallTime: sys.OverallResponseTime(profile),
 	}

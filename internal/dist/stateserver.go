@@ -1,14 +1,17 @@
 package dist
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"nashlb/internal/game"
+	"nashlb/internal/rng"
 )
 
 // The state service is the deployment analogue of the paper's "inspect the
@@ -16,6 +19,36 @@ import (
 // answers two questions — what processing rate is available to user i, and
 // here is user i's new strategy. It lets the ring nodes run as separate OS
 // processes (cmd/nashd -mode node) while sharing one consistent view.
+//
+// The wire protocol is JSON lines. Both sides enforce read/write deadlines
+// and a maximum message size, so one hung or malicious peer can neither
+// wedge the server nor force unbounded allocation.
+
+// StateLimits hardens the state-service connections; the zero value selects
+// the defaults.
+type StateLimits struct {
+	// ReadTimeout bounds the wait for the next request or response line
+	// (2m when zero — clients legitimately idle between protocol rounds).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each line write (10s when zero).
+	WriteTimeout time.Duration
+	// MaxMessage bounds one encoded line (8 MiB when zero — snapshots carry
+	// the full m×n profile, so the bound is above the ring codec's).
+	MaxMessage int
+}
+
+func (l StateLimits) withDefaults() StateLimits {
+	if l.ReadTimeout <= 0 {
+		l.ReadTimeout = 2 * time.Minute
+	}
+	if l.WriteTimeout <= 0 {
+		l.WriteTimeout = 10 * time.Second
+	}
+	if l.MaxMessage <= 0 {
+		l.MaxMessage = 8 << 20
+	}
+	return l
+}
 
 // stateRequest is the JSON wire request of the state service.
 type stateRequest struct {
@@ -31,9 +64,23 @@ type stateResponse struct {
 	Profile [][]float64 `json:"profile,omitempty"`
 }
 
+// decodeStateRequest parses one request line, rejecting malformed or
+// structurally invalid input instead of passing it to the store.
+func decodeStateRequest(b []byte) (stateRequest, error) {
+	var req stateRequest
+	if err := json.Unmarshal(b, &req); err != nil {
+		return stateRequest{}, fmt.Errorf("malformed request: %v", err)
+	}
+	if req.User < 0 {
+		return stateRequest{}, fmt.Errorf("negative user %d", req.User)
+	}
+	return req, nil
+}
+
 // StateServer exposes a StateStore over TCP with a JSON-lines protocol.
 type StateServer struct {
 	store StateStore
+	lim   StateLimits
 	ln    net.Listener
 	wg    sync.WaitGroup
 	mu    sync.Mutex
@@ -45,11 +92,21 @@ type StateServer struct {
 // an ephemeral port) and returns immediately; connections are handled on
 // background goroutines until Close.
 func ServeState(store StateStore, addr string) (*StateServer, error) {
+	return ServeStateLimits(store, addr, StateLimits{})
+}
+
+// ServeStateLimits is ServeState with explicit hardening limits.
+func ServeStateLimits(store StateStore, addr string, lim StateLimits) (*StateServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: state server listen: %w", err)
 	}
-	s := &StateServer{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &StateServer{
+		store: store,
+		lim:   lim.withDefaults(),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -99,85 +156,137 @@ func (s *StateServer) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := json.NewDecoder(conn)
-	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 512), s.lim.MaxMessage)
 	for {
-		var req stateRequest
-		if err := dec.Decode(&req); err != nil {
-			return // client went away
+		conn.SetReadDeadline(time.Now().Add(s.lim.ReadTimeout))
+		if !sc.Scan() {
+			return // client went away, idled out, or overflowed the bound
 		}
 		var resp stateResponse
-		switch req.Op {
-		case "available":
-			rates, err := s.store.Available(req.User)
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Rates = rates
-			}
-		case "publish":
-			if err := s.store.Publish(req.User, game.Strategy(req.Strategy)); err != nil {
-				resp.Err = err.Error()
-			}
-		case "snapshot":
-			p := s.store.Snapshot()
-			resp.Profile = make([][]float64, len(p))
-			for i := range p {
-				resp.Profile[i] = p[i]
-			}
-		default:
-			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		req, err := decodeStateRequest(sc.Bytes())
+		if err != nil {
+			// Line framing resynchronizes at the next newline, so a bad
+			// request gets an error response instead of killing the conn.
+			resp.Err = err.Error()
+		} else {
+			resp = s.serve(req)
 		}
-		if err := enc.Encode(&resp); err != nil {
+		b, err := json.Marshal(&resp)
+		if err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.lim.WriteTimeout))
+		if _, err := conn.Write(append(b, '\n')); err != nil {
 			return
 		}
 	}
 }
 
+func (s *StateServer) serve(req stateRequest) stateResponse {
+	var resp stateResponse
+	switch req.Op {
+	case "available":
+		rates, err := s.store.Available(req.User)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Rates = rates
+		}
+	case "publish":
+		if err := s.store.Publish(req.User, game.Strategy(req.Strategy)); err != nil {
+			resp.Err = err.Error()
+		}
+	case "snapshot":
+		p := s.store.Snapshot()
+		resp.Profile = make([][]float64, len(p))
+		for i := range p {
+			resp.Profile[i] = p[i]
+		}
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	return resp
+}
+
 // RemoteStore is a StateStore client talking to a StateServer over TCP.
-// It reconnects transparently on connection failures. Safe for concurrent
-// use (requests are serialized over one connection).
+// It reconnects transparently on connection failures, with capped
+// exponential backoff and seeded jitter between attempts. Safe for
+// concurrent use (requests are serialized over one connection).
 type RemoteStore struct {
-	addr string
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	addr    string
+	lim     StateLimits
+	mu      sync.Mutex
+	conn    net.Conn
+	sc      *bufio.Scanner
+	backoff Backoff
 }
 
 // DialState returns a client for the state service at addr. The connection
 // is established lazily on the first call.
 func DialState(addr string) *RemoteStore {
-	return &RemoteStore{addr: addr}
+	return DialStateLimits(addr, StateLimits{})
+}
+
+// DialStateLimits is DialState with explicit hardening limits.
+func DialStateLimits(addr string, lim StateLimits) *RemoteStore {
+	return &RemoteStore{
+		addr: addr,
+		lim:  lim.withDefaults(),
+		backoff: Backoff{
+			Base: 2 * time.Millisecond,
+			Max:  250 * time.Millisecond,
+			R:    rng.NewSource(0x57a7e).Stream(addr),
+		},
+	}
 }
 
 func (r *RemoteStore) roundTrip(req stateRequest) (stateResponse, error) {
+	frame, err := json.Marshal(&req)
+	if err != nil {
+		return stateResponse{}, err
+	}
+	frame = append(frame, '\n')
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff.Next())
+		}
 		if r.conn == nil {
 			conn, err := net.DialTimeout("tcp", r.addr, 2*time.Second)
 			if err != nil {
 				lastErr = err
-				time.Sleep(20 * time.Millisecond)
 				continue
 			}
 			r.conn = conn
-			r.enc = json.NewEncoder(conn)
-			r.dec = json.NewDecoder(conn)
+			r.sc = bufio.NewScanner(conn)
+			r.sc.Buffer(make([]byte, 0, 512), r.lim.MaxMessage)
 		}
-		if err := r.enc.Encode(&req); err != nil {
+		r.conn.SetWriteDeadline(time.Now().Add(r.lim.WriteTimeout))
+		if _, err := r.conn.Write(frame); err != nil {
 			lastErr = err
+			r.reset()
+			continue
+		}
+		// A healthy server answers immediately, so the response wait uses
+		// the (short) write bound, not the idle read bound.
+		r.conn.SetReadDeadline(time.Now().Add(r.lim.WriteTimeout))
+		if !r.sc.Scan() {
+			if lastErr = r.sc.Err(); lastErr == nil {
+				lastErr = io.EOF
+			}
 			r.reset()
 			continue
 		}
 		var resp stateResponse
-		if err := r.dec.Decode(&resp); err != nil {
+		if err := json.Unmarshal(r.sc.Bytes(), &resp); err != nil {
 			lastErr = err
 			r.reset()
 			continue
 		}
+		r.backoff.Reset()
 		if resp.Err != "" {
 			return resp, errors.New(resp.Err)
 		}
@@ -190,7 +299,7 @@ func (r *RemoteStore) reset() {
 	if r.conn != nil {
 		r.conn.Close()
 	}
-	r.conn, r.enc, r.dec = nil, nil, nil
+	r.conn, r.sc = nil, nil
 }
 
 // Available implements StateStore.

@@ -5,12 +5,16 @@
 //
 // The ring link is abstracted behind Transport so the same node logic runs
 // over in-process channels (tests, single-binary deployments) and TCP with a
-// JSON codec (cmd/nashd). Fault-injection wrappers (duplication, flaky
-// connections) and a duplicate-suppressing decorator cover the protocol's
-// behaviour under unreliable links.
+// JSON-lines codec (cmd/nashd). The layer is built to survive faults, not
+// just detect them: tokens carry generation numbers so a leader can re-inject
+// a lost token (stale generations are discarded), Supervise ejects nodes that
+// keep missing generations, Chaos injects seeded drop/delay/reorder/dup/crash
+// faults for replicable chaos runs, and the TCP paths enforce deadlines, a
+// max message size, and capped exponential backoff with jitter.
 package dist
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,8 +45,56 @@ type Message struct {
 	Norm float64 `json:"norm"`
 	// Aborted marks a Done that terminates without convergence.
 	Aborted bool `json:"aborted,omitempty"`
-	// Seq is a per-link sequence number used for duplicate suppression.
+	// Seq is a per-sender sequence number used for duplicate suppression.
 	Seq uint64 `json:"seq"`
+	// From identifies the sending node, scoping Seq so the ring can be
+	// rewired (ejection, restart) without corrupting duplicate suppression.
+	From int `json:"from"`
+	// Epoch is the sender's restart incarnation; a higher epoch resets the
+	// receiver's Seq high-water mark, letting a restarted node (whose Seq
+	// counter starts over) rejoin the ring.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Gen is the token generation. The leader bumps it when it re-injects a
+	// token after a stall, and every node discards messages from superseded
+	// generations so a late-arriving old token cannot corrupt the norm.
+	Gen uint64 `json:"gen,omitempty"`
+}
+
+// DefaultMaxMessage bounds one encoded ring frame (1 MiB) — far above any
+// legitimate token, low enough that a garbage peer cannot force unbounded
+// allocation.
+const DefaultMaxMessage = 1 << 20
+
+// ErrMessageTooLarge reports a frame exceeding the configured size bound.
+var ErrMessageTooLarge = errors.New("dist: message exceeds size bound")
+
+// encodeMessage renders m as one newline-terminated JSON frame, enforcing
+// the size bound when max > 0.
+func encodeMessage(m Message, max int) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	if max > 0 && len(b) >= max {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrMessageTooLarge, len(b), max)
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeMessage parses one frame (without the trailing newline) and rejects
+// structurally invalid messages instead of letting them into the protocol.
+func decodeMessage(b []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Message{}, fmt.Errorf("dist: malformed message: %w", err)
+	}
+	if m.Kind != Token && m.Kind != Done {
+		return Message{}, fmt.Errorf("dist: unknown message kind %d", m.Kind)
+	}
+	if m.Round < 0 || m.From < 0 {
+		return Message{}, fmt.Errorf("dist: negative message field (round %d, from %d)", m.Round, m.From)
+	}
+	return m, nil
 }
 
 // Transport is one node's view of the ring: Send forwards to the successor,
@@ -107,28 +159,106 @@ func (t *chanTransport) Close() error {
 }
 
 // ---------------------------------------------------------------------------
-// TCP ring with JSON codec
+// TCP ring with JSON-lines codec
 // ---------------------------------------------------------------------------
+
+// TCPConfig hardens the TCP ring transport. The zero value selects sane
+// defaults everywhere; fields exist so tests and deployments can tighten or
+// relax individual bounds.
+type TCPConfig struct {
+	// DialTimeout bounds each connection attempt (2s when zero).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (5s when zero) so one hung peer
+	// cannot wedge the sender forever.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds the wait for the next frame on an accepted
+	// connection (2m when zero — generous, because a healthy ring can sit
+	// idle between rounds; liveness at protocol granularity is Timeout's
+	// job).
+	ReadTimeout time.Duration
+	// MaxMessage bounds one encoded frame (DefaultMaxMessage when zero).
+	MaxMessage int
+	// Retries is the Send retry budget (transport-specific default when
+	// zero: 10 for TCPRing, 60 for NewTCPNode, whose successor may not have
+	// started yet).
+	Retries int
+	// BackoffBase and BackoffMax shape the retry delays (2ms/250ms when
+	// zero).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the retry jitter stream (fixed default when zero), keeping
+	// reconnect schedules deterministic per successor address.
+	Seed uint64
+}
+
+func (c TCPConfig) withDefaults(retries int) TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.MaxMessage <= 0 {
+		c.MaxMessage = DefaultMaxMessage
+	}
+	if c.Retries <= 0 {
+		c.Retries = retries
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xbac0ff
+	}
+	return c
+}
 
 type tcpTransport struct {
 	succAddr string
-	mu       sync.Mutex
-	conn     net.Conn
-	enc      *json.Encoder
-	inConn   net.Conn
-	dec      *json.Decoder
+	cfg      TCPConfig
 	ln       net.Listener
-	retries  int
+
+	mu      sync.Mutex // guards conn + backoff (Send side)
+	conn    net.Conn
+	backoff Backoff
+
+	inMu   sync.Mutex // guards inConn/sc/closed (Recv vs Close)
+	inConn net.Conn
+	sc     *bufio.Scanner
+	closed bool
+}
+
+func newTCPTransport(succAddr string, ln net.Listener, cfg TCPConfig) *tcpTransport {
+	return &tcpTransport{
+		succAddr: succAddr,
+		ln:       ln,
+		cfg:      cfg,
+		backoff: Backoff{
+			Base: cfg.BackoffBase,
+			Max:  cfg.BackoffMax,
+			R:    rng.NewSource(cfg.Seed).Stream(succAddr),
+		},
+	}
 }
 
 // TCPRing creates m loopback listeners and returns a transport per node;
-// node i's Send dials node (i+1) mod m lazily (reconnecting on failure, up
-// to a small retry budget), and Recv accepts the predecessor's connection.
+// node i's Send dials node (i+1) mod m lazily (reconnecting on failure with
+// capped exponential backoff), and Recv accepts the predecessor's connection.
 // Call Close on every transport when done.
-func TCPRing(m int) ([]Transport, error) {
+func TCPRing(m int) ([]Transport, error) { return TCPRingConfig(m, TCPConfig{}) }
+
+// TCPRingConfig is TCPRing with explicit hardening limits.
+func TCPRingConfig(m int, cfg TCPConfig) ([]Transport, error) {
 	if m < 1 {
 		return nil, errors.New("dist: ring needs at least one node")
 	}
+	cfg = cfg.withDefaults(10)
 	listeners := make([]net.Listener, m)
 	for i := range listeners {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -142,11 +272,7 @@ func TCPRing(m int) ([]Transport, error) {
 	}
 	ts := make([]Transport, m)
 	for i := range ts {
-		ts[i] = &tcpTransport{
-			succAddr: listeners[(i+1)%m].Addr().String(),
-			ln:       listeners[i],
-			retries:  10,
-		}
+		ts[i] = newTCPTransport(listeners[(i+1)%m].Addr().String(), listeners[i], cfg)
 	}
 	return ts, nil
 }
@@ -156,11 +282,18 @@ func TCPRing(m int) ([]Transport, error) {
 // nextAddr — the building block for multi-process deployments (cmd/nashd
 // -mode node). Call Close when done.
 func NewTCPNode(listenAddr, nextAddr string) (Transport, error) {
+	return NewTCPNodeConfig(listenAddr, nextAddr, TCPConfig{})
+}
+
+// NewTCPNodeConfig is NewTCPNode with explicit hardening limits.
+func NewTCPNodeConfig(listenAddr, nextAddr string, cfg TCPConfig) (Transport, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: node listen on %s: %w", listenAddr, err)
 	}
-	return &tcpTransport{succAddr: nextAddr, ln: ln, retries: 50}, nil
+	// Standalone nodes get a larger retry budget: their successor process
+	// may simply not have started yet.
+	return newTCPTransport(nextAddr, ln, cfg.withDefaults(60)), nil
 }
 
 // NodeAddr reports the transport's listen address when it has one (TCP
@@ -173,26 +306,33 @@ func NodeAddr(t Transport) string {
 }
 
 func (t *tcpTransport) Send(m Message) error {
+	frame, err := encodeMessage(m, t.cfg.MaxMessage)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var lastErr error
-	for attempt := 0; attempt <= t.retries; attempt++ {
+	for attempt := 0; attempt <= t.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(t.backoff.Next())
+		}
 		if t.conn == nil {
-			conn, err := net.DialTimeout("tcp", t.succAddr, 2*time.Second)
+			conn, err := net.DialTimeout("tcp", t.succAddr, t.cfg.DialTimeout)
 			if err != nil {
 				lastErr = err
-				time.Sleep(10 * time.Millisecond)
 				continue
 			}
 			t.conn = conn
-			t.enc = json.NewEncoder(conn)
 		}
-		if err := t.enc.Encode(m); err != nil {
+		t.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if _, err := t.conn.Write(frame); err != nil {
 			lastErr = err
 			t.conn.Close()
-			t.conn, t.enc = nil, nil
+			t.conn = nil
 			continue
 		}
+		t.backoff.Reset()
 		return nil
 	}
 	return fmt.Errorf("dist: send failed after retries: %w", lastErr)
@@ -200,34 +340,70 @@ func (t *tcpTransport) Send(m Message) error {
 
 func (t *tcpTransport) Recv() (Message, error) {
 	for {
-		if t.dec == nil {
-			conn, err := t.ln.Accept()
+		t.inMu.Lock()
+		if t.closed {
+			t.inMu.Unlock()
+			return Message{}, errors.New("dist: transport closed")
+		}
+		conn, sc := t.inConn, t.sc
+		t.inMu.Unlock()
+		if conn == nil {
+			c, err := t.ln.Accept()
 			if err != nil {
 				return Message{}, fmt.Errorf("dist: accept: %w", err)
 			}
-			t.inConn = conn
-			t.dec = json.NewDecoder(conn)
+			s := bufio.NewScanner(c)
+			s.Buffer(make([]byte, 0, 512), t.cfg.MaxMessage)
+			t.inMu.Lock()
+			if t.closed {
+				t.inMu.Unlock()
+				c.Close()
+				return Message{}, errors.New("dist: transport closed")
+			}
+			t.inConn, t.sc = c, s
+			conn, sc = c, s
+			t.inMu.Unlock()
 		}
-		var m Message
-		if err := t.dec.Decode(&m); err != nil {
-			// Peer reconnected (e.g. after an injected fault): accept anew.
-			t.inConn.Close()
-			t.inConn, t.dec = nil, nil
+		conn.SetReadDeadline(time.Now().Add(t.cfg.ReadTimeout))
+		if !sc.Scan() {
+			// Peer reconnected, idled past the deadline, or overflowed the
+			// frame bound: drop the connection and accept anew.
+			t.dropIn(conn)
+			continue
+		}
+		m, err := decodeMessage(sc.Bytes())
+		if err != nil {
+			// Poisoned stream; resynchronize on a fresh connection.
+			t.dropIn(conn)
 			continue
 		}
 		return m, nil
 	}
 }
 
+func (t *tcpTransport) dropIn(conn net.Conn) {
+	conn.Close()
+	t.inMu.Lock()
+	if t.inConn == conn {
+		t.inConn, t.sc = nil, nil
+	}
+	t.inMu.Unlock()
+}
+
 func (t *tcpTransport) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.conn != nil {
 		t.conn.Close()
+		t.conn = nil
 	}
+	t.mu.Unlock()
+	t.inMu.Lock()
+	t.closed = true
 	if t.inConn != nil {
 		t.inConn.Close()
+		t.inConn, t.sc = nil, nil
 	}
+	t.inMu.Unlock()
 	return t.ln.Close()
 }
 
@@ -276,15 +452,20 @@ func (f *Flaky) Close() error { return f.Inner.Close() }
 var ErrRecvTimeout = errors.New("dist: receive timed out (ring stalled)")
 
 // Timeout wraps a transport with a liveness guard: Recv fails with
-// ErrRecvTimeout when no message arrives within D. A timed-out inner Recv
-// keeps running on a background goroutine until the transport is closed (a
-// late message is discarded); in the ring protocol a timeout is fatal for
-// the node, which closes its transport on exit, so nothing leaks.
+// ErrRecvTimeout when no message arrives within D. At most one background
+// receive runs at a time; after a timeout the receive keeps waiting and its
+// result (a late message) is delivered by the next Recv call, so token
+// recovery never loses a message that merely arrived late. Close releases
+// the background receive by closing the inner transport, so nothing leaks.
 type Timeout struct {
 	Inner Transport
 	D     time.Duration
 
-	pending chan recvResult
+	mu          sync.Mutex
+	pending     chan recvResult
+	done        chan struct{}
+	outstanding bool
+	closeOnce   sync.Once
 }
 
 type recvResult struct {
@@ -297,26 +478,57 @@ func (t *Timeout) Send(m Message) error { return t.Inner.Send(m) }
 
 // Recv implements Transport with the deadline applied.
 func (t *Timeout) Recv() (Message, error) {
+	t.mu.Lock()
 	if t.pending == nil {
 		t.pending = make(chan recvResult, 1)
+	}
+	if t.done == nil {
+		t.done = make(chan struct{})
+	}
+	if !t.outstanding {
+		t.outstanding = true
 		go t.pump()
 	}
+	pending, done := t.pending, t.done
+	t.mu.Unlock()
+
+	timer := time.NewTimer(t.D)
+	defer timer.Stop()
 	select {
-	case r := <-t.pending:
-		go t.pump()
+	case r := <-pending:
+		t.mu.Lock()
+		t.outstanding = false
+		t.mu.Unlock()
 		return r.m, r.err
-	case <-time.After(t.D):
+	case <-timer.C:
 		return Message{}, fmt.Errorf("%w after %v", ErrRecvTimeout, t.D)
+	case <-done:
+		return Message{}, errors.New("dist: transport closed")
 	}
 }
 
+// pump performs one inner receive. pending has capacity 1 and outstanding
+// guarantees a single pump at a time, so the deposit can never block: the
+// goroutine always terminates once the inner Recv returns (at the latest
+// when Close closes the inner transport).
 func (t *Timeout) pump() {
 	m, err := t.Inner.Recv()
 	t.pending <- recvResult{m, err}
 }
 
-// Close implements Transport.
-func (t *Timeout) Close() error { return t.Inner.Close() }
+// Close implements Transport, releasing any blocked Recv and the background
+// receive goroutine.
+func (t *Timeout) Close() error {
+	t.closeOnce.Do(func() {
+		t.mu.Lock()
+		if t.done == nil {
+			t.done = make(chan struct{})
+		}
+		close(t.done)
+		t.mu.Unlock()
+	})
+	return t.Inner.Close()
+}
 
 // Blackhole is a fault-injection transport whose Send silently discards
 // everything and whose Recv blocks until Close — a crashed node, as seen by
@@ -344,33 +556,46 @@ func (b *Blackhole) Close() error {
 	return nil
 }
 
-// Dedup wraps a transport and drops messages whose sequence number was
-// already delivered, making duplicated retransmissions harmless. Senders
-// must stamp strictly increasing Seq values (the ring node does).
+// Dedup wraps a transport and drops messages already delivered, making
+// duplicated retransmissions harmless. Senders must stamp strictly
+// increasing Seq values per (From, Epoch) — the ring node does. Tracking is
+// per sender, so the ring can be rewired (a supervisor ejecting a node
+// changes who the predecessor is) without dropping the new predecessor's
+// traffic, and a sender restarting under a higher Epoch resets its mark.
 type Dedup struct {
 	Inner Transport
-	seen  uint64
-	first bool
+	seen  map[int]seqMark
+}
+
+type seqMark struct {
+	epoch uint64
+	seq   uint64
 }
 
 // NewDedup returns a duplicate-suppressing view of t.
-func NewDedup(t Transport) *Dedup { return &Dedup{Inner: t} }
+func NewDedup(t Transport) *Dedup {
+	return &Dedup{Inner: t, seen: make(map[int]seqMark)}
+}
 
 // Send implements Transport.
 func (d *Dedup) Send(m Message) error { return d.Inner.Send(m) }
 
-// Recv implements Transport, skipping duplicates.
+// Recv implements Transport, skipping duplicates and pre-restart stragglers.
 func (d *Dedup) Recv() (Message, error) {
 	for {
 		m, err := d.Inner.Recv()
 		if err != nil {
 			return m, err
 		}
-		if d.first && m.Seq <= d.seen {
-			continue // duplicate
+		if mark, ok := d.seen[m.From]; ok {
+			if m.Epoch < mark.epoch {
+				continue // straggler from before the sender's restart
+			}
+			if m.Epoch == mark.epoch && m.Seq <= mark.seq {
+				continue // duplicate
+			}
 		}
-		d.first = true
-		d.seen = m.Seq
+		d.seen[m.From] = seqMark{epoch: m.Epoch, seq: m.Seq}
 		return m, nil
 	}
 }

@@ -651,3 +651,47 @@ func TestAbl5(t *testing.T) {
 		t.Errorf("long window suboptimality %v above 2%%", last.Suboptimality)
 	}
 }
+
+func TestExt7FaultTolerance(t *testing.T) {
+	res, err := Ext7(0.6, 2002, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Ext7Row{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+	}
+	clean := byName["no faults"]
+	if !clean.Converged || clean.Recoveries != 0 || len(clean.Ejected) != 0 {
+		t.Errorf("clean run not clean: %+v", clean)
+	}
+	if clean.DevVsSeq > 1e-9 {
+		t.Errorf("clean run deviates from sequential by %v", clean.DevVsSeq)
+	}
+	chaos := byName["full chaos"]
+	if !chaos.Converged || len(chaos.Ejected) != 0 {
+		t.Errorf("full chaos should converge without ejection: %+v", chaos)
+	}
+	if chaos.DevVsSeq > 1e-6 {
+		t.Errorf("full-chaos equilibrium off sequential by %v", chaos.DevVsSeq)
+	}
+	eject := byName["crash node 7 (eject)"]
+	if !eject.Converged || len(eject.Ejected) != 1 || eject.Ejected[0] != 7 {
+		t.Errorf("crash scenario should eject node 7: %+v", eject)
+	}
+	restart := byName["crash node 4 (restart)"]
+	if !restart.Converged || restart.Restarts < 1 || len(restart.Ejected) != 0 {
+		t.Errorf("restart scenario should revive node 4: %+v", restart)
+	}
+	for _, row := range res.Rows {
+		if row.EqGap > 1e-6 {
+			t.Errorf("%s: survivors %v away from their Nash equilibrium", row.Scenario, row.EqGap)
+		}
+	}
+	if res.Table().Rows() != 4 {
+		t.Error("table mismatch")
+	}
+}

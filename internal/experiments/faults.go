@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nashlb/internal/core"
+	"nashlb/internal/dist"
+	"nashlb/internal/game"
+	"nashlb/internal/report"
+	"nashlb/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// EXT7 — fault tolerance of the distributed NASH ring
+// ---------------------------------------------------------------------------
+
+// Ext7Row is one fault scenario on the Table-1 system: the supervised
+// ring's outcome plus how far the recovered equilibrium sits from the
+// sequential solver (meaningless after an ejection, when the survivors
+// converge to a different — reduced — game; the equilibrium gap column
+// covers that case uniformly).
+type Ext7Row struct {
+	Scenario   string
+	Rounds     int
+	Recoveries int
+	Restarts   int
+	Ejected    []int
+	Converged  bool
+	FinalNorm  float64
+	Overall    float64
+	// DevVsSeq is |overall - sequential overall|; NaN-free only when no
+	// node was ejected (the row keeps it at 0 otherwise and relies on
+	// EqGap).
+	DevVsSeq float64
+	// EqGap is the largest unilateral improvement any surviving (non-
+	// ejected) user could still gain — the Nash-property residual of the
+	// game the survivors actually played.
+	EqGap float64
+}
+
+// Ext7Result holds the fault grid.
+type Ext7Result struct {
+	Sequential float64
+	Rows       []Ext7Row
+}
+
+// ext7Scenario describes one cell of the fault grid.
+type ext7Scenario struct {
+	name    string
+	chaos   dist.ChaosConfig // probabilities; stream filled in per link
+	crashAt int              // node with a scheduled crash (-1: none)
+	restart bool
+	misses  int
+	quick   bool // include in -quick runs
+}
+
+// Ext7 runs the paper's Table-1 system (16 computers, 10 users) through a
+// grid of injected fault scenarios under dist.Supervise and reports rounds,
+// recoveries, ejections and the final norm per scenario. With no ejection
+// the recovered equilibrium must match sequential core.Solve; with a
+// permanent crash the ejected user's strategy stays frozen and the
+// survivors settle the reduced game (EqGap ~ 0 either way).
+func Ext7(rho float64, seed uint64, quick bool) (*Ext7Result, error) {
+	sys, err := Table1System(rho)
+	if err != nil {
+		return nil, err
+	}
+	epsilon := 1e-6
+	seq, err := core.Solve(sys, core.Options{Epsilon: epsilon, Init: core.InitProportional})
+	if err != nil {
+		return nil, err
+	}
+
+	scenarios := []ext7Scenario{
+		{name: "no faults", crashAt: -1, quick: true},
+		{name: "drop 2%", chaos: dist.ChaosConfig{Drop: 0.02}, crashAt: -1},
+		{name: "drop 5% + delay 20%", chaos: dist.ChaosConfig{Drop: 0.05, DelayProb: 0.2, MaxDelay: 2 * time.Millisecond}, crashAt: -1},
+		{name: "dup 20% + reorder 5%", chaos: dist.ChaosConfig{Dup: 0.2, Reorder: 0.05}, crashAt: -1},
+		{name: "full chaos", chaos: dist.ChaosConfig{Drop: 0.05, Dup: 0.1, DelayProb: 0.1, MaxDelay: 2 * time.Millisecond, Reorder: 0.05}, crashAt: -1, quick: true},
+		{name: "crash node 7 (eject)", crashAt: 7, misses: 3, quick: true},
+		{name: "crash node 4 (restart)", crashAt: 4, restart: true, misses: 8, quick: true},
+	}
+
+	res := &Ext7Result{Sequential: seq.OverallTime}
+	root := rng.NewSource(seed)
+	for _, sc := range scenarios {
+		if quick && !sc.quick {
+			continue
+		}
+		sc := sc
+		misses := sc.misses
+		if misses <= 0 {
+			misses = 6
+		}
+		store := dist.NewMemoryStore(sys, core.InitialProfile(sys, core.InitProportional))
+		sup, err := dist.Supervise(sys, store, dist.SupervisorOptions{
+			Epsilon:       epsilon,
+			RecvTimeout:   50 * time.Millisecond,
+			MaxMisses:     misses,
+			MaxRecoveries: 1000,
+			Restart:       sc.restart,
+			RestartDelay:  5 * time.Millisecond,
+			Wrap: func(id int, tr dist.Transport) dist.Transport {
+				cfg := sc.chaos
+				cfg.R = root.Stream(fmt.Sprintf("%s/link%d", sc.name, id))
+				if id == sc.crashAt {
+					cfg.CrashAfterRecvs = 4
+				}
+				if id != sc.crashAt && cfg.Drop == 0 && cfg.Dup == 0 &&
+					cfg.DelayProb == 0 && cfg.Reorder == 0 {
+					return tr // nothing to inject on this link
+				}
+				return dist.NewChaos(tr, cfg)
+			},
+		})
+		if sup == nil {
+			return nil, fmt.Errorf("ext7 %q: %w", sc.name, err)
+		}
+		row := Ext7Row{
+			Scenario:   sc.name,
+			Rounds:     sup.Rounds,
+			Recoveries: sup.Recoveries,
+			Restarts:   sup.Restarts,
+			Ejected:    sup.Ejected,
+			Converged:  sup.Converged,
+			FinalNorm:  sup.Norm,
+			Overall:    sup.OverallTime,
+		}
+		if len(sup.Ejected) == 0 {
+			row.DevVsSeq = abs(sup.OverallTime - seq.OverallTime)
+		}
+		gap, err := survivorGap(sys, sup.Profile, sup.Ejected)
+		if err != nil {
+			return nil, fmt.Errorf("ext7 %q: %w", sc.name, err)
+		}
+		row.EqGap = gap
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// survivorGap returns the largest unilateral improvement any non-ejected
+// user could still gain against the final profile — 0 (up to solver
+// tolerance) exactly when the survivors are at the Nash equilibrium of the
+// game with the ejected users' flows frozen.
+func survivorGap(sys *game.System, p game.Profile, ejected []int) (float64, error) {
+	out := make(map[int]bool, len(ejected))
+	for _, i := range ejected {
+		out[i] = true
+	}
+	var worst float64
+	for i := range p {
+		if out[i] {
+			continue
+		}
+		avail := sys.AvailableRates(p, i)
+		best, err := core.Optimal(avail, sys.Arrivals[i])
+		if err != nil {
+			return 0, fmt.Errorf("user %d best response: %w", i, err)
+		}
+		gain := core.ResponseTime(avail, sys.Arrivals[i], p[i]) -
+			core.ResponseTime(avail, sys.Arrivals[i], best)
+		if gain > worst {
+			worst = gain
+		}
+	}
+	return worst, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table renders EXT7.
+func (r *Ext7Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("EXT7 — fault-tolerant distributed NASH (Table-1 system; sequential D=%s s)", report.F(r.Sequential, 4)),
+		"scenario", "rounds", "recov", "restarts", "ejected", "conv", "final norm", "overall D", "|dev| vs seq", "eq gap")
+	for _, row := range r.Rows {
+		ej := "-"
+		if len(row.Ejected) > 0 {
+			ej = fmt.Sprint(row.Ejected)
+		}
+		dev := "-"
+		if len(row.Ejected) == 0 {
+			dev = report.F(row.DevVsSeq, 2)
+		}
+		t.AddRow(row.Scenario,
+			fmt.Sprint(row.Rounds),
+			fmt.Sprint(row.Recoveries),
+			fmt.Sprint(row.Restarts),
+			ej,
+			fmt.Sprint(row.Converged),
+			report.F(row.FinalNorm, 2),
+			report.F(row.Overall, 4),
+			dev,
+			report.F(row.EqGap, 2))
+	}
+	return t
+}

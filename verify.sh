@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full verification: the tier-1 gate (build + tests) plus static analysis
+# and the race detector over the concurrent packages (the distributed ring
+# with its fault-tolerance layer, and the online balancer).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/dist/... ./internal/online/..."
+go test -race ./internal/dist/... ./internal/online/...
+
+echo "verify: OK"
