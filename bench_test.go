@@ -8,10 +8,12 @@
 package nashlb_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"nashlb/internal/experiments"
+	"nashlb/internal/rng"
 )
 
 // BenchmarkTable1Configuration regenerates Table 1 (system configuration).
@@ -308,6 +310,59 @@ func BenchmarkAblationRateEstimation(b *testing.B) {
 	b.ReportMetric(res.Rows[len(res.Rows)-1].Suboptimality, "subopt-long-window")
 }
 
+// weightVector returns a dispatch-shaped weight vector: n positive weights
+// summing to 1, skewed like an equilibrium strategy row.
+func weightVector(n int) []float64 {
+	w := make([]float64, n)
+	var total float64
+	for j := range w {
+		w[j] = 1 / float64(j+1)
+		total += w[j]
+	}
+	for j := range w {
+		w[j] /= total
+	}
+	return w
+}
+
+// BenchmarkWeightedPickLinear measures the O(n) cumulative-scan sampler
+// (rng.Stream.Choose), the dispatcher's original hot path.
+func BenchmarkWeightedPickLinear(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		w := weightVector(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(2002)
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += r.Choose(w)
+			}
+			sinkInt = acc
+		})
+	}
+}
+
+// BenchmarkWeightedPickAlias measures the O(1) alias-method sampler that
+// replaced the linear scan in the cluster dispatcher and the serving
+// gateway's router.
+func BenchmarkWeightedPickAlias(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		a, err := rng.NewAlias(weightVector(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(2002)
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += a.Pick(r)
+			}
+			sinkInt = acc
+		})
+	}
+}
+
+var sinkInt int
+
 // BenchmarkExtFaultTolerance regenerates EXT7's quick grid (the supervised
 // NASH ring under injected chaos, a permanent crash and a crash-then-restart
 // on the Table-1 system), reporting the recovery work and how far the
@@ -331,4 +386,25 @@ func BenchmarkExtFaultTolerance(b *testing.B) {
 	b.ReportMetric(recoveries, "recoveries")
 	b.ReportMetric(ejections, "ejections")
 	b.ReportMetric(worstDev, "worst-dev-vs-seq")
+}
+
+// BenchmarkExtLiveServing regenerates EXT8 (closed form vs discrete-event
+// simulation vs the live nashgate HTTP gateway under loadgen traffic, quick
+// windows). Each iteration really serves traffic over loopback sockets for
+// the live window, so b.N stays small.
+func BenchmarkExtLiveServing(b *testing.B) {
+	var res *experiments.Ext8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Ext8(7, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sim, live := res.Rows[1], res.Rows[2]
+	b.ReportMetric(res.Predicted, "predicted-D-s")
+	b.ReportMetric(sim.RelErr, "sim-rel-err")
+	b.ReportMetric(live.RelErr, "live-rel-err")
+	b.ReportMetric(live.MaxSplitDev, "live-split-dev")
+	b.ReportMetric(float64(live.Jobs), "live-jobs")
 }

@@ -1,7 +1,10 @@
 // Command experiments regenerates the paper's evaluation artifacts — Table
 // 1 and Figures 2-6 — plus the DESIGN.md ablations ABL1-ABL6 and extensions
-// EXT1-EXT7. Results print as aligned text tables; -csv writes one CSV per
+// EXT1-EXT8. Results print as aligned text tables; -csv writes one CSV per
 // artifact into a directory and -plot adds ASCII charts for the figures.
+// EXT8 serves real HTTP traffic through the nashgate gateway and so takes
+// its live window in wall-clock time; -benchjson additionally writes its
+// result in machine-readable form (BENCH_serve.json).
 //
 // Usage:
 //
@@ -28,13 +31,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag   = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext7 or all")
+		runFlag   = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext8 or all")
 		simFlag   = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
 		quickFlag = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
 		csvFlag   = flag.String("csv", "", "directory to write CSV files into (created if missing)")
 		plotFlag  = flag.Bool("plot", false, "also render ASCII charts for fig2/fig3/fig4/fig6")
 		utilFlag  = flag.Float64("util", 0.6, "system utilization for fig2/fig5/fig6 and the ablations")
 		seedFlag  = flag.Uint64("seed", 2002, "random seed for simulated runs")
+		benchFlag = flag.String("benchjson", "", "file to write the machine-readable EXT8 result into (implies live serving)")
 	)
 	flag.Parse()
 
@@ -216,6 +220,24 @@ func main() {
 			log.Fatalf("ext7: %v", err)
 		}
 		emit("ext7_fault_tolerance", res.Table())
+		ran++
+	}
+	if selected("ext8") || *benchFlag != "" {
+		res, err := experiments.Ext8(params.Seed, *quickFlag)
+		if err != nil {
+			log.Fatalf("ext8: %v", err)
+		}
+		emit("ext8_live_serving", res.Table())
+		if *benchFlag != "" {
+			data, err := res.BenchJSON()
+			if err != nil {
+				log.Fatalf("ext8: %v", err)
+			}
+			if err := os.WriteFile(*benchFlag, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  [bench json written to %s]\n\n", *benchFlag)
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -1,0 +1,199 @@
+// Command nashgate is the live serving gateway: it routes real HTTP traffic
+// across backend workers by the Nash equilibrium of the paper's load
+// balancing game, with admission control, live re-equilibration from polled
+// queue depths, and Prometheus-style /metrics.
+//
+// Gateway mode (default). Give it the backend URLs and the game (rates and
+// arrivals); it solves NASH and serves:
+//
+//	nashgate -backends http://h1:8081,http://h2:8082 -rates 10,50 \
+//	         -arrivals 2x12 [-listen :8080] [-profile nash|ps] \
+//	         [-poll 500ms] [-update-every 1] [-alpha 0.2] \
+//	         [-fill 100 -burst 200] [-seed 2002]
+//
+// Endpoints: /submit?user=i (or X-User header) serves one request;
+// /metrics is the text exposition; /routing reports the live profile;
+// /healthz is a liveness probe.
+//
+// Backend mode (-backend) runs one worker node — an M/M/1 station serving
+// exponential work at -rate through a bounded FCFS queue:
+//
+//	nashgate -backend -rate 50 [-listen 127.0.0.1:8081] [-queue-cap 512] \
+//	         [-seed 2002]
+//
+// Its endpoints: /work performs one job, /queue reports the current depth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"nashlb/internal/cli"
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nashgate: ")
+	var (
+		backendFlag  = flag.Bool("backend", false, "run a backend worker node instead of the gateway")
+		listenFlag   = flag.String("listen", "127.0.0.1:0", "listen address")
+		seedFlag     = flag.Uint64("seed", 2002, "seed for routing (gateway) or service-time (backend) streams")
+		backendsFlag = flag.String("backends", "", "gateway: comma-separated backend base URLs")
+		ratesFlag    = flag.String("rates", "", "gateway: backend service rates mu_j (jobs/s), one per backend")
+		arrivalsFlag = flag.String("arrivals", "", "gateway: user arrival rates phi_i (jobs/s)")
+		profileFlag  = flag.String("profile", "nash", "gateway: initial routing profile, nash or ps")
+		pollFlag     = flag.Duration("poll", 0, "gateway: re-equilibration poll period (0 = static routing)")
+		updateFlag   = flag.Int("update-every", 1, "gateway: play one best response every this many polls")
+		alphaFlag    = flag.Float64("alpha", 0.2, "gateway: EWMA weight for queue-depth observations")
+		fillFlag     = flag.Float64("fill", 0, "gateway: token-bucket fill rate (req/s; 0 disables admission)")
+		burstFlag    = flag.Float64("burst", 0, "gateway: token-bucket burst size")
+		timeoutFlag  = flag.Duration("timeout", 5*time.Second, "gateway: per-attempt backend timeout")
+		retriesFlag  = flag.Int("retries", 2, "gateway: retries after backend transport failures")
+		rateFlag     = flag.Float64("rate", 0, "backend: service rate mu (jobs/s)")
+		queueCapFlag = flag.Int("queue-cap", serve.DefaultQueueCap, "backend: jobs-in-system bound")
+	)
+	flag.Parse()
+
+	if *backendFlag {
+		runBackend(*rateFlag, *queueCapFlag, *seedFlag, *listenFlag)
+		return
+	}
+	runGateway(gatewayArgs{
+		backends: *backendsFlag,
+		rates:    *ratesFlag,
+		arrivals: *arrivalsFlag,
+		profile:  *profileFlag,
+		listen:   *listenFlag,
+		seed:     *seedFlag,
+		poll:     *pollFlag,
+		update:   *updateFlag,
+		alpha:    *alphaFlag,
+		fill:     *fillFlag,
+		burst:    *burstFlag,
+		timeout:  *timeoutFlag,
+		retries:  *retriesFlag,
+	})
+}
+
+func runBackend(rate float64, queueCap int, seed uint64, listen string) {
+	if rate <= 0 {
+		log.Fatal("-backend needs -rate > 0")
+	}
+	b, err := serve.NewBackend(serve.BackendConfig{
+		Rate:     rate,
+		QueueCap: queueCap,
+		Seed:     seed,
+		Addr:     listen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backend serving mu=%g on %s\n", rate, b.URL())
+	waitForInterrupt()
+	if err := b.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type gatewayArgs struct {
+	backends, rates, arrivals, profile, listen string
+	seed                                       uint64
+	poll                                       time.Duration
+	update                                     int
+	alpha, fill, burst                         float64
+	timeout                                    time.Duration
+	retries                                    int
+}
+
+func runGateway(a gatewayArgs) {
+	if a.backends == "" {
+		log.Fatal("gateway mode needs -backends (or use -backend for a worker)")
+	}
+	var urls []string
+	for _, u := range strings.Split(a.backends, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			log.Fatal("-backends: empty URL in list")
+		}
+		urls = append(urls, strings.TrimSuffix(u, "/"))
+	}
+	rates, err := cli.ParseFloats(a.rates)
+	if err != nil {
+		log.Fatalf("-rates: %v", err)
+	}
+	arrivals, err := cli.ParseFloats(a.arrivals)
+	if err != nil {
+		log.Fatalf("-arrivals: %v", err)
+	}
+	sys, err := game.NewSystem(rates, arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var profile game.Profile
+	switch a.profile {
+	case "ps":
+		profile = game.ProportionalProfile(sys)
+		fmt.Printf("routing by proportional profile, predicted D = %.6gs\n",
+			sys.OverallResponseTime(profile))
+	case "nash":
+		res, err := core.Solve(sys, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			log.Fatalf("NASH did not converge in %d rounds", res.Rounds)
+		}
+		profile = res.Profile
+		fmt.Printf("NASH converged in %d rounds, predicted D = %.6gs\n",
+			res.Rounds, res.OverallTime)
+	default:
+		log.Fatalf("-profile %q: want nash or ps", a.profile)
+	}
+
+	g, err := serve.NewGateway(serve.GatewayConfig{
+		Backends:    urls,
+		Rates:       rates,
+		Arrivals:    arrivals,
+		Profile:     profile,
+		Seed:        a.seed,
+		FillRate:    a.fill,
+		Burst:       a.burst,
+		PollEvery:   a.poll,
+		UpdateEvery: a.update,
+		Alpha:       a.alpha,
+		Timeout:     a.timeout,
+		Retries:     a.retries,
+		Addr:        a.listen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway serving %d users over %d backends on %s\n",
+		len(arrivals), len(urls), g.URL())
+	waitForInterrupt()
+	if err := g.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("shutting down")
+}

@@ -432,6 +432,31 @@ func Simulate(cfg Config) (*RunResult, error) {
 	}
 
 	profile := cfg.Profile.Clone()
+	// Precomputed O(1) alias samplers, one per user, rebuilt whenever a
+	// rebalance installs a new profile. Rows the validator accepted always
+	// build (non-negative, sum 1), so errors cannot occur here.
+	samplers := make([]*rng.Alias, m)
+	buildSamplers := func() error {
+		row := make([]float64, n)
+		for i := range profile {
+			// CheckStrategy tolerates fractions down to -FeasibilityTol;
+			// clamp those to zero weight for the sampler.
+			for j, f := range profile[i] {
+				row[j] = math.Max(f, 0)
+			}
+			a, err := rng.NewAlias(row)
+			if err != nil {
+				return fmt.Errorf("cluster: user %d: %w", i, err)
+			}
+			samplers[i] = a
+		}
+		return nil
+	}
+	if cfg.Dispatch == ProbabilisticDispatch {
+		if err := buildSamplers(); err != nil {
+			return nil, err
+		}
+	}
 	pick := func(i int) int {
 		switch cfg.Dispatch {
 		case ShortestQueueDispatch, ShortestDelayDispatch:
@@ -454,7 +479,7 @@ func Simulate(cfg Config) (*RunResult, error) {
 			}
 			return best
 		default:
-			return routeStreams[i].Choose(profile[i])
+			return samplers[i].Pick(routeStreams[i])
 		}
 	}
 	dispatch := func(i int) {
@@ -499,6 +524,10 @@ func Simulate(cfg Config) (*RunResult, error) {
 				}
 				if ok {
 					profile = next.Clone()
+					if cfg.Dispatch == ProbabilisticDispatch {
+						// Cannot fail: every row passed CheckStrategy.
+						_ = buildSamplers()
+					}
 					res.Rebalances++
 				}
 			}

@@ -695,3 +695,50 @@ func TestExt7FaultTolerance(t *testing.T) {
 		t.Error("table mismatch")
 	}
 }
+
+func TestExt8LiveServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live serving run")
+	}
+	res, err := Ext8(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	closed, sim, live := res.Rows[0], res.Rows[1], res.Rows[2]
+	if closed.RelErr != 0 || closed.MaxSplitDev != 0 {
+		t.Errorf("closed form deviates from itself: %+v", closed)
+	}
+	if res.Predicted <= 0 || closed.Overall != res.Predicted {
+		t.Errorf("predicted %v vs closed-form row %v", res.Predicted, closed.Overall)
+	}
+	// The DES row shares the closed form's assumptions exactly; even the
+	// quick window should land close.
+	if sim.Jobs == 0 || sim.RelErr > 0.10 {
+		t.Errorf("simulator off closed form: %+v", sim)
+	}
+	// The live row rides a real scheduler over a short quick-mode window
+	// (~160 jobs); only order-of-magnitude sanity is asserted here — the
+	// tight 10% bound is the -short-skipped end-to-end test in
+	// internal/serve, whose window is 4x longer.
+	if live.Jobs == 0 || live.RelErr > 1.0 {
+		t.Errorf("live gateway far off closed form: %+v", live)
+	}
+	if live.MaxSplitDev > 0.05 {
+		t.Errorf("live routing split %v off equilibrium by %v", live.Split, live.MaxSplitDev)
+	}
+	if res.Table().Rows() != 3 {
+		t.Error("table mismatch")
+	}
+	data, err := res.BenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "ext8_live_serving"`, `"live gateway"`, `"simulator"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench json missing %s", want)
+		}
+	}
+}

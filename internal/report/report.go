@@ -95,7 +95,10 @@ func (t *Table) CSV() string {
 }
 
 func csvEscape(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
+	// RFC 4180: fields containing separators, quotes, or EITHER line-break
+	// character must be quoted — a bare \r (e.g. from a Windows-sourced
+	// label) corrupts the row structure for strict readers if left naked.
+	if strings.ContainsAny(s, ",\"\n\r") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}
 	return s

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -59,6 +60,55 @@ func TestCSVEscaping(t *testing.T) {
 	}
 	if !strings.Contains(csv, `"with""quote"`) {
 		t.Errorf("quote not doubled: %s", csv)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	// Emission audit: every cell that needs quoting — commas, quotes,
+	// newlines, bare carriage returns, and combinations — must survive a
+	// parse by a strict RFC-4180 reader bit-for-bit.
+	cells := [][]string{
+		{"plain", "with,comma", `with"quote`},
+		{"multi\nline", "carriage\rreturn", "crlf\r\nboth"},
+		{`all,of"it` + "\n\r", " leading space", "trailing space "},
+		{"", "unicode µ ± ≥", `""`},
+	}
+	tb := NewTable("t", "c1", "c2", "c3")
+	for _, row := range cells {
+		tb.AddRow(row...)
+	}
+
+	r := csv.NewReader(strings.NewReader(tb.CSV()))
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, tb.CSV())
+	}
+	if len(records) != 1+len(cells) {
+		t.Fatalf("parsed %d records, want %d", len(records), 1+len(cells))
+	}
+	for i, want := range [][]string{{"c1", "c2", "c3"}} {
+		for j := range want {
+			if records[i][j] != want[j] {
+				t.Errorf("header cell %d = %q, want %q", j, records[i][j], want[j])
+			}
+		}
+	}
+	for i, want := range cells {
+		// Go's csv.Reader normalizes \r\n to \n inside quoted fields (a
+		// documented reader-side transform, not an emission defect).
+		want := append([]string(nil), want...)
+		for j := range want {
+			want[j] = strings.ReplaceAll(want[j], "\r\n", "\n")
+		}
+		got := records[i+1]
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %d cells, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("row %d cell %d = %q, want %q", i, j, got[j], want[j])
+			}
+		}
 	}
 }
 

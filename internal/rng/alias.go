@@ -1,0 +1,93 @@
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// Alias is a precomputed weighted sampler using Vose's alias method: after
+// O(n) construction, every draw costs O(1) — one bounded integer and one
+// uniform variate — independent of the number of outcomes. It replaces the
+// O(n) cumulative scan of Stream.Choose on hot dispatch paths (the cluster
+// simulator's probabilistic dispatcher and the serving gateway's router),
+// where the same weight vector is sampled millions of times between updates.
+//
+// An Alias is immutable after construction and safe for concurrent use; the
+// Stream passed to Pick is not, so callers serialize per stream as usual.
+type Alias struct {
+	prob  []float64 // acceptance threshold per column, scaled to [0, 1]
+	alias []int     // fallback outcome per column
+}
+
+// ErrBadWeights reports a weight vector an Alias cannot be built from.
+var ErrBadWeights = errors.New("rng: weights must be non-negative with a positive finite sum")
+
+// NewAlias builds the sampler for the given weights. Outcome i is returned
+// with probability weights[i]/sum(weights). Weights must be non-negative and
+// finite with a positive sum.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrBadWeights
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, ErrBadWeights
+		}
+		total += w
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		return nil, ErrBadWeights
+	}
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	// Scale every weight so the average column height is 1, then repeatedly
+	// top up an under-full column from an over-full one (Vose's stacks).
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are full columns up to floating-point residue.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Pick draws one outcome using two variates from the stream: a uniform
+// column and a uniform acceptance test against the column's threshold.
+func (a *Alias) Pick(r *Stream) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

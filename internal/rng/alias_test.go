@@ -1,0 +1,125 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAliasRejectsBadWeights(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -0.5},
+		{math.NaN(), 1},
+		{math.Inf(1), 1},
+	}
+	for _, w := range bad {
+		if _, err := NewAlias(w); err == nil {
+			t.Errorf("NewAlias(%v) accepted invalid weights", w)
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	cases := [][]float64{
+		{1},
+		{1, 0},
+		{0.3, 0.7},
+		{1, 2, 5, 10},
+		{0, 0.25, 0, 0.75, 0},
+		{1e-6, 1, 1e6},
+	}
+	for _, weights := range cases {
+		a, err := NewAlias(weights)
+		if err != nil {
+			t.Fatalf("NewAlias(%v): %v", weights, err)
+		}
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		const draws = 200000
+		r := New(2002)
+		counts := make([]int, len(weights))
+		for k := 0; k < draws; k++ {
+			counts[a.Pick(r)]++
+		}
+		for i, w := range weights {
+			want := w / total
+			got := float64(counts[i]) / draws
+			// 5-sigma binomial tolerance plus a floor for tiny p.
+			tol := 5*math.Sqrt(want*(1-want)/draws) + 1e-4
+			if math.Abs(got-want) > tol {
+				t.Errorf("weights %v outcome %d: frequency %v, want %v (tol %v)", weights, i, got, want, tol)
+			}
+			if w == 0 && counts[i] != 0 {
+				t.Errorf("weights %v outcome %d: zero weight drawn %d times", weights, i, counts[i])
+			}
+		}
+	}
+}
+
+func TestAliasAgreesWithChoose(t *testing.T) {
+	// Alias and Choose must induce the same distribution (not the same
+	// sequence: they consume variates differently). Compare empirical
+	// frequencies from independent streams.
+	weights := []float64{5, 1, 0, 3, 11, 0.5}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 300000
+	ra, rc := New(7), New(8)
+	ca := make([]float64, len(weights))
+	cc := make([]float64, len(weights))
+	for k := 0; k < draws; k++ {
+		ca[a.Pick(ra)]++
+		cc[rc.Choose(weights)]++
+	}
+	for i := range weights {
+		fa, fc := ca[i]/draws, cc[i]/draws
+		if math.Abs(fa-fc) > 0.01 {
+			t.Errorf("outcome %d: alias frequency %v vs choose %v", i, fa, fc)
+		}
+	}
+}
+
+func TestAliasDeterministicGivenSeed(t *testing.T) {
+	weights := []float64{2, 3, 5}
+	a, _ := NewAlias(weights)
+	seq := func() []int {
+		r := New(99)
+		out := make([]int, 32)
+		for i := range out {
+			out[i] = a.Pick(r)
+		}
+		return out
+	}
+	x, y := seq(), seq()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x[i], y[i])
+		}
+	}
+}
+
+func TestAliasConcurrentPickIsSafe(t *testing.T) {
+	// The table itself is read-only after construction; concurrent Picks
+	// with per-goroutine streams must be race-free (exercised under -race).
+	a, _ := NewAlias([]float64{1, 2, 3, 4})
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			r := New(uint64(g))
+			for k := 0; k < 10000; k++ {
+				a.Pick(r)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

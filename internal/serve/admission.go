@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic rate limiter: tokens accrue at FillRate per
+// second up to Burst, and each admitted request spends one. It is safe for
+// concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	fill   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewTokenBucket returns a bucket refilling at fill tokens/second with the
+// given burst capacity, starting full. Non-positive fill or burst yields a
+// nil bucket, which Allow treats as "always admit" — admission disabled.
+func NewTokenBucket(fill, burst float64) *TokenBucket {
+	if !(fill > 0) || !(burst > 0) {
+		return nil
+	}
+	return &TokenBucket{fill: fill, burst: burst, tokens: burst, now: time.Now}
+}
+
+// Allow spends one token if available and reports whether the request is
+// admitted. A nil bucket always admits.
+func (tb *TokenBucket) Allow() bool {
+	if tb == nil {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.fill
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

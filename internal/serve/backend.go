@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nashlb/internal/rng"
+)
+
+// DefaultQueueCap bounds a backend's jobs in system (waiting + in service)
+// when the configuration leaves QueueCap zero.
+const DefaultQueueCap = 512
+
+// BackendConfig describes one worker node.
+type BackendConfig struct {
+	// Rate is the node's service rate mu (jobs/second); each accepted job
+	// costs an exponential service time with this rate, making the node an
+	// M/M/1 station under Poisson input.
+	Rate float64
+	// QueueCap bounds the jobs in system; arrivals beyond it are rejected
+	// with 503 (DefaultQueueCap when zero).
+	QueueCap int
+	// Seed roots the service-time stream (fully reproducible work).
+	Seed uint64
+	// Addr is the listen address ("127.0.0.1:0" when empty).
+	Addr string
+}
+
+// Backend is a single worker node: an HTTP server whose /work endpoint runs
+// jobs through a bounded FCFS queue served by one goroutine drawing
+// exponential service times at rate mu — a live M/M/1 station. It reports
+// its queue depth on /queue for the gateway's estimation loop. Backends are
+// embeddable in-process for tests or run standalone via `nashgate -backend`.
+type Backend struct {
+	cfg BackendConfig
+
+	ln   net.Listener
+	srv  *http.Server
+	jobs chan *backendJob
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	depth   int
+	closing bool
+
+	served   atomic.Int64
+	rejected atomic.Int64
+	busyNs   atomic.Int64
+}
+
+type backendJob struct {
+	done    chan struct{}
+	service time.Duration
+}
+
+// NewBackend validates the configuration and returns an unstarted backend.
+func NewBackend(cfg BackendConfig) (*Backend, error) {
+	if !(cfg.Rate > 0) {
+		return nil, fmt.Errorf("serve: backend rate %g must be positive", cfg.Rate)
+	}
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("serve: negative queue capacity %d", cfg.QueueCap)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	return &Backend{
+		cfg:  cfg,
+		jobs: make(chan *backendJob, cfg.QueueCap),
+	}, nil
+}
+
+// Start binds the listener, launches the worker, and serves HTTP in the
+// background. It returns once the address is bound.
+func (b *Backend) Start() error {
+	if b.ln != nil {
+		return errors.New("serve: backend already started")
+	}
+	ln, err := net.Listen("tcp", b.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: backend listen: %w", err)
+	}
+	b.ln = ln
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", b.handleWork)
+	mux.HandleFunc("/queue", b.handleQueue)
+	b.srv = &http.Server{Handler: mux}
+
+	b.wg.Add(1)
+	go b.worker()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		_ = b.srv.Serve(ln) // returns ErrServerClosed on Close
+	}()
+	return nil
+}
+
+// worker is the single server of the FCFS queue: it performs each job's
+// exponential work in arrival order, run-to-completion.
+func (b *Backend) worker() {
+	defer b.wg.Done()
+	stream := rng.New(b.cfg.Seed)
+	for job := range b.jobs {
+		job.service = time.Duration(stream.Exp(b.cfg.Rate) * float64(time.Second))
+		preciseWait(job.service)
+		b.busyNs.Add(int64(job.service))
+		b.mu.Lock()
+		b.depth--
+		b.mu.Unlock()
+		b.served.Add(1)
+		close(job.done)
+	}
+}
+
+func (b *Backend) handleWork(w http.ResponseWriter, r *http.Request) {
+	job := &backendJob{done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closing || b.depth >= b.cfg.QueueCap {
+		full := !b.closing
+		b.mu.Unlock()
+		if full {
+			b.rejected.Add(1)
+			w.Header().Set("X-Queue-Full", "1")
+		}
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+		return
+	}
+	b.depth++
+	b.mu.Unlock()
+	b.jobs <- job // capacity == QueueCap, never blocks
+	<-job.done
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"service_s": job.service.Seconds(),
+	})
+}
+
+func (b *Backend) handleQueue(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(QueueStatus{
+		Depth:    b.Depth(),
+		Rate:     b.cfg.Rate,
+		Served:   b.served.Load(),
+		Rejected: b.rejected.Load(),
+	})
+}
+
+// QueueStatus is the wire form of a backend's /queue report.
+type QueueStatus struct {
+	// Depth is the current number of jobs in system (queue + in service).
+	Depth int `json:"depth"`
+	// Rate echoes the node's service rate mu.
+	Rate float64 `json:"rate"`
+	// Served and Rejected count completed and queue-full jobs.
+	Served   int64 `json:"served"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Addr returns the bound address (empty before Start).
+func (b *Backend) Addr() string {
+	if b.ln == nil {
+		return ""
+	}
+	return b.ln.Addr().String()
+}
+
+// URL returns the backend's base URL (empty before Start).
+func (b *Backend) URL() string {
+	if b.ln == nil {
+		return ""
+	}
+	return "http://" + b.Addr()
+}
+
+// Depth returns the current jobs in system.
+func (b *Backend) Depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.depth
+}
+
+// Served returns the number of completed jobs.
+func (b *Backend) Served() int64 { return b.served.Load() }
+
+// Rejected returns the number of queue-full rejections.
+func (b *Backend) Rejected() int64 { return b.rejected.Load() }
+
+// BusyTime returns the cumulative in-service time, so BusyTime/elapsed
+// estimates the node's utilization rho.
+func (b *Backend) BusyTime() time.Duration { return time.Duration(b.busyNs.Load()) }
+
+// Close drains in-flight requests, stops the worker and releases the
+// listener. New work arriving during shutdown is refused with 503.
+func (b *Backend) Close() error {
+	if b.srv == nil {
+		return nil
+	}
+	b.mu.Lock()
+	b.closing = true
+	b.mu.Unlock()
+	// Shutdown waits for active handlers (the worker keeps draining their
+	// jobs meanwhile), so nothing can send on b.jobs after it returns.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := b.srv.Shutdown(ctx)
+	if err != nil {
+		err = errors.Join(err, b.srv.Close())
+	}
+	close(b.jobs)
+	b.wg.Wait()
+	b.srv = nil
+	return err
+}
+
+// preciseWait blocks for d with microsecond-level accuracy: it sleeps for
+// all but a short tail, then spins the remainder. Plain time.Sleep overshoot
+// (tens to hundreds of microseconds) would systematically inflate service
+// times that are only a few milliseconds, biasing the M/M/1 validation.
+func preciseWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	const tail = 200 * time.Microsecond
+	if d > tail {
+		time.Sleep(d - tail)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,573 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nashlb/internal/dist"
+	"nashlb/internal/estimate"
+	"nashlb/internal/game"
+	"nashlb/internal/online"
+	"nashlb/internal/rng"
+)
+
+// GatewayConfig describes the nashgate serving gateway.
+type GatewayConfig struct {
+	// Backends holds the base URLs of the worker nodes, one per computer.
+	Backends []string
+	// Rates holds the backends' service rates mu_j (known to the users, as
+	// in the paper).
+	Rates []float64
+	// Arrivals holds the users' nominal arrival rates phi_i; they size the
+	// game whose equilibrium routes the traffic.
+	Arrivals []float64
+	// Profile is the initial routing table. Nil routes by the proportional
+	// (PS) profile; callers wanting equilibrium routing from the first
+	// request pass the solved NASH profile.
+	Profile game.Profile
+	// Seed roots the per-user routing streams (reproducible splits).
+	Seed uint64
+
+	// FillRate and Burst configure token-bucket admission (requests/second
+	// and burst size); non-positive values disable the bucket.
+	FillRate float64
+	Burst    float64
+
+	// PollEvery is the re-equilibration period: every tick the gateway
+	// polls all backend /queue depths and feeds the online balancer. Zero
+	// disables the loop (static routing).
+	PollEvery time.Duration
+	// UpdateEvery plays one user's best response every this many polls
+	// (default 1: one user per tick, the paper's serialized discipline).
+	UpdateEvery int
+	// Alpha is the EWMA weight for queue-depth observations (default 0.2).
+	Alpha float64
+
+	// Timeout bounds each gateway→backend attempt (default 5s).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a transport failure
+	// (default 2); retry delays come from dist.Backoff.
+	Retries int
+	// RetryBase and RetryMax shape the backoff schedule (defaults 2ms and
+	// 250ms, the dist defaults, when zero).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// Addr is the listen address ("127.0.0.1:0" when empty).
+	Addr string
+}
+
+// routeTable is an immutable routing state: the profile and one O(1) alias
+// sampler per user, swapped atomically by the re-equilibration loop.
+type routeTable struct {
+	profile  game.Profile
+	samplers []*rng.Alias
+}
+
+func newRouteTable(p game.Profile, n int) (*routeTable, error) {
+	t := &routeTable{profile: p.Clone(), samplers: make([]*rng.Alias, len(p))}
+	row := make([]float64, n)
+	for i := range p {
+		if err := game.CheckStrategy(p[i], n); err != nil {
+			return nil, err
+		}
+		// CheckStrategy tolerates fractions down to -FeasibilityTol;
+		// clamp those to zero weight for the sampler.
+		for j, f := range p[i] {
+			row[j] = math.Max(f, 0)
+		}
+		a, err := rng.NewAlias(row)
+		if err != nil {
+			return nil, fmt.Errorf("serve: user %d: %w", i, err)
+		}
+		t.samplers[i] = a
+	}
+	return t, nil
+}
+
+// Gateway is the serving gateway: it admits requests, routes each one to a
+// backend by weighted sampling over the current strategy profile, forwards
+// over HTTP with retries, and (optionally) re-equilibrates the profile from
+// polled queue depths while traffic flows.
+type Gateway struct {
+	cfg GatewayConfig
+
+	table    atomic.Pointer[routeTable]
+	userMu   []sync.Mutex
+	userRng  []*rng.Stream
+	bucket   *TokenBucket
+	met      *gatewayMetrics
+	client   *http.Client
+	balancer *online.Balancer
+	policy   func(now float64, queueLens []int, current game.Profile) game.Profile
+	sys      *game.System
+	est      estimate.RunQueue
+	smooth   []*estimate.Smoother
+	satur    atomic.Bool
+
+	ln   net.Listener
+	srv  *http.Server
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewGateway validates the configuration and returns an unstarted gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	n, m := len(cfg.Backends), len(cfg.Arrivals)
+	if n == 0 {
+		return nil, errors.New("serve: gateway needs at least one backend")
+	}
+	if len(cfg.Rates) != n {
+		return nil, fmt.Errorf("serve: %d rates for %d backends", len(cfg.Rates), n)
+	}
+	for j, mu := range cfg.Rates {
+		if !(mu > 0) {
+			return nil, fmt.Errorf("serve: invalid rate mu[%d]=%g", j, mu)
+		}
+	}
+	if m == 0 {
+		return nil, errors.New("serve: gateway needs at least one user")
+	}
+	for i, phi := range cfg.Arrivals {
+		if !(phi > 0) {
+			return nil, fmt.Errorf("serve: invalid arrival phi[%d]=%g", i, phi)
+		}
+	}
+	sys := &game.System{Rates: cfg.Rates, Arrivals: cfg.Arrivals}
+	if cfg.Profile == nil {
+		cfg.Profile = game.ProportionalProfile(sys)
+	}
+	if len(cfg.Profile) != m {
+		return nil, fmt.Errorf("serve: profile has %d rows for %d users", len(cfg.Profile), m)
+	}
+	if cfg.UpdateEvery < 1 {
+		cfg.UpdateEvery = 1
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+
+	g := &Gateway{
+		cfg:     cfg,
+		sys:     sys,
+		userMu:  make([]sync.Mutex, m),
+		userRng: make([]*rng.Stream, m),
+		bucket:  NewTokenBucket(cfg.FillRate, cfg.Burst),
+		met:     newGatewayMetrics(n, m),
+		est:     estimate.RunQueue{Rates: append([]float64(nil), cfg.Rates...)},
+		smooth:  make([]*estimate.Smoother, n),
+		quit:    make(chan struct{}),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * n * 64,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+	src := rng.NewSource(cfg.Seed)
+	for i := 0; i < m; i++ {
+		g.userRng[i] = src.Stream(fmt.Sprintf("route/%d", i))
+	}
+	for j := 0; j < n; j++ {
+		s, err := estimate.NewSmoother(cfg.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		g.smooth[j] = s
+	}
+	table, err := newRouteTable(cfg.Profile, n)
+	if err != nil {
+		return nil, err
+	}
+	g.table.Store(table)
+
+	if cfg.PollEvery > 0 {
+		bal, err := online.New(cfg.Rates, cfg.Arrivals, cfg.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		g.balancer = bal
+		g.policy = bal.Policy(cfg.PollEvery.Seconds(), cfg.UpdateEvery).Do
+	}
+	return g, nil
+}
+
+// Start binds the listener, serves HTTP, and launches the re-equilibration
+// loop when configured.
+func (g *Gateway) Start() error {
+	if g.ln != nil {
+		return errors.New("serve: gateway already started")
+	}
+	ln, err := net.Listen("tcp", g.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: gateway listen: %w", err)
+	}
+	g.ln = ln
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", g.handleSubmit)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/routing", g.handleRouting)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	g.srv = &http.Server{Handler: mux}
+
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		_ = g.srv.Serve(ln)
+	}()
+
+	if g.cfg.PollEvery > 0 {
+		g.wg.Add(1)
+		go g.rebalanceLoop()
+	}
+	return nil
+}
+
+// Addr returns the bound address (empty before Start).
+func (g *Gateway) Addr() string {
+	if g.ln == nil {
+		return ""
+	}
+	return g.ln.Addr().String()
+}
+
+// URL returns the gateway's base URL (empty before Start).
+func (g *Gateway) URL() string {
+	if g.ln == nil {
+		return ""
+	}
+	return "http://" + g.Addr()
+}
+
+// Profile returns a copy of the currently installed routing profile.
+func (g *Gateway) Profile() game.Profile {
+	return g.table.Load().profile.Clone()
+}
+
+// Metrics returns a consistent snapshot of the gateway's counters.
+func (g *Gateway) Metrics() *Snapshot { return g.met.snapshot() }
+
+// Saturated reports whether the last estimation sweep put every backend at
+// or above its capacity (the reject-on-saturation condition).
+func (g *Gateway) Saturated() bool { return g.satur.Load() }
+
+// Close stops the re-equilibration loop and the HTTP server.
+func (g *Gateway) Close() error {
+	if g.srv == nil {
+		return nil
+	}
+	close(g.quit)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := g.srv.Shutdown(ctx)
+	if err != nil {
+		err = errors.Join(err, g.srv.Close())
+	}
+	g.wg.Wait()
+	g.client.CloseIdleConnections()
+	g.srv = nil
+	return err
+}
+
+// SubmitResponse is the wire form of a served request.
+type SubmitResponse struct {
+	// User and Backend identify who asked and who served.
+	User    int `json:"user"`
+	Backend int `json:"backend"`
+	// ServiceSeconds is the exponential work the backend performed;
+	// ElapsedSeconds is the gateway-side response time (queueing included).
+	ServiceSeconds float64 `json:"service_s"`
+	ElapsedSeconds float64 `json:"elapsed_s"`
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	user, err := g.userID(r)
+	if err != nil {
+		g.met.rejectedUser.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Admission: the token bucket shapes the accepted rate; the saturation
+	// flag refuses work when the estimated load leaves no backend with
+	// spare capacity (estimated rho_j >= 1 everywhere).
+	if !g.bucket.Allow() {
+		g.met.rejectedRate.Add(1)
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	if g.satur.Load() {
+		g.met.rejectedSat.Add(1)
+		http.Error(w, "all backends saturated", http.StatusServiceUnavailable)
+		return
+	}
+	g.met.admitted.Add(1)
+
+	// Route: weighted sample over s_ij via the user's alias sampler. The
+	// stream is per-user so the routing sequence is reproducible.
+	table := g.table.Load()
+	g.userMu[user].Lock()
+	backend := table.samplers[user].Pick(g.userRng[user])
+	g.userMu[user].Unlock()
+
+	start := time.Now()
+	status, body, err := g.forward(r.Context(), backend)
+	elapsed := time.Since(start)
+	switch {
+	case err != nil:
+		g.met.backendErrors[backend].Add(1)
+		http.Error(w, fmt.Sprintf("backend %d: %v", backend, err), http.StatusBadGateway)
+		return
+	case status == http.StatusServiceUnavailable:
+		g.met.backendRejects[backend].Add(1)
+		http.Error(w, fmt.Sprintf("backend %d queue full", backend), http.StatusServiceUnavailable)
+		return
+	case status != http.StatusOK:
+		g.met.backendErrors[backend].Add(1)
+		http.Error(w, fmt.Sprintf("backend %d status %d", backend, status), http.StatusBadGateway)
+		return
+	}
+
+	g.met.backendRequests[backend].Add(1)
+	g.met.observe(user, elapsed.Seconds())
+
+	var work struct {
+		ServiceSeconds float64 `json:"service_s"`
+	}
+	_ = json.Unmarshal(body, &work)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(SubmitResponse{
+		User:           user,
+		Backend:        backend,
+		ServiceSeconds: work.ServiceSeconds,
+		ElapsedSeconds: elapsed.Seconds(),
+	})
+}
+
+// userID extracts the requesting user from the X-User header or ?user=
+// query parameter.
+func (g *Gateway) userID(r *http.Request) (int, error) {
+	raw := r.Header.Get("X-User")
+	if raw == "" {
+		raw = r.URL.Query().Get("user")
+	}
+	if raw == "" {
+		return 0, errors.New("missing user id (X-User header or ?user=)")
+	}
+	user, err := strconv.Atoi(raw)
+	if err != nil || user < 0 || user >= len(g.cfg.Arrivals) {
+		return 0, fmt.Errorf("invalid user id %q (have %d users)", raw, len(g.cfg.Arrivals))
+	}
+	return user, nil
+}
+
+// forward performs the gateway→backend call with capped-exponential retry
+// on transport failures (dist.Backoff). HTTP-level answers, including the
+// backend's queue-full 503, are returned to the caller without retry: the
+// job may already have consumed queue space, and admission decisions are
+// the caller's to surface.
+func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error) {
+	backoff := dist.Backoff{Base: g.cfg.RetryBase, Max: g.cfg.RetryMax}
+	var lastErr error
+	for attempt := 0; attempt <= g.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff.Next()):
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		}
+		callCtx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
+		req, err := http.NewRequestWithContext(callCtx, http.MethodGet, g.cfg.Backends[backend]+"/work", nil)
+		if err != nil {
+			cancel()
+			return 0, nil, err
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp.StatusCode, body, nil
+	}
+	return 0, nil, fmt.Errorf("after %d attempts: %w", g.cfg.Retries+1, lastErr)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	g.met.render(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// RoutingStatus is the wire form of /routing: the live strategy profile and
+// the re-equilibration counters.
+type RoutingStatus struct {
+	Profile    game.Profile `json:"profile"`
+	Rebalances int64        `json:"rebalances"`
+	Polls      int64        `json:"polls"`
+	Saturated  bool         `json:"saturated"`
+}
+
+func (g *Gateway) handleRouting(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(RoutingStatus{
+		Profile:    g.Profile(),
+		Rebalances: g.met.rebalances.Load(),
+		Polls:      g.met.polls.Load(),
+		Saturated:  g.satur.Load(),
+	})
+}
+
+// rebalanceLoop closes the paper's measurement loop: poll every backend's
+// queue depth, update the saturation estimate, and hand the depths to the
+// online balancer, installing any best-response profile it returns.
+func (g *Gateway) rebalanceLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.PollEvery)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-g.quit:
+			return
+		case <-ticker.C:
+		}
+		depths, ok := g.pollDepths()
+		if !ok {
+			continue
+		}
+		g.met.polls.Add(1)
+		g.updateSaturation(depths)
+		next := g.policy(time.Since(start).Seconds(), depths, g.Profile())
+		if next == nil || !g.installable(next) {
+			continue
+		}
+		table, err := newRouteTable(next, len(g.cfg.Backends))
+		if err != nil {
+			continue // infeasible best response; keep routing as-is
+		}
+		g.table.Store(table)
+		g.met.rebalances.Add(1)
+	}
+}
+
+// installable guards routing-table installs: unlike the users' best
+// responses — computed against *estimated* loads — the gateway knows the
+// configured arrival rates, so it can refuse a profile whose implied true
+// utilization would push some backend past the saturation threshold. Best
+// responses built on transiently underestimated loads (a momentarily
+// drained queue) would otherwise drive a backend to the edge of capacity
+// until the next correction.
+func (g *Gateway) installable(p game.Profile) bool {
+	for j, l := range g.sys.Loads(p) {
+		if l >= g.cfg.Rates[j]*saturationRho {
+			return false
+		}
+	}
+	return true
+}
+
+// pollDepths queries every backend's /queue concurrently. A sweep is used
+// only when every backend answered: the balancer needs a consistent vector.
+func (g *Gateway) pollDepths() ([]int, bool) {
+	n := len(g.cfg.Backends)
+	depths := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.Timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.Backends[j]+"/queue", nil)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			resp, err := g.client.Do(req)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			defer resp.Body.Close()
+			var st QueueStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				errs[j] = err
+				return
+			}
+			depths[j] = st.Depth
+			g.met.queueDepth[j].Store(int64(st.Depth))
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, false
+		}
+	}
+	return depths, true
+}
+
+// updateSaturation smooths the polled depths, inverts them to load
+// estimates (Remark 2), and raises the saturation flag when every backend's
+// estimated utilization is at or above 1.
+func (g *Gateway) updateSaturation(depths []int) {
+	obs := make([]float64, len(depths))
+	for j, d := range depths {
+		obs[j] = g.smooth[j].Observe(float64(d))
+	}
+	loads, err := g.est.Loads(obs)
+	if err != nil {
+		return
+	}
+	saturated := true
+	for j, l := range loads {
+		if l < g.cfg.Rates[j]*saturationRho {
+			saturated = false
+			break
+		}
+	}
+	g.satur.Store(saturated)
+}
+
+// saturationRho is the estimated-utilization threshold at which a backend
+// counts as saturated for admission control. The queue-length inversion
+// lambda = mu*L/(1+L) approaches mu only asymptotically, so the threshold
+// sits just below 1 (L = 19 maps to rho 0.95).
+const saturationRho = 0.95

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nashlb/internal/rng"
+)
+
+// LoadConfig describes an open-loop Poisson load test against a gateway.
+type LoadConfig struct {
+	// Target is the gateway's base URL.
+	Target string
+	// Arrivals holds each user's request rate phi_i (requests/second); one
+	// independent Poisson stream per user.
+	Arrivals []float64
+	// Duration is how long each stream sends.
+	Duration time.Duration
+	// Warmup discards responses to requests sent before this offset, so
+	// reported statistics cover the (near-)stationary regime only.
+	Warmup time.Duration
+	// Seed roots the interarrival streams (reproducible schedules).
+	Seed uint64
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+}
+
+// LoadResult aggregates a load run's outcome.
+type LoadResult struct {
+	// Sent counts requests issued per user (after warmup; TotalSent counts
+	// everything, warmup included).
+	Sent      []int64
+	TotalSent int64
+	// OK, Rejected and Failed count post-warmup terminal outcomes per user:
+	// 200s, admission/queue 429/503s, and transport errors or other codes.
+	OK       []int64
+	Rejected []int64
+	Failed   []int64
+	// MeanSeconds, MinSeconds and MaxSeconds summarize post-warmup
+	// response times of OK requests, per user; Mean is the overall mean.
+	MeanSeconds []float64
+	MinSeconds  []float64
+	MaxSeconds  []float64
+	Mean        float64
+}
+
+// userStats accumulates one user's post-warmup outcomes under its own lock
+// (responses arrive from many in-flight goroutines).
+type userStats struct {
+	mu       sync.Mutex
+	sent     int64
+	ok       int64
+	rejected int64
+	failed   int64
+	sum      float64
+	min, max float64
+}
+
+// RunLoad drives the gateway with one open-loop Poisson arrival process per
+// user: each user's goroutine walks a pre-seeded exponential interarrival
+// schedule against absolute deadlines (so response latency never throttles
+// the offered load — the defining property of open-loop generation) and
+// fires every request in its own goroutine. It blocks until the duration
+// elapses and all in-flight requests complete.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	m := len(cfg.Arrivals)
+	if m == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs at least one user")
+	}
+	for i, phi := range cfg.Arrivals {
+		if !(phi > 0) {
+			return nil, fmt.Errorf("serve: invalid arrival phi[%d]=%g", i, phi)
+		}
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("serve: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	src := rng.NewSource(cfg.Seed)
+	stats := make([]*userStats, m)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < m; i++ {
+		st := &userStats{}
+		stats[i] = st
+		stream := src.Stream(fmt.Sprintf("arrivals/%d", i))
+		wg.Add(1)
+		go func(user int, phi float64) {
+			defer wg.Done()
+			// Absolute schedule: next = start + sum of Exp(phi) draws.
+			// Drift never accumulates, and a late wakeup fires immediately.
+			next := start
+			for {
+				next = next.Add(time.Duration(stream.Exp(phi) * float64(time.Second)))
+				offset := next.Sub(start)
+				if offset >= cfg.Duration {
+					return
+				}
+				// Plain sleep: sub-millisecond wakeup jitter on multi-
+				// millisecond Poisson gaps barely perturbs the arrival
+				// process, and not spinning (unlike the backends'
+				// preciseWait) keeps the generator off the CPU — on small
+				// machines generator spin would slow the very backends
+				// being measured.
+				time.Sleep(time.Until(next))
+				warm := offset >= cfg.Warmup
+				if warm {
+					st.mu.Lock()
+					st.sent++
+					st.mu.Unlock()
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					fire(client, cfg, user, warm, st)
+				}()
+			}
+		}(i, cfg.Arrivals[i])
+	}
+	wg.Wait()
+
+	res := &LoadResult{
+		Sent:        make([]int64, m),
+		OK:          make([]int64, m),
+		Rejected:    make([]int64, m),
+		Failed:      make([]int64, m),
+		MeanSeconds: make([]float64, m),
+		MinSeconds:  make([]float64, m),
+		MaxSeconds:  make([]float64, m),
+	}
+	var totalSum float64
+	var totalOK int64
+	for i, st := range stats {
+		res.Sent[i] = st.sent
+		res.TotalSent += st.sent
+		res.OK[i] = st.ok
+		res.Rejected[i] = st.rejected
+		res.Failed[i] = st.failed
+		res.MinSeconds[i] = st.min
+		res.MaxSeconds[i] = st.max
+		if st.ok > 0 {
+			res.MeanSeconds[i] = st.sum / float64(st.ok)
+		}
+		totalSum += st.sum
+		totalOK += st.ok
+	}
+	if totalOK > 0 {
+		res.Mean = totalSum / float64(totalOK)
+	}
+	return res, nil
+}
+
+// fire issues one request and records its outcome.
+func fire(client *http.Client, cfg LoadConfig, user int, warm bool, st *userStats) {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/submit", nil)
+	if err != nil {
+		record(st, warm, -1, 0, err)
+		return
+	}
+	req.Header.Set("X-User", fmt.Sprintf("%d", user))
+	began := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		record(st, warm, -1, 0, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	record(st, warm, resp.StatusCode, time.Since(began).Seconds(), nil)
+}
+
+func record(st *userStats, warm bool, status int, seconds float64, err error) {
+	if !warm {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case err != nil:
+		st.failed++
+	case status == http.StatusOK:
+		st.ok++
+		st.sum += seconds
+		if st.ok == 1 || seconds < st.min {
+			st.min = seconds
+		}
+		if seconds > st.max {
+			st.max = seconds
+		}
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		st.rejected++
+	default:
+		st.failed++
+	}
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nashlb/internal/stats"
+)
+
+// Histogram shape for per-user response times: 100µs to 100s, ~10% relative
+// resolution per bucket (log-bucketed, fixed memory).
+const (
+	histLo     = 1e-4
+	histHi     = 100.0
+	histGrowth = 1.1
+)
+
+// gatewayMetrics aggregates the gateway's observability state: per-backend
+// counters and gauges, admission outcomes, and per-user response-time
+// log histograms. Counters are atomics; histograms share one mutex.
+type gatewayMetrics struct {
+	backendRequests []atomic.Int64 // forwarded and answered 200
+	backendRejects  []atomic.Int64 // backend said queue-full (503)
+	backendErrors   []atomic.Int64 // transport failures after retries
+	queueDepth      []atomic.Int64 // last polled depth gauge
+	admitted        atomic.Int64
+	rejectedRate    atomic.Int64 // token bucket said no
+	rejectedSat     atomic.Int64 // estimated rho_j >= 1 everywhere
+	rejectedUser    atomic.Int64 // malformed/unknown user id
+	rebalances      atomic.Int64
+	polls           atomic.Int64
+
+	histMu sync.Mutex
+	hists  []*stats.LogHistogram // per user, seconds
+}
+
+func newGatewayMetrics(nBackends, nUsers int) *gatewayMetrics {
+	m := &gatewayMetrics{
+		backendRequests: make([]atomic.Int64, nBackends),
+		backendRejects:  make([]atomic.Int64, nBackends),
+		backendErrors:   make([]atomic.Int64, nBackends),
+		queueDepth:      make([]atomic.Int64, nBackends),
+		hists:           make([]*stats.LogHistogram, nUsers),
+	}
+	for i := range m.hists {
+		m.hists[i] = stats.NewLogHistogram(histLo, histHi, histGrowth)
+	}
+	return m
+}
+
+func (m *gatewayMetrics) observe(user int, seconds float64) {
+	m.histMu.Lock()
+	m.hists[user].Add(seconds)
+	m.histMu.Unlock()
+}
+
+// Snapshot is a consistent copy of the gateway's counters for programmatic
+// consumers (tests, EXT8, the loadgen report).
+type Snapshot struct {
+	// BackendRequests counts successfully served requests per backend —
+	// the empirical routing split checked against the equilibrium s_ij.
+	BackendRequests []int64
+	// BackendRejects and BackendErrors count queue-full answers and
+	// transport failures per backend.
+	BackendRejects []int64
+	BackendErrors  []int64
+	// QueueDepth is the last polled jobs-in-system gauge per backend.
+	QueueDepth []int64
+	// Admitted counts requests past admission control; the Rejected*
+	// fields split the refusals by reason.
+	Admitted         int64
+	RejectedRate     int64
+	RejectedSat      int64
+	RejectedUser     int64
+	Rebalances       int64
+	Polls            int64
+	// UserCount and UserMeanSeconds summarize the per-user histograms.
+	UserCount       []int64
+	UserMeanSeconds []float64
+	// UserP50 and UserP99 are log-interpolated histogram quantiles.
+	UserP50 []float64
+	UserP99 []float64
+}
+
+func (m *gatewayMetrics) snapshot() *Snapshot {
+	s := &Snapshot{
+		BackendRequests: make([]int64, len(m.backendRequests)),
+		BackendRejects:  make([]int64, len(m.backendRejects)),
+		BackendErrors:   make([]int64, len(m.backendErrors)),
+		QueueDepth:      make([]int64, len(m.queueDepth)),
+		Admitted:        m.admitted.Load(),
+		RejectedRate:    m.rejectedRate.Load(),
+		RejectedSat:     m.rejectedSat.Load(),
+		RejectedUser:    m.rejectedUser.Load(),
+		Rebalances:      m.rebalances.Load(),
+		Polls:           m.polls.Load(),
+	}
+	for j := range s.BackendRequests {
+		s.BackendRequests[j] = m.backendRequests[j].Load()
+		s.BackendRejects[j] = m.backendRejects[j].Load()
+		s.BackendErrors[j] = m.backendErrors[j].Load()
+		s.QueueDepth[j] = m.queueDepth[j].Load()
+	}
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	s.UserCount = make([]int64, len(m.hists))
+	s.UserMeanSeconds = make([]float64, len(m.hists))
+	s.UserP50 = make([]float64, len(m.hists))
+	s.UserP99 = make([]float64, len(m.hists))
+	for i, h := range m.hists {
+		s.UserCount[i] = h.N()
+		s.UserMeanSeconds[i] = h.Mean()
+		s.UserP50[i] = h.Quantile(0.5)
+		s.UserP99[i] = h.Quantile(0.99)
+	}
+	return s
+}
+
+// render writes the Prometheus-style text exposition of every metric.
+func (m *gatewayMetrics) render(b *strings.Builder) {
+	w := func(format string, args ...any) { fmt.Fprintf(b, format, args...) }
+
+	w("# HELP nashgate_admitted_total Requests past admission control.\n")
+	w("# TYPE nashgate_admitted_total counter\n")
+	w("nashgate_admitted_total %d\n", m.admitted.Load())
+
+	w("# HELP nashgate_rejected_total Requests refused, by reason.\n")
+	w("# TYPE nashgate_rejected_total counter\n")
+	w("nashgate_rejected_total{reason=%q} %d\n", "ratelimit", m.rejectedRate.Load())
+	w("nashgate_rejected_total{reason=%q} %d\n", "saturated", m.rejectedSat.Load())
+	w("nashgate_rejected_total{reason=%q} %d\n", "bad_user", m.rejectedUser.Load())
+
+	w("# HELP nashgate_backend_requests_total Served requests per backend.\n")
+	w("# TYPE nashgate_backend_requests_total counter\n")
+	for j := range m.backendRequests {
+		w("nashgate_backend_requests_total{backend=\"%d\"} %d\n", j, m.backendRequests[j].Load())
+	}
+	w("# HELP nashgate_backend_rejects_total Queue-full answers per backend.\n")
+	w("# TYPE nashgate_backend_rejects_total counter\n")
+	for j := range m.backendRejects {
+		w("nashgate_backend_rejects_total{backend=\"%d\"} %d\n", j, m.backendRejects[j].Load())
+	}
+	w("# HELP nashgate_backend_errors_total Transport failures per backend.\n")
+	w("# TYPE nashgate_backend_errors_total counter\n")
+	for j := range m.backendErrors {
+		w("nashgate_backend_errors_total{backend=\"%d\"} %d\n", j, m.backendErrors[j].Load())
+	}
+	w("# HELP nashgate_backend_queue_depth Last polled jobs in system.\n")
+	w("# TYPE nashgate_backend_queue_depth gauge\n")
+	for j := range m.queueDepth {
+		w("nashgate_backend_queue_depth{backend=\"%d\"} %d\n", j, m.queueDepth[j].Load())
+	}
+
+	w("# HELP nashgate_rebalances_total Routing-table hot swaps installed.\n")
+	w("# TYPE nashgate_rebalances_total counter\n")
+	w("nashgate_rebalances_total %d\n", m.rebalances.Load())
+	w("# HELP nashgate_polls_total Queue-depth polling sweeps completed.\n")
+	w("# TYPE nashgate_polls_total counter\n")
+	w("nashgate_polls_total %d\n", m.polls.Load())
+
+	w("# HELP nashgate_response_seconds Gateway-side response time per user.\n")
+	w("# TYPE nashgate_response_seconds histogram\n")
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	for i, h := range m.hists {
+		// Only emit non-empty buckets (plus +Inf) to keep the exposition
+		// compact; cumulative counts stay correct because CumulativeLE
+		// includes everything below each bound.
+		for k := 0; k < h.Buckets(); k++ {
+			if h.Count(k) == 0 {
+				continue
+			}
+			w("nashgate_response_seconds_bucket{user=\"%d\",le=%q} %d\n",
+				i, formatBound(h.Bound(k+1)), h.CumulativeLE(k))
+		}
+		w("nashgate_response_seconds_bucket{user=\"%d\",le=\"+Inf\"} %d\n", i, h.N())
+		w("nashgate_response_seconds_sum{user=\"%d\"} %g\n", i, h.Sum())
+		w("nashgate_response_seconds_count{user=\"%d\"} %d\n", i, h.N())
+	}
+}
+
+func formatBound(x float64) string {
+	if math.IsInf(x, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%.6g", x)
+}

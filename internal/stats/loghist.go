@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+)
+
+// LogHistogram is a fixed-memory histogram with geometrically growing bucket
+// boundaries, the standard shape for latency distributions: response times
+// span several orders of magnitude, and log-spaced buckets give constant
+// *relative* resolution everywhere instead of wasting bins on the tail.
+// Bucket i covers [Lo*Growth^i, Lo*Growth^(i+1)); observations below Lo land
+// in an underflow bucket, observations at or above the top boundary in an
+// overflow bucket. The exact sum and count are tracked alongside, so Mean is
+// not quantized.
+//
+// The zero value is invalid; use NewLogHistogram. A LogHistogram is not safe
+// for concurrent use; the serving gateway guards its per-user histograms
+// with a mutex.
+type LogHistogram struct {
+	lo     float64 // lower boundary of bucket 0
+	growth float64 // boundary ratio (> 1)
+	invLog float64 // 1/ln(growth), cached for Add
+	counts []int64
+	under  int64
+	over   int64
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+}
+
+// NewLogHistogram returns a histogram whose buckets start at lo and grow by
+// factor growth until they cover hi (the last boundary is the first power
+// reaching hi). It panics unless 0 < lo < hi and growth > 1.
+func NewLogHistogram(lo, hi, growth float64) *LogHistogram {
+	if !(lo > 0) || !(hi > lo) || !(growth > 1) || math.IsInf(hi, 0) {
+		panic("stats: invalid log-histogram shape")
+	}
+	nbins := int(math.Ceil(math.Log(hi/lo)/math.Log(growth))) + 1
+	return &LogHistogram{
+		lo:     lo,
+		growth: growth,
+		invLog: 1 / math.Log(growth),
+		counts: make([]int64, nbins),
+	}
+}
+
+// Add records one observation. NaN observations are ignored.
+func (h *LogHistogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = x, x
+	} else {
+		h.min = math.Min(h.min, x)
+		h.max = math.Max(h.max, x)
+	}
+	h.n++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.Bound(len(h.counts)):
+		h.over++
+	default:
+		i := int(math.Log(x/h.lo) * h.invLog)
+		// Floating-point rounding can land exactly on a boundary; nudge
+		// into the covering bucket.
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		if x < h.Bound(i) {
+			i--
+		} else if x >= h.Bound(i+1) {
+			i++
+		}
+		h.counts[i]++
+	}
+}
+
+// N returns the number of observations recorded.
+func (h *LogHistogram) N() int64 { return h.n }
+
+// Sum returns the exact sum of all observations.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *LogHistogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *LogHistogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *LogHistogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Buckets returns the number of regular (non-under/overflow) buckets.
+func (h *LogHistogram) Buckets() int { return len(h.counts) }
+
+// Bound returns the lower boundary of bucket i; Bound(Buckets()) is the top
+// of the covered range.
+func (h *LogHistogram) Bound(i int) float64 {
+	return h.lo * math.Pow(h.growth, float64(i))
+}
+
+// Count returns the number of observations in bucket i.
+func (h *LogHistogram) Count(i int) int64 { return h.counts[i] }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *LogHistogram) Underflow() int64 { return h.under }
+
+// Overflow returns the count of observations at or above the top boundary.
+func (h *LogHistogram) Overflow() int64 { return h.over }
+
+// CumulativeLE returns how many observations were at most upper, where upper
+// is Bound(i+1) for bucket index i — the Prometheus-style cumulative "le"
+// count including the underflow bucket.
+func (h *LogHistogram) CumulativeLE(i int) int64 {
+	c := h.under
+	for k := 0; k <= i && k < len(h.counts); k++ {
+		c += h.counts[k]
+	}
+	return c
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the covering
+// bucket and interpolating within it on a log scale. Mass in the underflow
+// bucket resolves to Lo (an upper bound), mass in the overflow bucket to the
+// recorded maximum. It returns 0 when empty and panics on q outside [0,1].
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: quantile probability outside [0,1]")
+	}
+	if h.n == 0 {
+		return 0
+	}
+	rank := q * float64(h.n)
+	cum := float64(h.under)
+	if rank <= cum {
+		return math.Min(h.lo, h.max)
+	}
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			frac := (rank - cum) / float64(c)
+			lo, hi := h.Bound(i), h.Bound(i+1)
+			v := lo * math.Pow(hi/lo, frac)
+			// Never extrapolate beyond the observed extremes.
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Merge folds another histogram into h. Both must have identical shape
+// (same Lo, Growth, bucket count); Merge panics otherwise.
+func (h *LogHistogram) Merge(o *LogHistogram) {
+	if h.lo != o.lo || h.growth != o.growth || len(h.counts) != len(o.counts) {
+		panic("stats: merging log-histograms of different shape")
+	}
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = o.min, o.max
+	} else {
+		h.min = math.Min(h.min, o.min)
+		h.max = math.Max(h.max, o.max)
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.under += o.under
+	h.over += o.over
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/rng"
+)
+
+func TestLogHistogramShape(t *testing.T) {
+	h := NewLogHistogram(1e-4, 10, 2)
+	// Boundaries must grow geometrically and cover [lo, hi].
+	if h.Bound(0) != 1e-4 {
+		t.Fatalf("Bound(0) = %v", h.Bound(0))
+	}
+	for i := 1; i <= h.Buckets(); i++ {
+		ratio := h.Bound(i) / h.Bound(i-1)
+		if math.Abs(ratio-2) > 1e-12 {
+			t.Fatalf("bucket %d growth %v, want 2", i, ratio)
+		}
+	}
+	if top := h.Bound(h.Buckets()); top < 10 {
+		t.Fatalf("top boundary %v does not cover hi=10", top)
+	}
+
+	for _, bad := range []func(){
+		func() { NewLogHistogram(0, 1, 2) },
+		func() { NewLogHistogram(1, 1, 2) },
+		func() { NewLogHistogram(1e-3, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid shape accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestLogHistogramBucketing(t *testing.T) {
+	h := NewLogHistogram(1, 1024, 2)
+	h.Add(0.5)  // underflow
+	h.Add(1)    // bucket 0: [1, 2)
+	h.Add(1.99) // bucket 0
+	h.Add(2)    // bucket 1: [2, 4)
+	h.Add(1000) // bucket 9: [512, 1024)
+	h.Add(5000) // overflow
+	h.Add(math.NaN())
+
+	if h.N() != 6 {
+		t.Fatalf("N = %d, want 6 (NaN ignored)", h.N())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Underflow(), h.Overflow())
+	}
+	if h.Count(0) != 2 || h.Count(1) != 1 || h.Count(9) != 1 {
+		t.Fatalf("counts = %d,%d,...,%d", h.Count(0), h.Count(1), h.Count(9))
+	}
+	if h.Min() != 0.5 || h.Max() != 5000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	wantSum := 0.5 + 1 + 1.99 + 2 + 1000 + 5000
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.CumulativeLE(1) != 4 { // underflow + bucket0 + bucket1
+		t.Fatalf("CumulativeLE(1) = %d, want 4", h.CumulativeLE(1))
+	}
+}
+
+func TestLogHistogramBoundaryExactness(t *testing.T) {
+	// Every boundary value must land in the bucket it opens, no matter how
+	// the float math of Log/Pow rounds.
+	h := NewLogHistogram(1e-5, 100, 1.5)
+	for i := 0; i < h.Buckets(); i++ {
+		x := h.Bound(i)
+		before := h.Count(i)
+		h.Add(x)
+		if h.Count(i) != before+1 {
+			t.Fatalf("boundary %v (bucket %d) miscounted", x, i)
+		}
+	}
+}
+
+func TestLogHistogramQuantileAgainstExact(t *testing.T) {
+	// Exponential sample: bucket-interpolated quantiles must track the
+	// exact order-statistic quantiles within one bucket's relative width.
+	h := NewLogHistogram(1e-5, 100, 1.1)
+	r := rng.New(17)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Exp(2)
+		h.Add(xs[i])
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		if math.Abs(got-exact)/exact > 0.1 {
+			t.Errorf("q=%v: histogram %v vs exact %v", q, got, exact)
+		}
+	}
+	if h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max() {
+		t.Errorf("quantiles escape [min, max]: %v, %v", h.Quantile(0), h.Quantile(1))
+	}
+	if mean := h.Mean(); math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean %v, want ~0.5", mean)
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a := NewLogHistogram(1e-3, 10, 2)
+	b := NewLogHistogram(1e-3, 10, 2)
+	all := NewLogHistogram(1e-3, 10, 2)
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		x := r.Exp(1)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merge lost moments")
+	}
+	// Summation order differs between the merged and direct paths; only
+	// rounding-level divergence is allowed.
+	if math.Abs(a.Sum()-all.Sum()) > 1e-9*all.Sum() {
+		t.Fatalf("merged sum %v, want %v", a.Sum(), all.Sum())
+	}
+	for i := 0; i < a.Buckets(); i++ {
+		if a.Count(i) != all.Count(i) {
+			t.Fatalf("bucket %d: merged %d, want %d", i, a.Count(i), all.Count(i))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape-mismatched merge accepted")
+		}
+	}()
+	a.Merge(NewLogHistogram(1e-3, 10, 3))
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification: the tier-1 gate (build + tests) plus static analysis
 # and the race detector over the concurrent packages (the distributed ring
-# with its fault-tolerance layer, and the online balancer).
+# with its fault-tolerance layer, the online balancer, and the live HTTP
+# serving stack).
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,7 +16,7 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/dist/... ./internal/online/..."
-go test -race ./internal/dist/... ./internal/online/...
+echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/..."
+go test -race ./internal/dist/... ./internal/online/... ./internal/serve/...
 
 echo "verify: OK"
