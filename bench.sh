@@ -1,0 +1,33 @@
+#!/bin/sh
+# Core-path benchmark runner and regression artifact emitter.
+#
+# Runs the BenchmarkCore* suite — the DES kernel, the cluster job loop, the
+# gateway metrics path, and the cross-layer solve-and-simulate pipeline —
+# with allocation reporting, and converts the output into BENCH_core.json
+# (schema nashlb/bench-core/v1, documented in EXPERIMENTS.md) via
+# cmd/benchjson. CI runs this as a non-blocking job and uploads the JSON;
+# locally it is the before/after tool for performance work.
+#
+# Environment knobs:
+#   BENCH_COUNT  repetitions per benchmark (default 1; use 5+ for stable
+#                numbers — benchjson keeps the fastest run)
+#   BENCH_TIME   -benchtime per benchmark (default 1s)
+#   BENCH_OUT    output path (default BENCH_core.json)
+set -eu
+
+cd "$(dirname "$0")"
+
+count=${BENCH_COUNT:-1}
+benchtime=${BENCH_TIME:-1s}
+out=${BENCH_OUT:-BENCH_core.json}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench BenchmarkCore (count=$count, benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkCore' -benchmem \
+    -benchtime "$benchtime" -count "$count" \
+    ./internal/des ./internal/cluster ./internal/serve . | tee "$tmp"
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench: wrote $out"

@@ -12,8 +12,11 @@ import (
 	"math"
 	"testing"
 
+	"nashlb/internal/cluster"
+	"nashlb/internal/core"
 	"nashlb/internal/experiments"
 	"nashlb/internal/rng"
+	"nashlb/internal/schemes"
 )
 
 // BenchmarkTable1Configuration regenerates Table 1 (system configuration).
@@ -362,6 +365,40 @@ func BenchmarkWeightedPickAlias(b *testing.B) {
 }
 
 var sinkInt int
+
+// BenchmarkCorePipeline is the cross-layer throughput gate: one iteration
+// solves the NASH equilibrium of the paper's Table-1 system at 60%
+// utilization (game layer) and simulates the cluster at that equilibrium
+// for a fixed horizon (DES + cluster layers). bench.sh feeds its jobs/sec
+// into BENCH_core.json, so regressions anywhere along the
+// solve-route-simulate path show up in one number.
+func BenchmarkCorePipeline(b *testing.B) {
+	sys, err := experiments.Table1System(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nash, err := schemes.Run(schemes.Nash{Init: core.InitProportional}, sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := cluster.Simulate(cluster.Config{
+			Rates:    sys.Rates,
+			Arrivals: sys.Arrivals,
+			Profile:  nash.Profile,
+			Duration: 500,
+			Warmup:   50,
+			Seed:     2002,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = res.Completed
+	}
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
 
 // BenchmarkExtFaultTolerance regenerates EXT7's quick grid (the supervised
 // NASH ring under injected chaos, a permanent crash and a crash-then-restart

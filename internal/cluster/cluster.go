@@ -111,7 +111,8 @@ type RebalancePolicy struct {
 	// Do receives the current simulation time, each computer's current
 	// run-queue length (jobs in system), and a copy of the profile in
 	// effect. A non-nil feasible return value replaces the dispatch
-	// profile from this instant; nil keeps the current one.
+	// profile from this instant; nil keeps the current one. The queueLens
+	// slice is reused between calls; copy it before retaining.
 	Do func(now float64, queueLens []int, current game.Profile) game.Profile
 }
 
@@ -346,221 +347,324 @@ func (r *RunResult) Fairness() float64 {
 
 // job is a unit of work flowing through the model.
 type job struct {
-	user    int
+	user    int32
+	counted bool
 	arrival float64
 	start   float64
-	counted bool
+}
+
+// jobRing is a growable FIFO ring buffer of jobs. Pushing into spare
+// capacity and popping never allocate, so a station queue that has reached
+// its high-water mark is allocation-free for the rest of the run.
+type jobRing struct {
+	buf  []job
+	head int
+	n    int
+}
+
+func (q *jobRing) len() int { return q.n }
+
+func (q *jobRing) push(j job) {
+	if q.n == len(q.buf) {
+		q.grow(2*len(q.buf) + 1)
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = j
+	q.n++
+}
+
+func (q *jobRing) pop() job {
+	j := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return j
+}
+
+// grow resizes the ring to the next power of two >= want (power-of-two
+// sizes keep the index mask branch-free).
+func (q *jobRing) grow(want int) {
+	size := 1
+	for size < want {
+		size <<= 1
+	}
+	buf := make([]job, size)
+	for k := 0; k < q.n; k++ {
+		buf[k] = q.buf[(q.head+k)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // station is one computer: an M/M/1 FCFS queue plus its server state.
 type station struct {
-	queue   []job
+	queue   jobRing
 	busy    bool
 	current job
+}
+
+// inSystem returns jobs queued plus the one in service.
+func (st *station) inSystem() int {
+	l := st.queue.len()
+	if st.busy {
+		l++
+	}
+	return l
+}
+
+// Typed event kinds dispatched by runner.handle. Replacing the seed
+// kernel's per-job closures with a switch over these kinds makes the
+// steady-state job path allocation-free (see TestSimulateSteadyStateAllocs).
+const (
+	evArrival   int32 = iota // arg: user index
+	evDeparture              // arg: station index
+	evRebalance              // arg unused
+	evSample                 // arg unused
+)
+
+// initialRingSize pre-sizes every station queue so short transients do not
+// allocate; M/M/1 queues beyond this depth indicate near-saturation anyway.
+const initialRingSize = 64
+
+// runner is the mutable state of one simulation run. It exists (rather
+// than closures over Simulate locals) so the des kernel can dispatch typed
+// events into it without allocating, and so benchmarks and allocation
+// tests can drive the event loop one step at a time.
+type runner struct {
+	cfg     *Config
+	sim     *des.Simulator
+	res     *RunResult
+	horizon float64
+
+	stations       []station
+	arrivalStreams []*rng.Stream
+	routeStreams   []*rng.Stream
+	serviceStreams []*rng.Stream
+	samplers       []*rng.Alias
+	profile        game.Profile
+	aliasRow       []float64 // scratch for buildSamplers
+	lens           []int     // scratch for the rebalance callback
+	schedErr       error
+}
+
+func newRunner(cfg *Config) (*runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(cfg.Rates), len(cfg.Arrivals)
+	r := &runner{
+		cfg:            cfg,
+		sim:            des.New(),
+		horizon:        cfg.Warmup + cfg.Duration,
+		stations:       make([]station, n),
+		arrivalStreams: make([]*rng.Stream, m),
+		routeStreams:   make([]*rng.Stream, m),
+		serviceStreams: make([]*rng.Stream, n),
+		samplers:       make([]*rng.Alias, m),
+		aliasRow:       make([]float64, n),
+		lens:           make([]int, n),
+		profile:        cfg.Profile.Clone(),
+		res: &RunResult{
+			PerUser:     make([]stats.Running, m),
+			PerComputer: make([]stats.Running, n),
+			BusyTime:    make([]float64, n),
+			Warmup:      cfg.Warmup,
+		},
+	}
+	src := rng.NewSource(cfg.Seed)
+	for i := 0; i < m; i++ {
+		r.arrivalStreams[i] = src.Stream(fmt.Sprintf("arrival/%d", i))
+		r.routeStreams[i] = src.Stream(fmt.Sprintf("route/%d", i))
+	}
+	for j := 0; j < n; j++ {
+		r.serviceStreams[j] = src.Stream(fmt.Sprintf("service/%d", j))
+		r.stations[j].queue.grow(initialRingSize)
+	}
+	if cfg.Dispatch == ProbabilisticDispatch {
+		if err := r.buildSamplers(); err != nil {
+			return nil, err
+		}
+	}
+	// The schedule never exceeds one pending arrival per user, one pending
+	// departure per busy station, and the two periodic timers.
+	r.sim.Grow(m + n + 4)
+	r.sim.SetHandler(r.handle)
+
+	// Per-user job sources (Poisson by default; see ArrivalModel).
+	for i := 0; i < m; i++ {
+		r.schedule(cfg.interarrival(r.arrivalStreams[i], cfg.Arrivals[i]), evArrival, int32(i))
+	}
+	// Optional periodic re-balancing policy.
+	if cfg.Rebalance != nil {
+		r.schedule(cfg.Rebalance.Every, evRebalance, 0)
+	}
+	// Optional queue-length sampler.
+	if cfg.SampleEvery > 0 {
+		r.res.QueueLengths = make([]stats.Running, n)
+		r.schedule(cfg.SampleEvery, evSample, 0)
+	}
+	return r, nil
+}
+
+func (r *runner) schedule(delay float64, kind, arg int32) {
+	if _, err := r.sim.ScheduleEvent(delay, kind, arg); err != nil && r.schedErr == nil {
+		r.schedErr = err
+	}
+}
+
+// buildSamplers rebuilds the precomputed O(1) alias samplers, one per user,
+// whenever a rebalance installs a new profile. Rows the validator accepted
+// always build (non-negative, sum 1), so errors cannot occur after setup.
+func (r *runner) buildSamplers() error {
+	for i := range r.profile {
+		// CheckStrategy tolerates fractions down to -FeasibilityTol;
+		// clamp those to zero weight for the sampler.
+		for j, f := range r.profile[i] {
+			r.aliasRow[j] = math.Max(f, 0)
+		}
+		a, err := rng.NewAlias(r.aliasRow)
+		if err != nil {
+			return fmt.Errorf("cluster: user %d: %w", i, err)
+		}
+		r.samplers[i] = a
+	}
+	return nil
+}
+
+// handle dispatches one typed event; it is the simulation's entire inner
+// loop and must not allocate on the arrival/departure path.
+func (r *runner) handle(kind, arg int32) {
+	switch kind {
+	case evArrival:
+		i := int(arg)
+		r.dispatch(i)
+		r.schedule(r.cfg.interarrival(r.arrivalStreams[i], r.cfg.Arrivals[i]), evArrival, arg)
+	case evDeparture:
+		r.depart(int(arg))
+	case evRebalance:
+		r.rebalance()
+	case evSample:
+		r.sample()
+	}
+}
+
+// pick selects the computer for user i's next job.
+func (r *runner) pick(i int) int {
+	switch r.cfg.Dispatch {
+	case ShortestQueueDispatch, ShortestDelayDispatch:
+		best, bestScore := 0, math.Inf(1)
+		for j := range r.stations {
+			l := float64(r.stations[j].inSystem())
+			var score float64
+			if r.cfg.Dispatch == ShortestQueueDispatch {
+				// Tie-break toward faster computers.
+				score = l - 1e-9*r.cfg.Rates[j]
+			} else {
+				score = (l + 1) / r.cfg.Rates[j]
+			}
+			if score < bestScore {
+				best, bestScore = j, score
+			}
+		}
+		return best
+	default:
+		return r.samplers[i].Pick(r.routeStreams[i])
+	}
+}
+
+func (r *runner) dispatch(i int) {
+	j := r.pick(i)
+	counted := r.sim.Now() >= r.cfg.Warmup
+	if counted {
+		r.res.Generated++
+	}
+	r.stations[j].queue.push(job{user: int32(i), arrival: r.sim.Now(), counted: counted})
+	r.startService(j)
+}
+
+// startService begins serving the head-of-line job if station j is idle,
+// scheduling its departure.
+func (r *runner) startService(j int) {
+	st := &r.stations[j]
+	if st.busy || st.queue.len() == 0 {
+		return
+	}
+	st.current = st.queue.pop()
+	st.current.start = r.sim.Now()
+	st.busy = true
+	r.schedule(r.cfg.serviceTime(r.serviceStreams[j], r.cfg.Rates[j]), evDeparture, int32(j))
+}
+
+func (r *runner) depart(j int) {
+	st := &r.stations[j]
+	done := st.current
+	st.busy = false
+	now := r.sim.Now()
+	if busyFrom := math.Max(done.start, r.cfg.Warmup); now > busyFrom {
+		r.res.BusyTime[j] += now - busyFrom
+	}
+	if done.counted {
+		rt := now - done.arrival
+		r.res.PerUser[done.user].Add(rt)
+		r.res.PerComputer[j].Add(rt)
+		r.res.Completed++
+		if r.cfg.OnJob != nil {
+			r.cfg.OnJob(JobRecord{
+				User: int(done.user), Computer: j,
+				Arrival: done.arrival, Start: done.start, Completion: now,
+			})
+		}
+	}
+	r.startService(j)
+}
+
+func (r *runner) rebalance() {
+	for j := range r.stations {
+		r.lens[j] = r.stations[j].inSystem()
+	}
+	if next := r.cfg.Rebalance.Do(r.sim.Now(), r.lens, r.profile.Clone()); next != nil {
+		n, m := len(r.cfg.Rates), len(r.cfg.Arrivals)
+		ok := len(next) == m
+		for i := 0; ok && i < m; i++ {
+			ok = game.CheckStrategy(next[i], n) == nil
+		}
+		if ok {
+			r.profile = next.Clone()
+			if r.cfg.Dispatch == ProbabilisticDispatch {
+				// Cannot fail: every row passed CheckStrategy.
+				_ = r.buildSamplers()
+			}
+			r.res.Rebalances++
+		}
+	}
+	r.schedule(r.cfg.Rebalance.Every, evRebalance, 0)
+}
+
+func (r *runner) sample() {
+	if r.sim.Now() >= r.cfg.Warmup {
+		for j := range r.stations {
+			r.res.QueueLengths[j].Add(float64(r.stations[j].inSystem()))
+		}
+	}
+	r.schedule(r.cfg.SampleEvery, evSample, 0)
+}
+
+// finish seals the run after the event loop stops.
+func (r *runner) finish() (*RunResult, error) {
+	if r.schedErr != nil {
+		return nil, r.schedErr
+	}
+	r.res.EndTime = r.sim.Now()
+	return r.res, nil
 }
 
 // Simulate performs one discrete-event run of the model and returns its
 // measurements.
 func Simulate(cfg Config) (*RunResult, error) {
-	if err := cfg.Validate(); err != nil {
+	r, err := newRunner(&cfg)
+	if err != nil {
 		return nil, err
 	}
-	n, m := len(cfg.Rates), len(cfg.Arrivals)
-	sim := des.New()
-	src := rng.NewSource(cfg.Seed)
-
-	arrivalStreams := make([]*rng.Stream, m)
-	routeStreams := make([]*rng.Stream, m)
-	for i := 0; i < m; i++ {
-		arrivalStreams[i] = src.Stream(fmt.Sprintf("arrival/%d", i))
-		routeStreams[i] = src.Stream(fmt.Sprintf("route/%d", i))
-	}
-	serviceStreams := make([]*rng.Stream, n)
-	for j := 0; j < n; j++ {
-		serviceStreams[j] = src.Stream(fmt.Sprintf("service/%d", j))
-	}
-
-	res := &RunResult{
-		PerUser:     make([]stats.Running, m),
-		PerComputer: make([]stats.Running, n),
-		BusyTime:    make([]float64, n),
-		Warmup:      cfg.Warmup,
-	}
-	stations := make([]station, n)
-	horizon := cfg.Warmup + cfg.Duration
-
-	var schedErr error
-	schedule := func(delay float64, action func()) {
-		if _, err := sim.Schedule(delay, action); err != nil && schedErr == nil {
-			schedErr = err
-		}
-	}
-
-	var startService func(j int)
-	startService = func(j int) {
-		st := &stations[j]
-		if st.busy || len(st.queue) == 0 {
-			return
-		}
-		st.current = st.queue[0]
-		st.current.start = sim.Now()
-		st.queue = st.queue[1:]
-		st.busy = true
-		service := cfg.serviceTime(serviceStreams[j], cfg.Rates[j])
-		jj := j
-		schedule(service, func() {
-			st := &stations[jj]
-			done := st.current
-			st.busy = false
-			if busyFrom := math.Max(done.start, cfg.Warmup); sim.Now() > busyFrom {
-				res.BusyTime[jj] += sim.Now() - busyFrom
-			}
-			if done.counted {
-				rt := sim.Now() - done.arrival
-				res.PerUser[done.user].Add(rt)
-				res.PerComputer[jj].Add(rt)
-				res.Completed++
-				if cfg.OnJob != nil {
-					cfg.OnJob(JobRecord{
-						User: done.user, Computer: jj,
-						Arrival: done.arrival, Start: done.start, Completion: sim.Now(),
-					})
-				}
-			}
-			startService(jj)
-		})
-	}
-
-	profile := cfg.Profile.Clone()
-	// Precomputed O(1) alias samplers, one per user, rebuilt whenever a
-	// rebalance installs a new profile. Rows the validator accepted always
-	// build (non-negative, sum 1), so errors cannot occur here.
-	samplers := make([]*rng.Alias, m)
-	buildSamplers := func() error {
-		row := make([]float64, n)
-		for i := range profile {
-			// CheckStrategy tolerates fractions down to -FeasibilityTol;
-			// clamp those to zero weight for the sampler.
-			for j, f := range profile[i] {
-				row[j] = math.Max(f, 0)
-			}
-			a, err := rng.NewAlias(row)
-			if err != nil {
-				return fmt.Errorf("cluster: user %d: %w", i, err)
-			}
-			samplers[i] = a
-		}
-		return nil
-	}
-	if cfg.Dispatch == ProbabilisticDispatch {
-		if err := buildSamplers(); err != nil {
-			return nil, err
-		}
-	}
-	pick := func(i int) int {
-		switch cfg.Dispatch {
-		case ShortestQueueDispatch, ShortestDelayDispatch:
-			best, bestScore := 0, math.Inf(1)
-			for j := range stations {
-				l := float64(len(stations[j].queue))
-				if stations[j].busy {
-					l++
-				}
-				var score float64
-				if cfg.Dispatch == ShortestQueueDispatch {
-					// Tie-break toward faster computers.
-					score = l - 1e-9*cfg.Rates[j]
-				} else {
-					score = (l + 1) / cfg.Rates[j]
-				}
-				if score < bestScore {
-					best, bestScore = j, score
-				}
-			}
-			return best
-		default:
-			return samplers[i].Pick(routeStreams[i])
-		}
-	}
-	dispatch := func(i int) {
-		j := pick(i)
-		counted := sim.Now() >= cfg.Warmup
-		if counted {
-			res.Generated++
-		}
-		stations[j].queue = append(stations[j].queue, job{user: i, arrival: sim.Now(), counted: counted})
-		startService(j)
-	}
-
-	// Per-user job sources (Poisson by default; see ArrivalModel).
-	for i := 0; i < m; i++ {
-		i := i
-		var tick func()
-		tick = func() {
-			dispatch(i)
-			schedule(cfg.interarrival(arrivalStreams[i], cfg.Arrivals[i]), tick)
-		}
-		schedule(cfg.interarrival(arrivalStreams[i], cfg.Arrivals[i]), tick)
-	}
-
-	// Optional periodic re-balancing policy.
-	if cfg.Rebalance != nil {
-		queueLens := func() []int {
-			lens := make([]int, n)
-			for j := range stations {
-				lens[j] = len(stations[j].queue)
-				if stations[j].busy {
-					lens[j]++
-				}
-			}
-			return lens
-		}
-		var rebalance func()
-		rebalance = func() {
-			if next := cfg.Rebalance.Do(sim.Now(), queueLens(), profile.Clone()); next != nil {
-				ok := len(next) == m
-				for i := 0; ok && i < m; i++ {
-					ok = game.CheckStrategy(next[i], n) == nil
-				}
-				if ok {
-					profile = next.Clone()
-					if cfg.Dispatch == ProbabilisticDispatch {
-						// Cannot fail: every row passed CheckStrategy.
-						_ = buildSamplers()
-					}
-					res.Rebalances++
-				}
-			}
-			schedule(cfg.Rebalance.Every, rebalance)
-		}
-		schedule(cfg.Rebalance.Every, rebalance)
-	}
-
-	// Optional queue-length sampler.
-	if cfg.SampleEvery > 0 {
-		res.QueueLengths = make([]stats.Running, n)
-		var sample func()
-		sample = func() {
-			if sim.Now() >= cfg.Warmup {
-				for j := range stations {
-					l := len(stations[j].queue)
-					if stations[j].busy {
-						l++
-					}
-					res.QueueLengths[j].Add(float64(l))
-				}
-			}
-			schedule(cfg.SampleEvery, sample)
-		}
-		schedule(cfg.SampleEvery, sample)
-	}
-
-	sim.Run(horizon)
-	if schedErr != nil {
-		return nil, schedErr
-	}
-	res.EndTime = sim.Now()
-	return res, nil
+	r.sim.Run(r.horizon)
+	return r.finish()
 }
 
 // Summary aggregates replicated runs into confidence intervals, the form in
@@ -576,6 +680,12 @@ type Summary struct {
 	Fairness stats.Interval
 	// Completed is the total number of measured jobs across replications.
 	Completed int64
+	// PooledUser[i] pools user i's response-time moments over every
+	// measured job of every replication (stats.Welford.Merge, the Chan et
+	// al. parallel-moments combination); PooledOverall pools all users.
+	// Unlike the per-replication CIs above, these weight every job equally.
+	PooledUser    []stats.Welford
+	PooledOverall stats.Welford
 	// Runs keeps the individual replication results for inspection.
 	Runs []*RunResult
 }
@@ -625,7 +735,12 @@ func Replicate(cfg Config, reps int) (*Summary, error) {
 	}
 
 	m := len(cfg.Arrivals)
-	sum := &Summary{Replications: reps, UserTime: make([]stats.Interval, m), Runs: runs}
+	sum := &Summary{
+		Replications: reps,
+		UserTime:     make([]stats.Interval, m),
+		PooledUser:   make([]stats.Welford, m),
+		Runs:         runs,
+	}
 	overall := make([]float64, reps)
 	fair := make([]float64, reps)
 	perUser := make([][]float64, m)
@@ -638,6 +753,8 @@ func Replicate(cfg Config, reps int) (*Summary, error) {
 		means := run.UserMeans()
 		for i := 0; i < m; i++ {
 			perUser[i][r] = means[i]
+			sum.PooledUser[i].Merge(run.PerUser[i])
+			sum.PooledOverall.Merge(run.PerUser[i])
 		}
 		sum.Completed += run.Completed
 	}

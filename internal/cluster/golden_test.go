@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"nashlb/internal/game"
+)
+
+// The golden values below were captured from the seed implementation (the
+// pointer-heap des kernel and the closure-per-job simulator, commit
+// 9a563fe) before the zero-allocation rewrite. They pin the rewritten
+// kernel to the seed's exact behavior: the same random-stream draw order,
+// the same event execution order (via an FNV-1a hash over every completed
+// job record), and statistics identical to 1e-12. Any kernel change that
+// reorders ties, perturbs a draw, or drops an event shows up here.
+
+func goldenBase() Config {
+	return Config{
+		Rates:    []float64{10, 5, 2.5, 1},
+		Arrivals: []float64{4, 3, 2},
+		Profile: game.Profile{
+			{0.55, 0.25, 0.15, 0.05},
+			{0.50, 0.30, 0.15, 0.05},
+			{0.45, 0.30, 0.20, 0.05},
+		},
+		Duration: 200,
+		Warmup:   20,
+		Seed:     2002,
+	}
+}
+
+type goldenCase struct {
+	name       string
+	configure  func(*Config)
+	trace      uint64
+	generated  int64
+	completed  int64
+	rebalances int
+	userMeans  []float64
+	userN      []int64
+	compN      []int64
+	busy       []float64
+	qlenMeans  []float64
+}
+
+func goldenCases() []goldenCase {
+	profile := goldenBase().Profile
+	alt := game.Profile{
+		{0.60, 0.20, 0.15, 0.05},
+		{0.50, 0.30, 0.15, 0.05},
+		{0.40, 0.35, 0.20, 0.05},
+	}
+	return []goldenCase{
+		{
+			name:      "plain",
+			configure: func(c *Config) {},
+			trace:     0x7542d83c54402b3b,
+			generated: 1809, completed: 1807,
+			userMeans: []float64{0.50543828286163495, 0.54032586485378042, 0.59003065359657347},
+			userN:     []int64{810, 601, 396},
+			compN:     []int64{878, 512, 325, 92},
+			busy:      []float64{86.585042159250349, 105.76543881532861, 142.70583618165546, 86.038823291255682},
+		},
+		{
+			name: "rebalance+sample",
+			configure: func(c *Config) {
+				c.SampleEvery = 0.5
+				c.Rebalance = &RebalancePolicy{
+					Every: 25,
+					Do: func(now float64, queueLens []int, current game.Profile) game.Profile {
+						if int(now/25)%2 == 1 {
+							return alt
+						}
+						return profile
+					},
+				}
+			},
+			trace:     0x693617cc97e162df,
+			generated: 1809, completed: 1808, rebalances: 8,
+			userMeans: []float64{0.47007379605899741, 0.53427787283532047, 0.56149380932120851},
+			userN:     []int64{810, 601, 397},
+			compN:     []int64{906, 485, 325, 92},
+			busy:      []float64{89.248642572050983, 101.18419719433466, 142.70583618165546, 86.038823291255682},
+			qlenMeans: []float64{0.79551122194513746, 0.8728179551122206, 1.9675810473815465, 0.99750623441396447},
+		},
+		{
+			name: "bursty",
+			configure: func(c *Config) {
+				c.Arrival = BurstyArrivals
+				c.SCV = 4
+				c.Service = BurstyService
+				c.ServiceSCV = 4
+			},
+			trace:     0x436c18891c8dc26e,
+			generated: 1732, completed: 1711,
+			userMeans: []float64{1.0369982992353644, 0.89946767306518938, 1.2407747399305049},
+			userN:     []int64{760, 530, 421},
+			compN:     []int64{835, 489, 299, 88},
+			busy:      []float64{81.734183317346364, 92.689219862686443, 136.95429235709352, 92.455885702226794},
+		},
+		{
+			name:      "sed",
+			configure: func(c *Config) { c.Dispatch = ShortestDelayDispatch },
+			trace:     0x7bd7440c4c669552,
+			generated: 1809, completed: 1805,
+			userMeans: []float64{0.2284487731718515, 0.22217842884411512, 0.22497141822148825},
+			userN:     []int64{809, 600, 396},
+			compN:     []int64{1418, 353, 34, 0},
+			busy:      []float64{139.6097657696867, 74.879461409037816, 13.432518400687446, 0},
+		},
+	}
+}
+
+// TestGoldenDeterminismVsSeedKernel replays fixed-seed runs and compares
+// them against values captured from the seed implementation.
+func TestGoldenDeterminismVsSeedKernel(t *testing.T) {
+	const tol = 1e-12
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := goldenBase()
+			tc.configure(&cfg)
+			h := fnv.New64a()
+			cfg.OnJob = func(r JobRecord) {
+				fmt.Fprintf(h, "%d|%d|%.12e|%.12e|%.12e\n", r.User, r.Computer, r.Arrival, r.Start, r.Completion)
+			}
+			res, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := h.Sum64(); got != tc.trace {
+				t.Errorf("job-completion trace hash %#016x, want %#016x (event order diverged from seed kernel)", got, tc.trace)
+			}
+			if res.Generated != tc.generated || res.Completed != tc.completed {
+				t.Errorf("generated/completed = %d/%d, want %d/%d", res.Generated, res.Completed, tc.generated, tc.completed)
+			}
+			if res.Rebalances != tc.rebalances {
+				t.Errorf("rebalances = %d, want %d", res.Rebalances, tc.rebalances)
+			}
+			if res.EndTime != 220 {
+				t.Errorf("end time = %v, want 220", res.EndTime)
+			}
+			for i, want := range tc.userMeans {
+				if got := res.PerUser[i].Mean(); math.Abs(got-want) > tol {
+					t.Errorf("user %d mean = %.17g, want %.17g", i, got, want)
+				}
+				if got := res.PerUser[i].N(); got != tc.userN[i] {
+					t.Errorf("user %d count = %d, want %d", i, got, tc.userN[i])
+				}
+			}
+			for j, want := range tc.compN {
+				if got := res.PerComputer[j].N(); got != want {
+					t.Errorf("computer %d count = %d, want %d", j, got, want)
+				}
+				if got := res.BusyTime[j]; math.Abs(got-tc.busy[j]) > tol {
+					t.Errorf("computer %d busy = %.17g, want %.17g", j, got, tc.busy[j])
+				}
+			}
+			for j, want := range tc.qlenMeans {
+				if got := res.QueueLengths[j].Mean(); math.Abs(got-want) > tol {
+					t.Errorf("queue %d mean = %.17g, want %.17g", j, got, want)
+				}
+			}
+		})
+	}
+}

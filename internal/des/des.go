@@ -7,10 +7,26 @@
 // Determinism: events fire in non-decreasing timestamp order, and events
 // with equal timestamps fire in scheduling (FIFO) order, so simulations are
 // exactly reproducible given the same random streams.
+//
+// # Kernel internals
+//
+// Events live in a slab ([]event) indexed by an intrusive 4-ary min-heap of
+// slot numbers; fired and cancelled slots return to a free list, so the
+// steady state of a self-rescheduling model performs zero heap allocations
+// per event. Handles are generation-stamped (slot, gen) pairs: reusing a
+// slot bumps its generation, which invalidates stale handles in O(1)
+// without keeping the event record alive. Cancellation stays lazy (O(1)),
+// but when cancelled entries outnumber live ones the heap is compacted in
+// O(n), so timeout-heavy models (schedule a deadline, cancel it on
+// completion) cannot grow the schedule without bound.
+//
+// Models on the hot path should prefer typed events (SetHandler plus
+// ScheduleEvent) over closure events (Schedule): a typed event carries an
+// integer kind and argument dispatched through one pre-installed handler,
+// so scheduling it captures nothing and allocates nothing.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -19,67 +35,80 @@ import (
 // simulation time.
 var ErrPastTime = errors.New("des: cannot schedule event in the past")
 
+// ErrNoHandler is returned by ScheduleEvent when no typed-event handler has
+// been installed with SetHandler.
+var ErrNoHandler = errors.New("des: ScheduleEvent without SetHandler")
+
+// EventFunc dispatches typed events: kind and arg are model-defined (e.g.
+// "arrival of user arg"). One handler serves the whole simulator, so typed
+// scheduling allocates nothing.
+type EventFunc func(kind, arg int32)
+
 // Handle identifies a scheduled event and allows cancelling it. A Handle is
-// only valid for the Simulator that issued it.
+// only valid for the Simulator that issued it; the zero Handle is inert.
 type Handle struct {
-	ev *event
+	s   *Simulator
+	idx int32
+	gen uint32
 }
 
 // Cancel removes the event from the schedule if it has not fired yet.
 // It is safe to call multiple times. It reports whether the event was
 // actually cancelled by this call.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+	s := h.s
+	if s == nil {
 		return false
 	}
-	h.ev.cancelled = true
+	ev := &s.slab[h.idx]
+	if ev.gen != h.gen || ev.cancelled {
+		return false
+	}
+	ev.cancelled = true
+	ev.action = nil // release the closure now; the slot drains lazily
+	s.cancelled++
+	s.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
 func (h Handle) Pending() bool {
-	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
+	if h.s == nil {
+		return false
+	}
+	ev := &h.s.slab[h.idx]
+	return ev.gen == h.gen && !ev.cancelled
 }
 
+// event is one slab record. A slot is live while its index sits in the
+// heap; firing or compaction releases it to the free list and bumps gen.
 type event struct {
 	time      float64
 	seq       uint64
-	action    func()
+	action    func() // closure event when non-nil, typed event otherwise
+	kind      int32
+	arg       int32
+	gen       uint32
 	cancelled bool
-	fired     bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) {
-	*h = append(*h, x.(*event))
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// compactMin is the minimum number of cancelled entries before compaction
+// is considered; below it the O(n) sweep costs more than it saves.
+const compactMin = 64
 
 // Simulator is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all model code runs inside event actions on the
 // calling goroutine.
 type Simulator struct {
-	now     float64
-	events  eventHeap
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now       float64
+	slab      []event
+	heap      []int32 // slab indices ordered by (time, seq)
+	free      []int32 // released slot stack
+	seq       uint64
+	fired     uint64
+	cancelled int // cancelled entries still occupying the heap
+	stopped   bool
+	handler   EventFunc
 }
 
 // New returns a simulator at time zero with an empty schedule.
@@ -93,9 +122,32 @@ func (s *Simulator) Now() float64 { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still scheduled (including events
-// cancelled but not yet discarded; cancelled events never execute).
-func (s *Simulator) Pending() int { return len(s.events) }
+// Pending returns the number of events still scheduled to fire. Cancelled
+// events are excluded even while they transiently occupy the heap.
+func (s *Simulator) Pending() int { return len(s.heap) - s.cancelled }
+
+// SetHandler installs the typed-event dispatcher used by ScheduleEvent.
+func (s *Simulator) SetHandler(h EventFunc) { s.handler = h }
+
+// Grow pre-sizes the kernel for n concurrently pending events, so a model
+// whose schedule never exceeds n performs no allocations after setup.
+func (s *Simulator) Grow(n int) {
+	if cap(s.slab) < n {
+		slab := make([]event, len(s.slab), n)
+		copy(slab, s.slab)
+		s.slab = slab
+	}
+	if cap(s.heap) < n {
+		h := make([]int32, len(s.heap), n)
+		copy(h, s.heap)
+		s.heap = h
+	}
+	if cap(s.free) < n {
+		f := make([]int32, len(s.free), n)
+		copy(f, s.free)
+		s.free = f
+	}
+}
 
 // Schedule registers action to fire delay time units from now and returns a
 // cancellable handle. A negative delay returns ErrPastTime; a zero delay is
@@ -106,16 +158,145 @@ func (s *Simulator) Schedule(delay float64, action func()) (Handle, error) {
 
 // ScheduleAt registers action at the absolute simulation time t.
 func (s *Simulator) ScheduleAt(t float64, action func()) (Handle, error) {
-	if t < s.now || math.IsNaN(t) {
-		return Handle{}, ErrPastTime
-	}
 	if action == nil {
 		return Handle{}, errors.New("des: nil action")
 	}
-	ev := &event{time: t, seq: s.seq, action: action}
+	return s.push(t, action, 0, 0)
+}
+
+// ScheduleEvent registers a typed event (kind, arg) to fire delay time
+// units from now, dispatched through the handler installed by SetHandler.
+// Unlike Schedule it captures no closure, so it allocates nothing on the
+// steady state.
+func (s *Simulator) ScheduleEvent(delay float64, kind, arg int32) (Handle, error) {
+	return s.ScheduleEventAt(s.now+delay, kind, arg)
+}
+
+// ScheduleEventAt registers a typed event at the absolute simulation time t.
+func (s *Simulator) ScheduleEventAt(t float64, kind, arg int32) (Handle, error) {
+	if s.handler == nil {
+		return Handle{}, ErrNoHandler
+	}
+	return s.push(t, nil, kind, arg)
+}
+
+func (s *Simulator) push(t float64, action func(), kind, arg int32) (Handle, error) {
+	if t < s.now || math.IsNaN(t) {
+		return Handle{}, ErrPastTime
+	}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slab = append(s.slab, event{})
+		idx = int32(len(s.slab) - 1)
+	}
+	ev := &s.slab[idx]
+	ev.time = t
+	ev.seq = s.seq
+	ev.action = action
+	ev.kind = kind
+	ev.arg = arg
+	ev.cancelled = false
 	s.seq++
-	heap.Push(&s.events, ev)
-	return Handle{ev: ev}, nil
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+	return Handle{s: s, idx: idx, gen: ev.gen}, nil
+}
+
+// release returns a popped slot to the free list, invalidating handles.
+func (s *Simulator) release(idx int32) {
+	ev := &s.slab[idx]
+	ev.action = nil
+	ev.cancelled = false
+	ev.gen++
+	s.free = append(s.free, idx)
+}
+
+// less orders heap entries by (time, seq): timestamp order with FIFO
+// tie-breaking. seq is unique, so this is a strict total order and the pop
+// sequence is independent of the heap's internal layout.
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.slab[a], &s.slab[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+// The heap is 4-ary: shallower than a binary heap (fewer cache-missing
+// levels per sift) at the cost of three extra comparisons per level, a
+// classic win for pointer-free priority queues.
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.less(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		best := i
+		c := i<<2 + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// popTop removes the heap minimum (which the caller has already read).
+func (s *Simulator) popTop() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// maybeCompact sweeps cancelled entries out of the heap once they outnumber
+// the live ones (and exceed a fixed floor), re-establishing the heap in
+// O(n). Amortized against the cancellations that triggered it, the sweep is
+// O(1) per cancel, and it bounds the schedule at twice the live event count
+// no matter how many timers a model sets and abandons.
+func (s *Simulator) maybeCompact() {
+	if s.cancelled < compactMin || 2*s.cancelled <= len(s.heap) {
+		return
+	}
+	live := s.heap[:0]
+	for _, idx := range s.heap {
+		if s.slab[idx].cancelled {
+			s.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	s.heap = live
+	s.cancelled = 0
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }
 
 // Stop makes the current Run call return after the executing event's action
@@ -130,25 +311,34 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Run(until float64) uint64 {
 	s.stopped = false
 	var executed uint64
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.time > until {
+	for len(s.heap) > 0 && !s.stopped {
+		top := s.heap[0]
+		ev := &s.slab[top]
+		if ev.cancelled {
+			s.popTop()
+			s.cancelled--
+			s.release(top)
+			continue
+		}
+		if ev.time > until {
 			if s.now < until {
 				s.now = until
 			}
 			return executed
 		}
-		heap.Pop(&s.events)
-		if next.cancelled {
-			continue
+		s.now = ev.time
+		action, kind, arg := ev.action, ev.kind, ev.arg
+		s.popTop()
+		s.release(top) // before the action runs, so it can reuse the slot
+		if action != nil {
+			action()
+		} else {
+			s.handler(kind, arg)
 		}
-		s.now = next.time
-		next.fired = true
-		next.action()
 		s.fired++
 		executed++
 	}
-	if !s.stopped && !math.IsInf(until, 1) && s.now < until && len(s.events) == 0 {
+	if !s.stopped && !math.IsInf(until, 1) && s.now < until && len(s.heap) == 0 {
 		s.now = until
 	}
 	return executed
@@ -164,14 +354,23 @@ func (s *Simulator) RunUntilEmpty() uint64 {
 // Step executes exactly the next pending event, if any, and reports whether
 // one was executed. Cancelled events are skipped without counting.
 func (s *Simulator) Step() bool {
-	for len(s.events) > 0 {
-		next := heap.Pop(&s.events).(*event)
-		if next.cancelled {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		ev := &s.slab[top]
+		s.popTop()
+		if ev.cancelled {
+			s.cancelled--
+			s.release(top)
 			continue
 		}
-		s.now = next.time
-		next.fired = true
-		next.action()
+		s.now = ev.time
+		action, kind, arg := ev.action, ev.kind, ev.arg
+		s.release(top) // before the action runs, so it can reuse the slot
+		if action != nil {
+			action()
+		} else {
+			s.handler(kind, arg)
+		}
 		s.fired++
 		return true
 	}

@@ -1,0 +1,299 @@
+package des
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"nashlb/internal/rng"
+)
+
+func TestTypedEventsDispatch(t *testing.T) {
+	s := New()
+	type fired struct{ kind, arg int32 }
+	var got []fired
+	s.SetHandler(func(kind, arg int32) { got = append(got, fired{kind, arg}) })
+	if _, err := s.ScheduleEvent(2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScheduleEvent(1, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScheduleEventAt(1, 3, 30); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilEmpty()
+	want := []fired{{2, 20}, {3, 30}, {1, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleEventWithoutHandler(t *testing.T) {
+	s := New()
+	if _, err := s.ScheduleEvent(1, 0, 0); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestTypedAndClosureEventsInterleave(t *testing.T) {
+	s := New()
+	var order []int
+	s.SetHandler(func(kind, arg int32) { order = append(order, int(arg)) })
+	if _, err := s.ScheduleEvent(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Schedule(1, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScheduleEvent(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilEmpty()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3] (FIFO across event flavors)", order)
+	}
+}
+
+// TestCancelCompactionBoundsMemory is the lazy-cancel leak regression: the
+// seed kernel kept cancelled-but-unpopped events in the heap forever, so a
+// timeout-heavy model (schedule a deadline, cancel it on completion) grew
+// the schedule without bound. A million schedule+cancel cycles must leave
+// both the heap and the slab bounded by the live event count, not the
+// cancellation count.
+func TestCancelCompactionBoundsMemory(t *testing.T) {
+	s := New()
+	const live = 100
+	for i := 0; i < live; i++ {
+		if _, err := s.ScheduleAt(1e9+float64(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const cycles = 1_000_000
+	for i := 0; i < cycles; i++ {
+		h, err := s.Schedule(1e6, func() { t.Error("cancelled timer fired") })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Cancel() {
+			t.Fatal("cancel failed")
+		}
+		if p := s.Pending(); p != live {
+			t.Fatalf("cycle %d: Pending() = %d, want %d (cancelled events must not inflate it)", i, p, live)
+		}
+	}
+	// Compaction keeps cancelled entries below the live count (plus the
+	// compactMin floor); without it the heap would hold ~1M dead entries.
+	if bound := 2*(live+compactMin) + 1; len(s.heap) > bound {
+		t.Fatalf("heap holds %d entries after %d cancels, want <= %d", len(s.heap), cycles, bound)
+	}
+	if bound := 4 * (live + compactMin); len(s.slab) > bound {
+		t.Fatalf("slab holds %d slots after %d cancels, want <= %d", len(s.slab), cycles, bound)
+	}
+	if n := s.Run(2e9); n != live {
+		t.Fatalf("executed %d events, want %d", n, live)
+	}
+}
+
+// TestStaleHandleAfterSlotReuse checks generation stamping: a handle whose
+// slot has been recycled must go inert instead of aliasing the new event.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	s := New()
+	h1, _ := s.Schedule(1, func() {})
+	s.RunUntilEmpty() // fires h1, releasing its slot
+	ran := false
+	h2, _ := s.Schedule(1, func() { ran = true }) // reuses the slot
+	if h1.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	if h1.Cancel() {
+		t.Error("stale handle cancelled the recycled slot's event")
+	}
+	if !h2.Pending() {
+		t.Error("live handle should be pending")
+	}
+	s.RunUntilEmpty()
+	if !ran {
+		t.Error("event killed through a stale handle")
+	}
+}
+
+// TestFiringOrderMatchesReferenceModel drives the kernel with a random
+// schedule/cancel workload (duplicate timestamps included) and checks the
+// firing order against a trivially correct sort-based reference.
+func TestFiringOrderMatchesReferenceModel(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		type ref struct {
+			time float64
+			seq  int
+		}
+		var want []ref
+		var got []int
+		var handles []Handle
+		n := 200 + r.Intn(300)
+		for i := 0; i < n; i++ {
+			// Coarse grid forces plenty of exact ties.
+			at := float64(r.Intn(50))
+			i := i
+			h, err := s.ScheduleAt(at, func() { got = append(got, i) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+			want = append(want, ref{at, i})
+		}
+		cancelled := make(map[int]bool)
+		for k := 0; k < n/3; k++ {
+			victim := r.Intn(n)
+			if handles[victim].Cancel() {
+				cancelled[victim] = true
+			}
+		}
+		s.RunUntilEmpty()
+		var expect []int
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].time != want[b].time {
+				return want[a].time < want[b].time
+			}
+			return want[a].seq < want[b].seq
+		})
+		for _, w := range want {
+			if !cancelled[w.seq] {
+				expect = append(expect, w.seq)
+			}
+		}
+		if len(got) != len(expect) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(expect))
+		}
+		for i := range expect {
+			if got[i] != expect[i] {
+				t.Fatalf("trial %d: firing order diverges from reference at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestScheduleStepAllocs is the allocation-regression gate for the kernel's
+// steady state: rescheduling and firing events — closure-based with a
+// hoisted closure, and typed — must not allocate.
+func TestScheduleStepAllocs(t *testing.T) {
+	s := New()
+	r := rng.New(3)
+	var tick func()
+	tick = func() { _, _ = s.Schedule(r.Exp(1), tick) }
+	_, _ = s.Schedule(0, tick)
+	for i := 0; i < 1024; i++ { // reach steady-state capacity
+		s.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { s.Step() }); allocs != 0 {
+		t.Errorf("closure Schedule/Step allocates %v per event, want 0", allocs)
+	}
+
+	ts := New()
+	tr := rng.New(4)
+	ts.SetHandler(func(kind, arg int32) { _, _ = ts.ScheduleEvent(tr.Exp(1), kind, arg) })
+	_, _ = ts.ScheduleEvent(0, 1, 7)
+	for i := 0; i < 1024; i++ {
+		ts.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { ts.Step() }); allocs != 0 {
+		t.Errorf("typed ScheduleEvent/Step allocates %v per event, want 0", allocs)
+	}
+}
+
+// TestCancelAllocs: the schedule+cancel cycle (timeout pattern) must not
+// allocate on the steady state either, compaction included.
+func TestCancelAllocs(t *testing.T) {
+	s := New()
+	for i := 0; i < 4096; i++ { // pre-grow past every compaction threshold
+		h, _ := s.Schedule(1e6, func() {})
+		h.Cancel()
+	}
+	hoisted := func() {}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h, _ := s.Schedule(1e6, hoisted)
+		h.Cancel()
+	}); allocs != 0 {
+		t.Errorf("schedule+cancel allocates %v per cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkCoreKernelOnly measures the pure schedule+fire cycle with a
+// constant delay — kernel cost with no random-variate overhead. This is
+// the headline DES microbenchmark gated in BENCH_core.json (the seed
+// pointer-heap kernel ran it at ~60-70 ns/op with 1 alloc/op).
+func BenchmarkCoreKernelOnly(b *testing.B) {
+	s := New()
+	s.SetHandler(func(kind, arg int32) { _, _ = s.ScheduleEvent(1, kind, arg) })
+	_, _ = s.ScheduleEvent(0, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkCoreEventLoopTyped measures the kernel's steady-state hot path
+// (schedule + fire one typed event) — the inner loop of every simulation.
+func BenchmarkCoreEventLoopTyped(b *testing.B) {
+	s := New()
+	r := rng.New(3)
+	s.SetHandler(func(kind, arg int32) { _, _ = s.ScheduleEvent(r.Exp(1), kind, arg) })
+	_, _ = s.ScheduleEvent(0, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkCoreEventLoopClosure measures the same loop through the
+// closure-based API (hoisted closure, as models should write it).
+func BenchmarkCoreEventLoopClosure(b *testing.B) {
+	s := New()
+	r := rng.New(3)
+	var tick func()
+	tick = func() { _, _ = s.Schedule(r.Exp(1), tick) }
+	_, _ = s.Schedule(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkCoreScheduleCancel measures the timeout pattern: schedule a
+// deadline, cancel it before it fires, compaction included.
+func BenchmarkCoreScheduleCancel(b *testing.B) {
+	s := New()
+	action := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, _ := s.Schedule(1e6, action)
+		h.Cancel()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkCoreDeepHeap measures schedule+fire with 10k concurrently
+// pending events, exercising sift depth on a realistically full schedule.
+func BenchmarkCoreDeepHeap(b *testing.B) {
+	s := New()
+	r := rng.New(9)
+	s.SetHandler(func(kind, arg int32) { _, _ = s.ScheduleEvent(r.Exp(1), kind, arg) })
+	for i := 0; i < 10_000; i++ {
+		_, _ = s.ScheduleEvent(r.Exp(1)*1e4, 0, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,9 +19,28 @@ const (
 	histGrowth = 1.1
 )
 
+// maxShards caps the response-time shard count (memory is
+// shards × users × histogram, and merge cost on scrape grows with it).
+const maxShards = 128
+
+// metricShard is one stripe of the response-time accumulators: its own
+// mutex plus per-user histogram and Welford moments, padded so adjacent
+// shards never share a cache line. Each recording goroutine checks a shard
+// out of a sync.Pool for the duration of one observation; because pools
+// keep per-P free lists, a busy CPU is handed the same shard back over and
+// over — per-CPU striping with hot caches and (on a loaded gateway) no
+// cross-CPU contention, instead of every handler serializing on one global
+// histogram mutex.
+type metricShard struct {
+	mu      sync.Mutex
+	hists   []*stats.LogHistogram // per user, seconds
+	moments []stats.Welford       // per user, seconds
+	_       [64]byte
+}
+
 // gatewayMetrics aggregates the gateway's observability state: per-backend
 // counters and gauges, admission outcomes, and per-user response-time
-// log histograms. Counters are atomics; histograms share one mutex.
+// histograms and moments sharded per-CPU and merged on scrape.
 type gatewayMetrics struct {
 	backendRequests []atomic.Int64 // forwarded and answered 200
 	backendRejects  []atomic.Int64 // backend said queue-full (503)
@@ -33,8 +53,25 @@ type gatewayMetrics struct {
 	rebalances      atomic.Int64
 	polls           atomic.Int64
 
-	histMu sync.Mutex
-	hists  []*stats.LogHistogram // per user, seconds
+	shards    []metricShard
+	shardPool sync.Pool     // *metricShard, handed out with per-P affinity
+	shardNext atomic.Uint32 // round-robin cursor for pool refills
+	nUsers    int
+}
+
+// shardCount returns the number of response-time stripes. The pool hands
+// out at most one per P, so GOMAXPROCS covers the steady state; the floor
+// of 4 keeps the merge path honest on small machines, and maxShards bounds
+// scrape cost on huge ones.
+func shardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
 }
 
 func newGatewayMetrics(nBackends, nUsers int) *gatewayMetrics {
@@ -43,18 +80,59 @@ func newGatewayMetrics(nBackends, nUsers int) *gatewayMetrics {
 		backendRejects:  make([]atomic.Int64, nBackends),
 		backendErrors:   make([]atomic.Int64, nBackends),
 		queueDepth:      make([]atomic.Int64, nBackends),
-		hists:           make([]*stats.LogHistogram, nUsers),
+		shards:          make([]metricShard, shardCount()),
+		nUsers:          nUsers,
 	}
-	for i := range m.hists {
-		m.hists[i] = stats.NewLogHistogram(histLo, histHi, histGrowth)
+	for s := range m.shards {
+		sh := &m.shards[s]
+		sh.hists = make([]*stats.LogHistogram, nUsers)
+		sh.moments = make([]stats.Welford, nUsers)
+		for i := range sh.hists {
+			sh.hists[i] = stats.NewLogHistogram(histLo, histHi, histGrowth)
+		}
+	}
+	// Refill from the fixed shard array round-robin: a pool drained by the
+	// GC (or racing getters) only ever re-hands out existing shards, so the
+	// merge path never has to chase dynamically created state. Two P's can
+	// transiently share a shard; the shard mutex keeps that correct.
+	m.shardPool.New = func() any {
+		idx := m.shardNext.Add(1) - 1
+		return &m.shards[idx%uint32(len(m.shards))]
 	}
 	return m
 }
 
+// observe records one response time on this CPU's shard. The path
+// allocates nothing (TestObserveAllocs) and, once each P holds its shard,
+// touches no shared cache lines.
 func (m *gatewayMetrics) observe(user int, seconds float64) {
-	m.histMu.Lock()
-	m.hists[user].Add(seconds)
-	m.histMu.Unlock()
+	sh := m.shardPool.Get().(*metricShard)
+	sh.mu.Lock()
+	sh.hists[user].Add(seconds)
+	sh.moments[user].Add(seconds)
+	sh.mu.Unlock()
+	m.shardPool.Put(sh)
+}
+
+// mergeUsers folds every shard into fresh per-user aggregates using
+// stats.LogHistogram.Merge and the Welford parallel-moments Merge. Scrapes
+// pay the merge; the request path stays contention-free.
+func (m *gatewayMetrics) mergeUsers() ([]*stats.LogHistogram, []stats.Welford) {
+	hists := make([]*stats.LogHistogram, m.nUsers)
+	moments := make([]stats.Welford, m.nUsers)
+	for i := range hists {
+		hists[i] = stats.NewLogHistogram(histLo, histHi, histGrowth)
+	}
+	for s := range m.shards {
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		for i := range hists {
+			hists[i].Merge(sh.hists[i])
+			moments[i].Merge(sh.moments[i])
+		}
+		sh.mu.Unlock()
+	}
+	return hists, moments
 }
 
 // Snapshot is a consistent copy of the gateway's counters for programmatic
@@ -77,9 +155,12 @@ type Snapshot struct {
 	RejectedUser     int64
 	Rebalances       int64
 	Polls            int64
-	// UserCount and UserMeanSeconds summarize the per-user histograms.
-	UserCount       []int64
-	UserMeanSeconds []float64
+	// UserCount and UserMeanSeconds summarize the per-user response times
+	// (merged across shards); UserStdDevSeconds is the Welford sample
+	// standard deviation.
+	UserCount         []int64
+	UserMeanSeconds   []float64
+	UserStdDevSeconds []float64
 	// UserP50 and UserP99 are log-interpolated histogram quantiles.
 	UserP50 []float64
 	UserP99 []float64
@@ -104,15 +185,16 @@ func (m *gatewayMetrics) snapshot() *Snapshot {
 		s.BackendErrors[j] = m.backendErrors[j].Load()
 		s.QueueDepth[j] = m.queueDepth[j].Load()
 	}
-	m.histMu.Lock()
-	defer m.histMu.Unlock()
-	s.UserCount = make([]int64, len(m.hists))
-	s.UserMeanSeconds = make([]float64, len(m.hists))
-	s.UserP50 = make([]float64, len(m.hists))
-	s.UserP99 = make([]float64, len(m.hists))
-	for i, h := range m.hists {
+	hists, moments := m.mergeUsers()
+	s.UserCount = make([]int64, len(hists))
+	s.UserMeanSeconds = make([]float64, len(hists))
+	s.UserStdDevSeconds = make([]float64, len(hists))
+	s.UserP50 = make([]float64, len(hists))
+	s.UserP99 = make([]float64, len(hists))
+	for i, h := range hists {
 		s.UserCount[i] = h.N()
-		s.UserMeanSeconds[i] = h.Mean()
+		s.UserMeanSeconds[i] = moments[i].Mean()
+		s.UserStdDevSeconds[i] = moments[i].StdDev()
 		s.UserP50[i] = h.Quantile(0.5)
 		s.UserP99[i] = h.Quantile(0.99)
 	}
@@ -163,9 +245,8 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 
 	w("# HELP nashgate_response_seconds Gateway-side response time per user.\n")
 	w("# TYPE nashgate_response_seconds histogram\n")
-	m.histMu.Lock()
-	defer m.histMu.Unlock()
-	for i, h := range m.hists {
+	hists, _ := m.mergeUsers()
+	for i, h := range hists {
 		// Only emit non-empty buckets (plus +Inf) to keep the exposition
 		// compact; cumulative counts stay correct because CumulativeLE
 		// includes everything below each bound.

@@ -20,6 +20,7 @@ type LogHistogram struct {
 	lo     float64 // lower boundary of bucket 0
 	growth float64 // boundary ratio (> 1)
 	invLog float64 // 1/ln(growth), cached for Add
+	bounds []float64 // precomputed boundaries: bounds[i] == lo*growth^i
 	counts []int64
 	under  int64
 	over   int64
@@ -37,12 +38,19 @@ func NewLogHistogram(lo, hi, growth float64) *LogHistogram {
 		panic("stats: invalid log-histogram shape")
 	}
 	nbins := int(math.Ceil(math.Log(hi/lo)/math.Log(growth))) + 1
-	return &LogHistogram{
+	h := &LogHistogram{
 		lo:     lo,
 		growth: growth,
 		invLog: 1 / math.Log(growth),
+		bounds: make([]float64, nbins+1),
 		counts: make([]int64, nbins),
 	}
+	// Precomputed via Pow (not cumulative multiplication) so each boundary
+	// is the correctly rounded value Bound used to compute on the fly.
+	for i := range h.bounds {
+		h.bounds[i] = lo * math.Pow(growth, float64(i))
+	}
+	return h
 }
 
 // Add records one observation. NaN observations are ignored.
@@ -61,7 +69,7 @@ func (h *LogHistogram) Add(x float64) {
 	switch {
 	case x < h.lo:
 		h.under++
-	case x >= h.Bound(len(h.counts)):
+	case x >= h.bounds[len(h.counts)]:
 		h.over++
 	default:
 		i := int(math.Log(x/h.lo) * h.invLog)
@@ -73,9 +81,9 @@ func (h *LogHistogram) Add(x float64) {
 		if i >= len(h.counts) {
 			i = len(h.counts) - 1
 		}
-		if x < h.Bound(i) {
+		if x < h.bounds[i] {
 			i--
-		} else if x >= h.Bound(i+1) {
+		} else if x >= h.bounds[i+1] {
 			i++
 		}
 		h.counts[i]++
@@ -116,8 +124,13 @@ func (h *LogHistogram) Max() float64 {
 func (h *LogHistogram) Buckets() int { return len(h.counts) }
 
 // Bound returns the lower boundary of bucket i; Bound(Buckets()) is the top
-// of the covered range.
+// of the covered range. Boundaries within the covered range come from the
+// precomputed table (the Add hot path); indices beyond it fall back to the
+// closed form.
 func (h *LogHistogram) Bound(i int) float64 {
+	if i >= 0 && i < len(h.bounds) {
+		return h.bounds[i]
+	}
 	return h.lo * math.Pow(h.growth, float64(i))
 }
 

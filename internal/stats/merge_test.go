@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/rng"
+)
+
+// relClose reports whether a and b agree to relative tolerance tol
+// (absolute near zero).
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestWelfordMergeMatchesSingleStream is the property test behind the
+// sharded gateway metrics and pooled replication moments: splitting a
+// stream into arbitrary shards, accumulating each independently, and
+// merging (Chan et al. parallel moments) must agree with single-stream
+// Welford accumulation to floating-point tolerance, for any shard count
+// and any split — including empty and singleton shards.
+func TestWelfordMergeMatchesSingleStream(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(2000)
+		nshards := 1 + r.Intn(16)
+		shards := make([]Welford, nshards)
+		var single Welford
+		// Mix of scales so catastrophic cancellation in a wrong merge
+		// formula would show: offsets up to 1e6, noise down at 1e-3.
+		offset := r.Uniform(-1e6, 1e6)
+		for k := 0; k < n; k++ {
+			x := offset + r.Normal()*r.Uniform(1e-3, 10)
+			single.Add(x)
+			shards[r.Intn(nshards)].Add(x)
+		}
+		var merged Welford
+		for s := range shards {
+			merged.Merge(shards[s])
+		}
+		if merged.N() != single.N() {
+			t.Fatalf("trial %d: merged N = %d, want %d", trial, merged.N(), single.N())
+		}
+		if !relClose(merged.Mean(), single.Mean(), 1e-9) {
+			t.Fatalf("trial %d: merged mean %g, single %g", trial, merged.Mean(), single.Mean())
+		}
+		if !relClose(merged.Variance(), single.Variance(), 1e-6) {
+			t.Fatalf("trial %d: merged variance %g, single %g", trial, merged.Variance(), single.Variance())
+		}
+		if merged.Min() != single.Min() || merged.Max() != single.Max() {
+			t.Fatalf("trial %d: merged min/max %g/%g, single %g/%g",
+				trial, merged.Min(), merged.Max(), single.Min(), single.Max())
+		}
+	}
+}
+
+// TestWelfordMergeEdgeCases: merging with empty accumulators must be the
+// identity in both directions.
+func TestWelfordMergeEdgeCases(t *testing.T) {
+	var a, b Welford
+	a.Merge(b)
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatal("empty+empty should stay empty")
+	}
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("empty+filled: n=%d mean=%g", a.N(), a.Mean())
+	}
+	var c Welford
+	before := a
+	a.Merge(c)
+	if a != before {
+		t.Fatal("filled+empty must be a no-op")
+	}
+}
+
+// TestLogHistogramMergeMatchesSingleStream: sharded histogram accumulation
+// merged back together must match single-stream accumulation exactly on
+// counts and min/max, and bitwise-tolerantly on the sum.
+func TestLogHistogramMergeMatchesSingleStream(t *testing.T) {
+	r := rng.New(88)
+	for trial := 0; trial < 50; trial++ {
+		nshards := 1 + r.Intn(8)
+		shards := make([]*LogHistogram, nshards)
+		for s := range shards {
+			shards[s] = NewLogHistogram(1e-4, 100, 1.1)
+		}
+		single := NewLogHistogram(1e-4, 100, 1.1)
+		n := 1 + r.Intn(5000)
+		for k := 0; k < n; k++ {
+			// Log-uniform over a range wider than the covered one, so
+			// underflow and overflow shards carry mass too.
+			x := math.Pow(10, r.Uniform(-5, 3))
+			single.Add(x)
+			shards[r.Intn(nshards)].Add(x)
+		}
+		merged := NewLogHistogram(1e-4, 100, 1.1)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.N() != single.N() || merged.Underflow() != single.Underflow() || merged.Overflow() != single.Overflow() {
+			t.Fatalf("trial %d: totals diverge", trial)
+		}
+		for i := 0; i < single.Buckets(); i++ {
+			if merged.Count(i) != single.Count(i) {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, i, merged.Count(i), single.Count(i))
+			}
+		}
+		if merged.Min() != single.Min() || merged.Max() != single.Max() {
+			t.Fatalf("trial %d: min/max diverge", trial)
+		}
+		if !relClose(merged.Sum(), single.Sum(), 1e-12) {
+			t.Fatalf("trial %d: merged sum %g, single %g", trial, merged.Sum(), single.Sum())
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if a, b := merged.Quantile(q), single.Quantile(q); !relClose(a, b, 1e-12) {
+				t.Fatalf("trial %d: q%.2f %g vs %g", trial, q, a, b)
+			}
+		}
+	}
+}
+
+func TestLogHistogramMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different shapes should panic")
+		}
+	}()
+	a := NewLogHistogram(1e-4, 100, 1.1)
+	b := NewLogHistogram(1e-3, 100, 1.1)
+	a.Merge(b)
+}
+
+func TestWelfordAlias(t *testing.T) {
+	// Welford and Running are the same type; accumulators of either name
+	// interoperate (the alias exists for the sharded-metrics API).
+	var w Welford
+	w.Add(1)
+	var r Running
+	r.Add(3)
+	w.Merge(r)
+	if w.N() != 2 || w.Mean() != 2 {
+		t.Fatalf("alias merge: n=%d mean=%g", w.N(), w.Mean())
+	}
+}

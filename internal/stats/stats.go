@@ -14,6 +14,12 @@ import (
 // than were provided.
 var ErrTooFewSamples = errors.New("stats: too few samples")
 
+// Welford is the descriptive name for Running: a streaming mean/variance
+// accumulator (Welford 1962) whose Merge implements the parallel-moments
+// combination of Chan, Golub & LeVeque (1979). Shard-per-CPU consumers (the
+// serving gateway's metrics) and replication mergers use this name.
+type Welford = Running
+
 // Running accumulates streaming mean and variance with Welford's algorithm.
 // The zero value is an empty accumulator ready for use.
 type Running struct {

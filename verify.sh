@@ -19,4 +19,10 @@ go test ./...
 echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/..."
 go test -race ./internal/dist/... ./internal/online/... ./internal/serve/...
 
+# Allocation-regression gate: the steady-state DES, cluster-job and gateway
+# record paths must stay at zero allocations per operation (the
+# testing.AllocsPerRun tests; benchmarks in bench.sh track the same paths).
+echo "== go test -run 'Allocs' ./internal/des ./internal/cluster ./internal/serve"
+go test -run 'Allocs' ./internal/des ./internal/cluster ./internal/serve
+
 echo "verify: OK"
