@@ -10,6 +10,7 @@ package nashlb_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"nashlb/internal/cluster"
@@ -398,6 +399,54 @@ func BenchmarkCorePipeline(b *testing.B) {
 		jobs = res.Completed
 	}
 	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// BenchmarkCoreReplicationTable1 measures the parallel replication engine
+// on the paper's Table-1 system at 60% utilization: one iteration runs a
+// full replication sweep (8 independent DES runs pooled into a Summary)
+// with a fixed worker count. Sub-benchmarks pin workers to 1, 4 and
+// GOMAXPROCS, so the reported reps/sec ratios quantify the engine's
+// speedup on whatever machine runs the suite; bench.sh records all three
+// in BENCH_core.json. The pooled results are bitwise identical across the
+// sub-benchmarks — only the wall clock moves.
+func BenchmarkCoreReplicationTable1(b *testing.B) {
+	sys, err := experiments.Table1System(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nash, err := schemes.Run(schemes.Nash{Init: core.InitProportional}, sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.Config{
+		Rates:    sys.Rates,
+		Arrivals: sys.Arrivals,
+		Profile:  nash.Profile,
+		Duration: 120,
+		Warmup:   20,
+		Seed:     2002,
+	}
+	const reps = 8
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var jobs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := cluster.ReplicateWorkers(cfg, reps, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs = sum.Completed
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(reps)*float64(b.N)/secs, "reps/sec")
+			b.ReportMetric(float64(jobs)*float64(b.N)/secs, "jobs/sec")
+		})
+	}
 }
 
 // BenchmarkExtFaultTolerance regenerates EXT7's quick grid (the supervised

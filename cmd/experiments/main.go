@@ -31,14 +31,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag   = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext8 or all")
-		simFlag   = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
-		quickFlag = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
-		csvFlag   = flag.String("csv", "", "directory to write CSV files into (created if missing)")
-		plotFlag  = flag.Bool("plot", false, "also render ASCII charts for fig2/fig3/fig4/fig6")
-		utilFlag  = flag.Float64("util", 0.6, "system utilization for fig2/fig5/fig6 and the ablations")
-		seedFlag  = flag.Uint64("seed", 2002, "random seed for simulated runs")
-		benchFlag = flag.String("benchjson", "", "file to write the machine-readable EXT8 result into (implies live serving)")
+		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext8 or all")
+		simFlag     = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
+		quickFlag   = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
+		csvFlag     = flag.String("csv", "", "directory to write CSV files into (created if missing)")
+		plotFlag    = flag.Bool("plot", false, "also render ASCII charts for fig2/fig3/fig4/fig6")
+		utilFlag    = flag.Float64("util", 0.6, "system utilization for fig2/fig5/fig6 and the ablations")
+		seedFlag    = flag.Uint64("seed", 2002, "random seed for simulated runs")
+		workersFlag = flag.Int("workers", 0, "replication-engine pool size (0 = GOMAXPROCS); results are identical for any value")
+		benchFlag   = flag.String("benchjson", "", "file to write the machine-readable EXT8 result into (implies live serving)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		params = experiments.QuickSim()
 	}
 	params.Seed = *seedFlag
+	params.Workers = *workersFlag
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {

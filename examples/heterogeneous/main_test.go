@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// TestHeterogeneousSmoke runs the example end to end: all four schemes on
+// the Table-1 system plus replicated DES runs through the public
+// nashlb.Replicate API (which fans out on the parallel replication engine).
+// main uses log.Fatal on any error, which exits the test binary non-zero,
+// so a plain call is a complete smoke test.
+func TestHeterogeneousSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated DES runs are not short-mode work")
+	}
+	main()
+}

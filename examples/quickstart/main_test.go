@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestQuickstartSmoke runs the example end to end. main uses log.Fatal on
+// any error, which exits the test binary non-zero, so a plain call is a
+// complete smoke test: it fails CI whenever the public API the example
+// demonstrates stops working the way the README shows it.
+func TestQuickstartSmoke(t *testing.T) {
+	main()
+}

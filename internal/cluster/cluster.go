@@ -5,19 +5,20 @@
 //
 // The package replaces the authors' Sim++ setup: single runs collect
 // per-user and per-computer response-time statistics with warmup deletion;
-// Replicate runs independent replications in parallel (one goroutine each)
-// and reports Student-t confidence intervals, mirroring the paper's "each
-// run was replicated five times with different random number streams".
+// Replicate fans independent replications across the work-stealing engine in
+// internal/replicate and reports Student-t confidence intervals, mirroring
+// the paper's "each run was replicated five times with different random
+// number streams". Summaries are bitwise identical for any worker count.
 package cluster
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"nashlb/internal/des"
 	"nashlb/internal/game"
+	"nashlb/internal/replicate"
 	"nashlb/internal/rng"
 	"nashlb/internal/stats"
 )
@@ -703,35 +704,35 @@ func (s *Summary) MaxRelativeError() float64 {
 	return worst
 }
 
-// Replicate runs `reps` independent replications of cfg in parallel (each on
-// its own goroutine with streams derived from the replication index) and
-// summarizes them. reps must be at least 2 for confidence intervals.
+// Replicate runs `reps` independent replications of cfg on the parallel
+// replication engine and summarizes them. It is ReplicateWorkers with the
+// default pool size (GOMAXPROCS). reps must be at least 2 for confidence
+// intervals.
 func Replicate(cfg Config, reps int) (*Summary, error) {
+	return ReplicateWorkers(cfg, reps, 0)
+}
+
+// ReplicateWorkers is Replicate with an explicit worker count (values <= 0
+// select GOMAXPROCS). Each replication draws from streams derived solely
+// from (cfg.Seed, replication index) via the rng substream tree, and the
+// engine merges per-replication results in index order, so the Summary is
+// bitwise identical for every worker count — the property pinned by
+// TestReplicateDeterministicAcrossWorkers in golden_test.go.
+func ReplicateWorkers(cfg Config, reps, workers int) (*Summary, error) {
 	if reps < 2 {
 		return nil, errors.New("cluster: need at least 2 replications")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	runs := make([]*RunResult, reps)
-	errs := make([]error, reps)
-	var wg sync.WaitGroup
-	for r := 0; r < reps; r++ {
-		r := r
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c := cfg
-			// Independent streams per replication.
-			c.Seed = rng.NewSource(cfg.Seed).Replication(r).Stream("root").Uint64()
-			runs[r], errs[r] = Simulate(c)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	runs, err := replicate.Map(reps, replicate.Options{Workers: workers}, func(r int) (*RunResult, error) {
+		c := cfg
+		// Independent streams per replication, keyed by index alone.
+		c.Seed = rng.NewSource(cfg.Seed).Replication(r).Stream("root").Uint64()
+		return Simulate(c)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	m := len(cfg.Arrivals)
@@ -758,7 +759,6 @@ func Replicate(cfg Config, reps int) (*Summary, error) {
 		}
 		sum.Completed += run.Completed
 	}
-	var err error
 	if sum.OverallTime, err = stats.MeanCI95(overall); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"nashlb/internal/stats"
+)
+
+// summaryHash folds every numeric field of a Summary — CIs, pooled moments,
+// per-run statistics — into one FNV-1a hash, bit pattern by bit pattern. Two
+// summaries hash equal iff they are bitwise identical.
+func summaryHash(t *testing.T, s *Summary) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(x float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	n := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	iv := func(v stats.Interval) {
+		f(v.Mean)
+		f(v.HalfWide)
+		f(v.Level)
+		n(int64(v.N))
+	}
+	n(int64(s.Replications))
+	n(s.Completed)
+	iv(s.OverallTime)
+	iv(s.Fairness)
+	for _, u := range s.UserTime {
+		iv(u)
+	}
+	for i := range s.PooledUser {
+		n(s.PooledUser[i].N())
+		f(s.PooledUser[i].Mean())
+		f(s.PooledUser[i].Variance())
+	}
+	n(s.PooledOverall.N())
+	f(s.PooledOverall.Mean())
+	f(s.PooledOverall.Variance())
+	for _, run := range s.Runs {
+		n(run.Generated)
+		n(run.Completed)
+		f(run.EndTime)
+		for i := range run.PerUser {
+			n(run.PerUser[i].N())
+			f(run.PerUser[i].Mean())
+			f(run.PerUser[i].Variance())
+		}
+		for j := range run.PerComputer {
+			n(run.PerComputer[j].N())
+			f(run.PerComputer[j].Mean())
+		}
+		for j := range run.BusyTime {
+			f(run.BusyTime[j])
+		}
+	}
+	return h.Sum64()
+}
+
+// TestReplicateDeterministicAcrossWorkers pins the replication engine's
+// determinism contract end to end: the pooled Summary of a full DES
+// replication sweep is bitwise identical whether the replications run
+// sequentially, on 4 workers, or on GOMAXPROCS workers. Any leak of worker
+// identity, completion order or shared generator state into the results
+// shows up here as a hash mismatch.
+func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
+	cfg := goldenBase()
+	const reps = 8
+
+	ref, err := ReplicateWorkers(cfg, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryHash(t, ref)
+
+	counts := []int{4, runtime.GOMAXPROCS(0), reps + 3}
+	for _, workers := range counts {
+		sum, err := ReplicateWorkers(cfg, reps, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := summaryHash(t, sum); got != want {
+			t.Errorf("workers=%d: summary hash %#016x, want %#016x (pooled results not bitwise identical)",
+				workers, got, want)
+		}
+	}
+
+	// The default path (Replicate) must match too — it is ReplicateWorkers
+	// with the GOMAXPROCS pool.
+	sum, err := Replicate(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := summaryHash(t, sum); got != want {
+		t.Errorf("Replicate default: summary hash %#016x, want %#016x", got, want)
+	}
+}

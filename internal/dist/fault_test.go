@@ -10,6 +10,7 @@ import (
 
 	"nashlb/internal/core"
 	"nashlb/internal/rng"
+	"nashlb/internal/testutil"
 )
 
 // chaosWrap builds a Wrap hook that puts the same seeded chaos on every
@@ -276,15 +277,12 @@ func TestTimeoutNoGoroutineLeak(t *testing.T) {
 		}
 		to.Close() // must release the background receive
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !testutil.Eventually(2*time.Second, func() bool {
 		runtime.Gosched()
+		return runtime.NumGoroutine() <= before
+	}) {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 	}
-	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
 
 func TestTimeoutDeliversLateMessage(t *testing.T) {

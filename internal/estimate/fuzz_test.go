@@ -1,0 +1,94 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQueueInversion drives the M/M/1 queue-depth <-> arrival-rate maps
+// with arbitrary inputs, asserting the estimator's hard guarantees: no
+// panics, no NaN outputs, estimated loads always inside [0, mu), and the
+// two maps inverting each other within tolerance on their shared domain.
+func FuzzQueueInversion(f *testing.F) {
+	f.Add(10.0, 0.5)
+	f.Add(10.0, 0.0)
+	f.Add(100.0, 1e6)
+	f.Add(1.0, 1e-9)
+	f.Add(510.0, 3.2)
+	f.Add(1e-6, 42.0)
+	f.Fuzz(func(t *testing.T, mu, meanJobs float64) {
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || mu <= 0 || mu > 1e15 {
+			t.Skip()
+		}
+		if math.IsNaN(meanJobs) || math.IsInf(meanJobs, 0) || meanJobs > 1e15 {
+			t.Skip()
+		}
+
+		lambda := LoadFromQueueLength(mu, meanJobs)
+		if math.IsNaN(lambda) {
+			t.Fatalf("LoadFromQueueLength(%g, %g) = NaN", mu, meanJobs)
+		}
+		// An estimated load must be a usable M/M/1 rate: non-negative and
+		// strictly below the service rate (finite queues never imply
+		// saturation).
+		if lambda < 0 || lambda >= mu {
+			t.Fatalf("LoadFromQueueLength(%g, %g) = %g outside [0, mu)", mu, meanJobs, lambda)
+		}
+		if meanJobs <= 0 && lambda != 0 {
+			t.Fatalf("LoadFromQueueLength(%g, %g) = %g, want 0 for empty queues", mu, meanJobs, lambda)
+		}
+
+		// Round trip 1: queue depth -> load -> queue depth.
+		back := QueueLengthFromLoad(mu, lambda)
+		if math.IsNaN(back) {
+			t.Fatalf("QueueLengthFromLoad(%g, %g) = NaN", mu, lambda)
+		}
+		if meanJobs > 0 {
+			// The inversion L -> lambda -> L amplifies rounding error by
+			// ~(1+L) (the 1-rho cancellation near saturation), so the
+			// tolerance is conditioning-aware.
+			tol := 1e-12 * (1 + meanJobs)
+			if tol < 1e-9 {
+				tol = 1e-9
+			}
+			if !equalWithin(back, meanJobs, tol) {
+				t.Fatalf("round trip L=%g -> lambda=%g -> L=%g (mu=%g)", meanJobs, lambda, back, mu)
+			}
+		} else if back != 0 {
+			t.Fatalf("round trip of empty queue gave L=%g", back)
+		}
+
+		// Round trip 2: load -> queue depth -> load, over the open (0, mu)
+		// interval reached by folding meanJobs into a fraction of mu.
+		rho := math.Abs(meanJobs)
+		rho = rho - math.Floor(rho) // fractional part: [0, 1)
+		lam2 := rho * mu
+		depth := QueueLengthFromLoad(mu, lam2)
+		if math.IsNaN(depth) {
+			t.Fatalf("QueueLengthFromLoad(%g, %g) = NaN", mu, lam2)
+		}
+		if math.IsInf(depth, 1) {
+			// Only saturation maps to +Inf.
+			if lam2 < mu {
+				t.Fatalf("QueueLengthFromLoad(%g, %g) = +Inf below saturation", mu, lam2)
+			}
+			return
+		}
+		if depth < 0 {
+			t.Fatalf("QueueLengthFromLoad(%g, %g) = %g < 0", mu, lam2, depth)
+		}
+		lam3 := LoadFromQueueLength(mu, depth)
+		if !equalWithin(lam3, lam2, 1e-9) {
+			t.Fatalf("round trip lambda=%g -> L=%g -> lambda=%g (mu=%g)", lam2, depth, lam3, mu)
+		}
+	})
+}
+
+// equalWithin reports |a-b| small absolutely or relative to max(|a|,|b|).
+func equalWithin(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

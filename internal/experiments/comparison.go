@@ -49,7 +49,7 @@ func evaluateSchemes(sys *game.System, p SimParams, simulate bool) ([]SchemeMetr
 				Warmup:   p.Warmup,
 				Seed:     p.Seed,
 			}
-			sum, err := cluster.Replicate(cfg, p.Replications)
+			sum, err := p.replicate(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s simulation: %w", ev.Scheme, err)
 			}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"nashlb/internal/cluster"
 	"nashlb/internal/game"
 )
 
@@ -115,6 +116,15 @@ type SimParams struct {
 	Replications int
 	// Seed roots all random streams.
 	Seed uint64
+	// Workers is the replication-engine pool size; values <= 0 select
+	// GOMAXPROCS. Results are bitwise identical for any value (see
+	// internal/replicate).
+	Workers int
+}
+
+// replicate runs the replications of cfg on the engine with p's pool size.
+func (p SimParams) replicate(cfg cluster.Config) (*cluster.Summary, error) {
+	return cluster.ReplicateWorkers(cfg, p.Replications, p.Workers)
 }
 
 // PaperSim returns the full-fidelity parameters comparable to the paper's

@@ -141,7 +141,7 @@ func Ext2(rho float64, p SimParams) (*Ext2Result, error) {
 			Arrival:  c.model,
 			SCV:      c.scv,
 		}
-		sum, err := cluster.Replicate(cfg, p.Replications)
+		sum, err := p.replicate(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.model, err)
 		}
@@ -229,7 +229,7 @@ func Ext3(rho float64, p SimParams) (*Ext3Result, error) {
 			Service:    c.model,
 			ServiceSCV: c.scv,
 		}
-		sum, err := cluster.Replicate(cfg, p.Replications)
+		sum, err := p.replicate(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.model, err)
 		}
@@ -398,7 +398,7 @@ func Ext6(rho float64, p SimParams) (*Ext6Result, error) {
 			Seed:     p.Seed,
 			Dispatch: c.policy,
 		}
-		sum, err := cluster.Replicate(cfg, p.Replications)
+		sum, err := p.replicate(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}

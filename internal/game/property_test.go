@@ -1,0 +1,149 @@
+package game_test
+
+// Theory-invariant property suite, part 1 of 2 (part 2: internal/schemes).
+// Each test sweeps hundreds of randomized feasible instances drawn by
+// testutil.InstanceGen from a fixed seed, asserting structural guarantees
+// of the paper's theory rather than point values:
+//
+//   - the NASH profile admits no profitable unilateral deviation within
+//     epsilon, probed both by the exact best-response solver and by random
+//     perturbed best responses;
+//   - the OPTIMAL water-filling output is invariant under uniform rescaling
+//     of the rates and the arrival rate.
+//
+// The external test package breaks the core -> game import cycle.
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+	"nashlb/internal/testutil"
+)
+
+const propertySeed = 2002
+
+// propertyInstances is the per-test instance count; the four property tests
+// of the suite together cover ~1000 random instances (less with -short).
+func propertyInstances(t *testing.T, n int) int {
+	if testing.Short() {
+		return n / 10
+	}
+	return n
+}
+
+// TestPropertyNashNoProfitableDeviation solves NASH on random instances and
+// asserts the equilibrium property directly: no user can improve their
+// expected response time by more than epsilon, neither by switching to the
+// exact best response against the others nor by any of a batch of random
+// perturbations of their strategy.
+func TestPropertyNashNoProfitableDeviation(t *testing.T) {
+	const eps = 1e-5
+	gen := testutil.InstanceGen{}
+	for idx := 0; idx < propertyInstances(t, 250); idx++ {
+		sys, err := gen.Draw(propertySeed, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Solve(sys, core.Options{Init: core.InitProportional})
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		p := res.Profile
+
+		// Exact best response: the strongest possible deviation.
+		ok, impr, err := sys.EpsilonEquilibrium(p, core.Optimal, eps)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		if !ok {
+			t.Errorf("instance %d: best response improves a user by %g (> eps %g)", idx, impr, eps)
+		}
+
+		// Perturbed best responses: random feasible deviations must not beat
+		// the equilibrium either (a weaker but solver-independent probe).
+		s := rng.New(rng.SplitSeed(propertySeed^0xdead, uint64(idx)))
+		scale := maxFiniteTime(sys.UserResponseTimes(p))
+		for k := 0; k < 20; k++ {
+			i := s.Intn(sys.Users())
+			dev := p.Clone()
+			dev[i] = perturb(s, p[i])
+			if err := sys.CheckProfile(dev); err != nil {
+				continue // perturbation overloaded a computer; not a legal deviation
+			}
+			cur := sys.UserResponseTime(p, i)
+			alt := sys.UserResponseTime(dev, i)
+			if cur-alt > eps*scale {
+				t.Errorf("instance %d: perturbation %d improves user %d from %g to %g", idx, k, i, cur, alt)
+			}
+		}
+	}
+}
+
+// perturb returns a random strategy near st: a convex mix with a random
+// point of the simplex, so deviations probe both small and large moves.
+func perturb(s *rng.Stream, st game.Strategy) game.Strategy {
+	out := st.Clone()
+	w := s.Float64() // mixing weight; 0 = no move, 1 = fully random point
+	var total float64
+	rnd := make([]float64, len(st))
+	for j := range rnd {
+		rnd[j] = s.Float64()
+		total += rnd[j]
+	}
+	for j := range out {
+		out[j] = (1-w)*st[j] + w*rnd[j]/total
+	}
+	return out
+}
+
+func maxFiniteTime(xs []float64) float64 {
+	m := 1.0
+	for _, x := range xs {
+		if !math.IsInf(x, 0) && x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TestPropertyWaterFillingScaleInvariance asserts Theorem 2.1's structural
+// invariance: uniformly rescaling the available rates and the arrival rate
+// by any c > 0 leaves the OPTIMAL strategy (a vector of fractions) fixed.
+func TestPropertyWaterFillingScaleInvariance(t *testing.T) {
+	const tol = 1e-9
+	gen := testutil.InstanceGen{}
+	for idx := 0; idx < propertyInstances(t, 400); idx++ {
+		sys, err := gen.Draw(propertySeed+1, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rng.New(rng.SplitSeed(propertySeed+1, uint64(idx)))
+		phi := sys.TotalArrival()
+		base, err := core.Optimal(sys.Rates, phi)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		c := math.Pow(10, s.Uniform(-1, 1)) // scale factor in [0.1, 10]
+		scaled := make([]float64, len(sys.Rates))
+		for j, mu := range sys.Rates {
+			scaled[j] = c * mu
+		}
+		got, err := core.Optimal(scaled, c*phi)
+		if err != nil {
+			t.Fatalf("instance %d (scaled by %g): %v", idx, c, err)
+		}
+		for j := range base {
+			if math.Abs(got[j]-base[j]) > tol {
+				t.Errorf("instance %d: scaling by %g moved fraction %d from %g to %g",
+					idx, c, j, base[j], got[j])
+			}
+		}
+		// The scaled solution must stay a KKT point of the scaled problem.
+		if r := core.KKTResidual(scaled, c*phi, got); r > 1e-6 {
+			t.Errorf("instance %d: scaled KKT residual %g", idx, r)
+		}
+	}
+}

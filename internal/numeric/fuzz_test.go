@@ -1,0 +1,70 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzBisect drives the bisection root finder with arbitrary brackets and
+// tolerances over a family of well-behaved monotone functions, asserting
+// the solver's hard guarantees: it never panics, never returns NaN on
+// success, stays inside the bracket, and lands within tolerance of the true
+// root whenever the bracket actually straddles it.
+func FuzzBisect(f *testing.F) {
+	f.Add(0.0, 10.0, 3.0, 1e-9)
+	f.Add(-5.0, 5.0, 0.0, 1e-12)
+	f.Add(1.0, 2.0, 1.5, 1e-6)
+	f.Add(-1e6, 1e6, 12345.678, 1e-3)
+	f.Add(2.0, 2.0, 2.0, 1e-9)  // degenerate bracket
+	f.Add(7.0, -3.0, 1.0, 1e-9) // reversed bounds
+	f.Add(0.0, 1.0, 50.0, 1e-9) // root outside bracket
+	f.Fuzz(func(t *testing.T, lo, hi, root, tol float64) {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(root) || math.IsNaN(tol) ||
+			math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsInf(root, 0) {
+			t.Skip()
+		}
+		if math.Abs(lo) > 1e12 || math.Abs(hi) > 1e12 || math.Abs(root) > 1e12 {
+			t.Skip() // keep f(lo), f(hi) finite for the cubic below
+		}
+		tol = math.Abs(tol)
+		if tol < 1e-15 || tol > 1 {
+			tol = 1e-9
+		}
+		// Strictly increasing with a single root at `root`; the cubic term
+		// exercises steep gradients near wide brackets.
+		fn := func(x float64) float64 {
+			d := x - root
+			return d + d*d*d
+		}
+		x, err := Bisect(fn, lo, hi, tol, 200)
+		if err != nil {
+			if !errors.Is(err, ErrNoBracket) {
+				t.Fatalf("Bisect(%g, %g): unexpected error %v", lo, hi, err)
+			}
+			// No sign change across the bracket: the root must really be
+			// outside (or on the boundary within rounding).
+			a, b := math.Min(lo, hi), math.Max(lo, hi)
+			if a < root && root < b && fn(a) != 0 && fn(b) != 0 {
+				t.Fatalf("Bisect(%g, %g) refused a bracket containing root %g", lo, hi, root)
+			}
+			return
+		}
+		if math.IsNaN(x) {
+			t.Fatalf("Bisect(%g, %g) returned NaN", lo, hi)
+		}
+		a, b := math.Min(lo, hi), math.Max(lo, hi)
+		if x < a || x > b {
+			t.Fatalf("Bisect(%g, %g) returned %g outside the bracket", lo, hi, x)
+		}
+		// Within tol of the true root, allowing tol to be interpreted on the
+		// bracket width as documented.
+		if math.Abs(x-root) > tol+math.Abs(root)*1e-12 && fn(x) != 0 {
+			// The bracket might have hit a boundary root exactly.
+			if !(x == a || x == b) || math.Abs(fn(x)) > tol {
+				t.Fatalf("Bisect(%g, %g, tol=%g) = %g, true root %g (off by %g)",
+					lo, hi, tol, x, root, math.Abs(x-root))
+			}
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package replicate is the deterministic parallel replication engine behind
+// every replicated experiment in this repository.
+//
+// The paper's evaluation reports averages over independent Sim++
+// replications. A single DES run is strictly sequential, but the
+// replications are mutually independent, so the engine fans them out across
+// a pool of workers and re-assembles the results as if they had run
+// serially. Determinism is the contract:
+//
+//   - every replication r derives all of its random streams from the
+//     substream seed rng.SplitSeed(seed, r), never from worker identity,
+//     scheduling order or shared generator state;
+//   - results are collected into a slice indexed by replication, and all
+//     merging (stats.Welford.Merge / stats.LogHistogram.Merge, the Chan et
+//     al. parallel-moments combination) happens in replication order after
+//     the pool drains.
+//
+// Together these make pooled summaries bitwise identical for any worker
+// count (1, 4, GOMAXPROCS) and any completion order — the property pinned
+// by the golden tests in internal/cluster.
+//
+// Work distribution is work-stealing over contiguous index ranges: the
+// replication space [0, reps) is pre-split evenly, one range per worker,
+// and a worker that drains its own range steals the upper half of the
+// largest remaining range. Replications of one experiment usually cost
+// about the same, so workers mostly run their own cache-friendly range;
+// stealing only kicks in when durations skew (bursty traffic scenarios,
+// saturated stations) and keeps the pool busy until the last index.
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nashlb/internal/stats"
+)
+
+// ErrNoWork is returned by Map for a negative replication count.
+var ErrNoWork = errors.New("replicate: negative replication count")
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers is the pool size; values <= 0 select runtime.GOMAXPROCS(0).
+	// The pool never exceeds the replication count.
+	Workers int
+}
+
+// resolve returns the effective worker count for reps replications.
+func (o Options) resolve(reps int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > reps {
+		w = reps
+	}
+	return w
+}
+
+// interval is a half-open range of unclaimed replication indices.
+type interval struct{ next, end int }
+
+// pool is the shared work-stealing state. A single mutex over all ranges is
+// deliberate: the unit of work is a full DES replication (milliseconds to
+// seconds), so claim contention is immeasurable, and one lock keeps the
+// steal decision (pick the largest remaining range) atomic and simple.
+type pool struct {
+	mu     sync.Mutex
+	ranges []interval
+	failed bool
+	steals int
+}
+
+// claim returns the next replication index for worker w, stealing the upper
+// half of the largest remaining range once w's own range is empty. It
+// returns -1 when no work remains or the run has failed.
+func (p *pool) claim(w int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed {
+		return -1
+	}
+	if iv := &p.ranges[w]; iv.next < iv.end {
+		r := iv.next
+		iv.next++
+		return r
+	}
+	victim, most := -1, 0
+	for v := range p.ranges {
+		if rem := p.ranges[v].end - p.ranges[v].next; rem > most {
+			victim, most = v, rem
+		}
+	}
+	if victim < 0 {
+		return -1
+	}
+	vi := &p.ranges[victim]
+	if most == 1 {
+		// Nothing left to split; take the lone index directly.
+		r := vi.next
+		vi.next++
+		return r
+	}
+	mid := vi.next + most/2
+	p.ranges[w] = interval{next: mid, end: vi.end}
+	vi.end = mid
+	p.steals++
+	r := p.ranges[w].next
+	p.ranges[w].next++
+	return r
+}
+
+// fail marks the run failed so idle workers stop claiming new indices.
+func (p *pool) fail() {
+	p.mu.Lock()
+	p.failed = true
+	p.mu.Unlock()
+}
+
+// Map runs fn(r) for every replication index r in [0, reps) on a
+// work-stealing pool and returns the results in index order.
+//
+// fn must be deterministic in r alone (derive randomness from
+// rng.SplitSeed(seed, r), never from shared state) and safe to call from
+// multiple goroutines concurrently. On error the pool stops claiming new
+// replications and Map reports the failure of the lowest replication index
+// observed, wrapped with that index.
+func Map[T any](reps int, opts Options, fn func(rep int) (T, error)) ([]T, error) {
+	if reps < 0 {
+		return nil, ErrNoWork
+	}
+	if fn == nil {
+		return nil, errors.New("replicate: nil replication function")
+	}
+	out := make([]T, reps)
+	if reps == 0 {
+		return out, nil
+	}
+	workers := opts.resolve(reps)
+	if workers == 1 {
+		// Sequential fast path: identical results by construction, no
+		// goroutine or lock traffic for -cpu=1 runs and tiny jobs.
+		for r := 0; r < reps; r++ {
+			v, err := fn(r)
+			if err != nil {
+				return nil, fmt.Errorf("replicate: replication %d: %w", r, err)
+			}
+			out[r] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, reps)
+	p := &pool{ranges: make([]interval, workers)}
+	per, extra := reps/workers, reps%workers
+	lo := 0
+	for w := range p.ranges {
+		n := per
+		if w < extra {
+			n++
+		}
+		p.ranges[w] = interval{next: lo, end: lo + n}
+		lo += n
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				r := p.claim(w)
+				if r < 0 {
+					return
+				}
+				v, err := fn(r)
+				if err != nil {
+					errs[r] = err
+					p.fail()
+					return
+				}
+				out[r] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replicate: replication %d: %w", r, err)
+		}
+	}
+	return out, nil
+}
+
+// PoolWelford merges per-replication moment accumulators in replication
+// order (Chan et al. via stats.Welford.Merge) and returns the pooled
+// accumulator. Merging in index order — not completion order — is what
+// keeps the pooled moments bitwise identical across worker counts.
+func PoolWelford(parts []stats.Welford) stats.Welford {
+	var pooled stats.Welford
+	for _, p := range parts {
+		pooled.Merge(p)
+	}
+	return pooled
+}
+
+// PoolLogHistograms merges per-replication histograms in replication order
+// into a histogram with the shape of the first non-nil part. Parts must
+// share bucket geometry (stats.LogHistogram.Merge panics otherwise). It
+// returns nil when every part is nil.
+func PoolLogHistograms(parts []*stats.LogHistogram) *stats.LogHistogram {
+	var pooled *stats.LogHistogram
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if pooled == nil {
+			pooled = p.Clone()
+			continue
+		}
+		pooled.Merge(p)
+	}
+	return pooled
+}
+
+// MeanCI returns the 95% Student-t confidence interval over one scalar
+// metric observed once per replication — the form in which the paper
+// reports every simulated number. It is stats.MeanCI95 re-exported at the
+// engine boundary so replication summaries are assembled in one place.
+func MeanCI(perReplication []float64) (stats.Interval, error) {
+	return stats.MeanCI95(perReplication)
+}

@@ -1,0 +1,285 @@
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nashlb/internal/rng"
+	"nashlb/internal/stats"
+)
+
+// repValue simulates one "replication": a deterministic pseudo-random walk
+// seeded only by the replication index, mimicking how a DES replication
+// derives everything from rng.SplitSeed(seed, r).
+func repValue(seed uint64, r int) float64 {
+	s := rng.New(rng.SplitSeed(seed, uint64(r)))
+	var acc float64
+	for k := 0; k < 100; k++ {
+		acc += s.Exp(1)
+	}
+	return acc
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 16} {
+		got, err := Map(33, Options{Workers: workers}, func(r int) (int, error) {
+			return r * r, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 33 {
+			t.Fatalf("workers=%d: %d results, want 33", workers, len(got))
+		}
+		for r, v := range got {
+			if v != r*r {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, r, v, r*r)
+			}
+		}
+	}
+}
+
+// TestMapBitwiseIdenticalAcrossWorkers is the engine's core contract: the
+// same replication function produces bitwise-identical result vectors for
+// any worker count, because work distribution never leaks into the values.
+func TestMapBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	const reps = 64
+	ref, err := Map(reps, Options{Workers: 1}, func(r int) (float64, error) {
+		return repValue(2002, r), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 32} {
+		got, err := Map(reps, Options{Workers: workers}, func(r int) (float64, error) {
+			return repValue(2002, r), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range ref {
+			if math.Float64bits(got[r]) != math.Float64bits(ref[r]) {
+				t.Fatalf("workers=%d: replication %d = %x, want %x (bitwise)",
+					workers, r, math.Float64bits(got[r]), math.Float64bits(ref[r]))
+			}
+		}
+	}
+}
+
+// TestMapCompletionOrderIndependence forces wildly skewed replication
+// durations so completion order differs from index order, then checks the
+// pooled moments still match the sequential reference bit for bit.
+func TestMapCompletionOrderIndependence(t *testing.T) {
+	const reps = 24
+	run := func(workers int, skew bool) stats.Welford {
+		parts, err := Map(reps, Options{Workers: workers}, func(r int) (stats.Welford, error) {
+			if skew && r%5 == 0 {
+				time.Sleep(time.Duration(r%7) * time.Millisecond)
+			}
+			var w stats.Welford
+			s := rng.New(rng.SplitSeed(7, uint64(r)))
+			for k := 0; k < 50; k++ {
+				w.Add(s.Exp(2))
+			}
+			return w, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PoolWelford(parts)
+	}
+	ref := run(1, false)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers, true)
+		if got.N() != ref.N() ||
+			math.Float64bits(got.Mean()) != math.Float64bits(ref.Mean()) ||
+			math.Float64bits(got.Variance()) != math.Float64bits(ref.Variance()) {
+			t.Fatalf("workers=%d: pooled moments diverged: (%d, %g, %g) vs (%d, %g, %g)",
+				workers, got.N(), got.Mean(), got.Variance(), ref.N(), ref.Mean(), ref.Variance())
+		}
+	}
+}
+
+func TestMapErrorReporting(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(100, Options{Workers: 4}, func(r int) (int, error) {
+		if r >= 40 {
+			return 0, fmt.Errorf("rep %d: %w", r, boom)
+		}
+		return r, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Sequential path reports the lowest failing index deterministically.
+	_, err = Map(100, Options{Workers: 1}, func(r int) (int, error) {
+		if r >= 40 {
+			return 0, boom
+		}
+		return r, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("sequential error not propagated: %v", err)
+	}
+	if want := "replicate: replication 40:"; err.Error()[:len(want)] != want {
+		t.Fatalf("error %q does not name replication 40", err)
+	}
+}
+
+func TestMapErrorStopsClaiming(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(10_000, Options{Workers: 4}, func(r int) (int, error) {
+		calls.Add(1)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	// Each worker fails on its first claim; nothing else should run.
+	if n := calls.Load(); n > 8 {
+		t.Fatalf("%d replications ran after failure, want <= workers", n)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if _, err := Map(-1, Options{}, func(int) (int, error) { return 0, nil }); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("negative reps: %v", err)
+	}
+	if _, err := Map[int](3, Options{}, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	out, err := Map(0, Options{}, func(int) (int, error) { return 1, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero reps: %v, %v", out, err)
+	}
+	// More workers than reps must still cover every index exactly once.
+	out, err = Map(3, Options{Workers: 64}, func(r int) (int, error) { return r + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range out {
+		if v != r+1 {
+			t.Fatalf("result[%d] = %d", r, v)
+		}
+	}
+}
+
+// TestWorkStealingEngages pins the load-balancing behaviour: with one
+// pathologically slow range and fast everything else, idle workers must
+// steal from the slow worker's range rather than finishing early, so every
+// index is executed exactly once and the steal counter moves.
+func TestWorkStealingEngages(t *testing.T) {
+	const reps = 256
+	const workers = 4
+	var ran [reps]atomic.Int32
+	var gate sync.WaitGroup
+	gate.Add(1)
+	firstOfRange0 := make(chan struct{})
+	var once sync.Once
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(reps, Options{Workers: workers}, func(r int) (int, error) {
+			ran[r].Add(1)
+			if r == 0 {
+				// Worker 0 stalls on its very first index; its remaining
+				// range [1, 64) can only finish if others steal it.
+				once.Do(func() { close(firstOfRange0) })
+				gate.Wait()
+			}
+			return r, nil
+		})
+		done <- err
+	}()
+	<-firstOfRange0
+	// Give the other workers time to drain their own ranges and steal.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		covered := true
+		for r := 1; r < reps; r++ {
+			if ran[r].Load() == 0 {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate.Done()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for r := range ran {
+		if n := ran[r].Load(); n != 1 {
+			t.Fatalf("replication %d ran %d times, want exactly 1 (stolen work lost or duplicated)", r, n)
+		}
+	}
+}
+
+func TestPoolWelfordMatchesSequential(t *testing.T) {
+	parts := make([]stats.Welford, 8)
+	var ref stats.Welford
+	s := rng.New(11)
+	for i := range parts {
+		for k := 0; k < 100; k++ {
+			x := s.Normal()
+			parts[i].Add(x)
+			ref.Add(x)
+		}
+	}
+	pooled := PoolWelford(parts)
+	if pooled.N() != ref.N() {
+		t.Fatalf("pooled N = %d, want %d", pooled.N(), ref.N())
+	}
+	if math.Abs(pooled.Mean()-ref.Mean()) > 1e-12 {
+		t.Fatalf("pooled mean %g vs %g", pooled.Mean(), ref.Mean())
+	}
+	if math.Abs(pooled.Variance()-ref.Variance()) > 1e-9 {
+		t.Fatalf("pooled variance %g vs %g", pooled.Variance(), ref.Variance())
+	}
+}
+
+func TestPoolLogHistograms(t *testing.T) {
+	mk := func(seed uint64, n int) *stats.LogHistogram {
+		h := stats.NewLogHistogram(1e-3, 10, 1.5)
+		s := rng.New(seed)
+		for k := 0; k < n; k++ {
+			h.Add(s.Exp(3))
+		}
+		return h
+	}
+	parts := []*stats.LogHistogram{nil, mk(1, 100), nil, mk(2, 50), mk(3, 25)}
+	pooled := PoolLogHistograms(parts)
+	if pooled == nil || pooled.N() != 175 {
+		t.Fatalf("pooled N wrong: %+v", pooled)
+	}
+	// Pooling must not mutate the first non-nil part.
+	if parts[1].N() != 100 {
+		t.Fatalf("first part mutated: N = %d", parts[1].N())
+	}
+	if PoolLogHistograms([]*stats.LogHistogram{nil, nil}) != nil {
+		t.Fatal("all-nil pool should be nil")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	iv, err := MeanCI([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean != 3 || iv.N != 5 || iv.Level != 0.95 {
+		t.Fatalf("interval %+v", iv)
+	}
+	if _, err := MeanCI([]float64{1}); !errors.Is(err, stats.ErrTooFewSamples) {
+		t.Fatalf("single sample: %v", err)
+	}
+}

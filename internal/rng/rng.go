@@ -241,11 +241,30 @@ func (s *Source) Stream(label string) *Stream {
 	return New(mix)
 }
 
+// SplitSeed derives the root seed of substream `index` of the generator
+// tree rooted at `root`. It is the splittable-RNG primitive behind
+// Source.Substream: a SplitMix64 finalization of the root xored with a
+// Weyl-sequence multiple of the index, so substreams of one root are
+// mutually independent and substreams of distinct roots do not collide.
+// The parallel replication engine keys every replication's streams as
+// SplitSeed(experiment seed, replication index), which is what makes pooled
+// results independent of worker count and completion order.
+func SplitSeed(root, index uint64) uint64 {
+	state := root ^ (0xda942042e4dd58b5 * (index + 1))
+	return splitMix64(&state)
+}
+
+// Substream returns the derived Source for the given substream index.
+// Substreams are themselves splittable: nested Substream calls form a
+// deterministic tree of independent generators.
+func (s *Source) Substream(index uint64) *Source {
+	return &Source{root: SplitSeed(s.root, index)}
+}
+
 // Replication returns a derived Source for replication r, so that each
 // replication of an experiment uses fully independent streams, as in the
 // paper ("each run was replicated five times with different random number
-// streams").
+// streams"). It is Substream(r) under its historical name.
 func (s *Source) Replication(r int) *Source {
-	state := s.root ^ (0xda942042e4dd58b5 * uint64(r+1))
-	return &Source{root: splitMix64(&state)}
+	return s.Substream(uint64(r))
 }

@@ -1,0 +1,68 @@
+package rng
+
+import "testing"
+
+// TestSplitSeedDeterministic pins the substream derivation: the parallel
+// replication engine relies on SplitSeed(root, r) being a pure function of
+// (root, r) so replication r produces identical draws no matter which worker
+// runs it or when.
+func TestSplitSeedDeterministic(t *testing.T) {
+	for _, root := range []uint64{0, 1, 2002, ^uint64(0)} {
+		for idx := uint64(0); idx < 64; idx++ {
+			if SplitSeed(root, idx) != SplitSeed(root, idx) {
+				t.Fatalf("SplitSeed(%d, %d) not deterministic", root, idx)
+			}
+		}
+	}
+}
+
+// TestSplitSeedNoCollisions checks pairwise distinctness over a grid of
+// roots and indices wide enough to catch any structural collision (e.g. a
+// root/index mixing that commutes).
+func TestSplitSeedNoCollisions(t *testing.T) {
+	seen := make(map[uint64][2]uint64)
+	for _, root := range []uint64{0, 1, 7, 2002, 1 << 40, ^uint64(0)} {
+		for idx := uint64(0); idx < 1000; idx++ {
+			s := SplitSeed(root, idx)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("SplitSeed collision: (%d,%d) and (%d,%d) both map to %#x",
+					prev[0], prev[1], root, idx, s)
+			}
+			seen[s] = [2]uint64{root, idx}
+		}
+	}
+}
+
+// TestSubstreamMatchesReplication guards the compatibility contract:
+// Replication(r) must remain exactly Substream(r), so seeds recorded in
+// golden tests and BENCH artifacts stay valid.
+func TestSubstreamMatchesReplication(t *testing.T) {
+	src := NewSource(2002)
+	for r := 0; r < 100; r++ {
+		a := src.Replication(r).Stream("root").Uint64()
+		b := src.Substream(uint64(r)).Stream("root").Uint64()
+		if a != b {
+			t.Fatalf("Replication(%d) diverged from Substream(%d)", r, r)
+		}
+	}
+}
+
+// TestSubstreamTreeIndependence spot-checks that nested substreams (the
+// splittable tree) do not alias: child i of node a never equals child j of
+// node b unless the full paths match.
+func TestSubstreamTreeIndependence(t *testing.T) {
+	root := NewSource(7)
+	seen := make(map[uint64]string)
+	for i := uint64(0); i < 20; i++ {
+		a := root.Substream(i)
+		for j := uint64(0); j < 20; j++ {
+			b := a.Substream(j)
+			v := b.Stream("x").Uint64()
+			path := string(rune('A'+i)) + "/" + string(rune('A'+j))
+			if prev, ok := seen[v]; ok {
+				t.Fatalf("substream paths %s and %s collide on first draw", prev, path)
+			}
+			seen[v] = path
+		}
+	}
+}

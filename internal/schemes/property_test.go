@@ -1,0 +1,141 @@
+package schemes_test
+
+// Theory-invariant property suite, part 2 of 2 (part 1: internal/game).
+// Random feasible instances come from the same testutil.InstanceGen used
+// there, so every failing case is reproducible from (seed, index).
+
+import (
+	"math"
+	"testing"
+
+	"nashlb/internal/game"
+	"nashlb/internal/schemes"
+	"nashlb/internal/testutil"
+)
+
+const propertySeed = 7002
+
+func instances(t *testing.T, n int) int {
+	if testing.Short() {
+		return n / 10
+	}
+	return n
+}
+
+// TestPropertyMeanResponseOrdering asserts the ordering the paper's Figure 4
+// exhibits at every utilization: GOS minimizes the overall mean response
+// time over all feasible profiles, so GOS <= NASH exactly (up to solver
+// tolerance), and the selfish equilibrium still beats the queueing-blind
+// proportional split, NASH <= PS, on every drawn instance.
+func TestPropertyMeanResponseOrdering(t *testing.T) {
+	const relTol = 1e-6
+	gen := testutil.InstanceGen{}
+	for idx := 0; idx < instances(t, 250); idx++ {
+		sys, err := gen.Draw(propertySeed, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gos, err := schemes.Run(schemes.GlobalOptimal{}, sys)
+		if err != nil {
+			t.Fatalf("instance %d GOS: %v", idx, err)
+		}
+		nash, err := schemes.Run(schemes.Nash{}, sys)
+		if err != nil {
+			t.Fatalf("instance %d NASH: %v", idx, err)
+		}
+		ps, err := schemes.Run(schemes.Proportional{}, sys)
+		if err != nil {
+			t.Fatalf("instance %d PS: %v", idx, err)
+		}
+		if gos.OverallTime > nash.OverallTime*(1+relTol) {
+			t.Errorf("instance %d: GOS %.12g > NASH %.12g (GOS not globally optimal?)",
+				idx, gos.OverallTime, nash.OverallTime)
+		}
+		if nash.OverallTime > ps.OverallTime*(1+relTol) {
+			t.Errorf("instance %d: NASH %.12g > PS %.12g (equilibrium worse than proportional)",
+				idx, nash.OverallTime, ps.OverallTime)
+		}
+	}
+}
+
+// TestPropertyWardropEqualDelay asserts the defining condition of the IOS
+// (Wardrop) equilibrium on random instances: every machine that carries
+// load sees one common response time, and every unused machine would be
+// slower — its empty-queue delay 1/mu_j is no better than the common delay.
+func TestPropertyWardropEqualDelay(t *testing.T) {
+	const relTol = 1e-8
+	gen := testutil.InstanceGen{}
+	for idx := 0; idx < instances(t, 250); idx++ {
+		sys, err := gen.Draw(propertySeed+1, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ios, err := schemes.Run(schemes.IndividualOptimal{}, sys)
+		if err != nil {
+			t.Fatalf("instance %d IOS: %v", idx, err)
+		}
+		delays := sys.ComputerResponseTimes(ios.Profile)
+		phi := sys.TotalArrival()
+
+		common := math.NaN()
+		for j, l := range ios.Loads {
+			if l <= phi*1e-12 {
+				continue // unused machine
+			}
+			if math.IsNaN(common) {
+				common = delays[j]
+				continue
+			}
+			if math.Abs(delays[j]-common) > relTol*common {
+				t.Errorf("instance %d: used machines disagree on delay: %.12g vs %.12g",
+					idx, delays[j], common)
+			}
+		}
+		if math.IsNaN(common) {
+			t.Fatalf("instance %d: IOS routed no load anywhere", idx)
+		}
+		for j, l := range ios.Loads {
+			if l > phi*1e-12 {
+				continue
+			}
+			if empty := 1 / sys.Rates[j]; empty < common*(1-relTol) {
+				t.Errorf("instance %d: unused machine %d would be faster (1/mu=%.12g < common %.12g)",
+					idx, j, empty, common)
+			}
+		}
+	}
+}
+
+// TestPropertyAllSchemesFeasible asserts the base contract behind all the
+// comparisons: every scheme produces a profile whose rows are simplex
+// points and whose induced loads keep every machine strictly inside
+// capacity, on every drawn instance (schemes.Run re-checks via
+// game.System.CheckProfile, so a failure surfaces as an error here).
+func TestPropertyAllSchemesFeasible(t *testing.T) {
+	gen := testutil.InstanceGen{}
+	for idx := 0; idx < instances(t, 100); idx++ {
+		sys, err := gen.Draw(propertySeed+2, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sch := range schemes.All() {
+			ev, err := schemes.Run(sch, sys)
+			if err != nil {
+				t.Errorf("instance %d %s: %v", idx, sch.Name(), err)
+				continue
+			}
+			for i, row := range ev.Profile {
+				var sum float64
+				for _, v := range row {
+					if v < -game.FeasibilityTol {
+						t.Errorf("instance %d %s: user %d has negative weight %g", idx, sch.Name(), i, v)
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Errorf("instance %d %s: user %d weights sum to %.12g", idx, sch.Name(), i, sum)
+				}
+			}
+		}
+	}
+}

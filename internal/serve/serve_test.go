@@ -12,12 +12,13 @@ import (
 
 	"nashlb/internal/game"
 	"nashlb/internal/rng"
+	"nashlb/internal/testutil"
 )
 
 // fakeClock drives a TokenBucket deterministically.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time        { return c.t }
+func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func TestTokenBucket(t *testing.T) {
@@ -139,13 +140,9 @@ func TestBackendQueueFull(t *testing.T) {
 		}
 	}()
 	// Wait until the first job occupies the queue.
-	deadline := time.Now().Add(2 * time.Second)
-	for b.Depth() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if b.Depth() == 0 {
-		t.Fatal("first job never entered the queue")
-	}
+	testutil.WaitFor(t, 2*time.Second, "first job never entered the queue", func() bool {
+		return b.Depth() > 0
+	})
 
 	resp, err := http.Get(b.URL() + "/work")
 	if err != nil {
@@ -419,19 +416,11 @@ func TestGatewayRebalances(t *testing.T) {
 		Alpha:     0.5,
 	}, []float64{2000, 2000})
 
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if snap := g.Metrics(); snap.Rebalances > 0 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	snap := g.Metrics()
-	if snap.Polls == 0 {
+	testutil.WaitFor(t, 5*time.Second, "re-equilibration loop never installed a new profile", func() bool {
+		return g.Metrics().Rebalances > 0
+	})
+	if snap := g.Metrics(); snap.Polls == 0 {
 		t.Fatal("re-equilibration loop never completed a poll sweep")
-	}
-	if snap.Rebalances == 0 {
-		t.Fatal("re-equilibration loop never installed a new profile")
 	}
 	p := g.Profile()
 	if diff := p[0][0] - p[0][1]; diff < -0.1 || diff > 0.1 {

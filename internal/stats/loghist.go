@@ -17,9 +17,9 @@ import (
 // for concurrent use; the serving gateway guards its per-user histograms
 // with a mutex.
 type LogHistogram struct {
-	lo     float64 // lower boundary of bucket 0
-	growth float64 // boundary ratio (> 1)
-	invLog float64 // 1/ln(growth), cached for Add
+	lo     float64   // lower boundary of bucket 0
+	growth float64   // boundary ratio (> 1)
+	invLog float64   // 1/ln(growth), cached for Add
 	bounds []float64 // precomputed boundaries: bounds[i] == lo*growth^i
 	counts []int64
 	under  int64
@@ -182,6 +182,16 @@ func (h *LogHistogram) Quantile(q float64) float64 {
 		cum = next
 	}
 	return h.max
+}
+
+// Clone returns an independent deep copy of h. The replication engine
+// clones the first per-replication histogram as the pooled accumulator so
+// merging never mutates a replication's own result.
+func (h *LogHistogram) Clone() *LogHistogram {
+	c := *h
+	c.bounds = append([]float64(nil), h.bounds...)
+	c.counts = append([]int64(nil), h.counts...)
+	return &c
 }
 
 // Merge folds another histogram into h. Both must have identical shape

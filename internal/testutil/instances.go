@@ -1,0 +1,79 @@
+package testutil
+
+import (
+	"fmt"
+	"math"
+
+	"nashlb/internal/game"
+	"nashlb/internal/rng"
+)
+
+// InstanceGen draws random feasible load-balancing systems for the
+// property-based invariant suites. All draws come from a deterministic
+// rng.Stream, so a failing instance is reproducible from the suite's seed
+// and instance index alone.
+type InstanceGen struct {
+	// MaxComputers and MaxUsers bound the drawn shapes (minimums are 2
+	// computers — the smallest system where balancing is a choice — and 1
+	// user).
+	MaxComputers int
+	MaxUsers     int
+	// MinUtilization and MaxUtilization bound the drawn total utilization
+	// rho = Phi / sum(mu); defaults (0.1, 0.9) keep instances comfortably
+	// inside the feasible region while still exercising near-saturation.
+	MinUtilization float64
+	MaxUtilization float64
+}
+
+// Draw returns the idx-th random system of the generator rooted at seed.
+// Service rates are log-uniform over [1, 100] (mirroring the paper's 1:10
+// relative-rate span, widened), and the users' shares of the total arrival
+// rate are a random mix with every share at least 1% so no user degenerates.
+func (g InstanceGen) Draw(seed uint64, idx int) (*game.System, error) {
+	maxC := g.MaxComputers
+	if maxC < 2 {
+		maxC = 8
+	}
+	maxU := g.MaxUsers
+	if maxU < 1 {
+		maxU = 6
+	}
+	loRho := g.MinUtilization
+	if loRho <= 0 {
+		loRho = 0.1
+	}
+	hiRho := g.MaxUtilization
+	if hiRho <= 0 || hiRho >= 1 {
+		hiRho = 0.9
+	}
+
+	s := rng.New(rng.SplitSeed(seed, uint64(idx)))
+	n := 2 + s.Intn(maxC-1)
+	m := 1 + s.Intn(maxU)
+
+	rates := make([]float64, n)
+	var capacity float64
+	for j := range rates {
+		rates[j] = math.Pow(10, s.Uniform(0, 2))
+		capacity += rates[j]
+	}
+	rho := s.Uniform(loRho, hiRho)
+	phi := capacity * rho
+
+	shares := make([]float64, m)
+	var total float64
+	for i := range shares {
+		shares[i] = 0.01 + s.Float64()
+		total += shares[i]
+	}
+	arrivals := make([]float64, m)
+	for i := range arrivals {
+		arrivals[i] = phi * shares[i] / total
+	}
+
+	sys, err := game.NewSystem(rates, arrivals)
+	if err != nil {
+		return nil, fmt.Errorf("testutil: instance (seed=%d, idx=%d): %w", seed, idx, err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,39 @@
+// Package testutil holds shared test helpers: deadline-bounded polling for
+// timing-sensitive end-to-end tests (instead of fixed sleeps, which flake
+// under load and waste time when the condition is already true) and the
+// random feasible-instance generator behind the theory-invariant property
+// suites in internal/game and internal/schemes.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// defaultInterval is the poll period used by Eventually and WaitFor.
+const defaultInterval = time.Millisecond
+
+// Eventually polls cond every millisecond until it returns true or the
+// timeout elapses, and reports whether the condition was met. It returns
+// immediately when the condition already holds.
+func Eventually(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(defaultInterval)
+	}
+}
+
+// WaitFor is Eventually with a test failure attached: it fails the test
+// fatally with msg when cond does not hold within timeout.
+func WaitFor(t testing.TB, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	if !Eventually(timeout, cond) {
+		t.Fatalf("condition not met within %v: %s", timeout, msg)
+	}
+}

@@ -167,10 +167,19 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	return cluster.Simulate(cfg)
 }
 
-// Replicate runs independent replications in parallel and summarizes them
-// with 95% Student-t confidence intervals.
+// Replicate runs independent replications on the deterministic parallel
+// engine (internal/replicate) and summarizes them with 95% Student-t
+// confidence intervals. The summary is bitwise identical for any worker
+// count; the pool defaults to GOMAXPROCS.
 func Replicate(cfg SimConfig, reps int) (*SimSummary, error) {
 	return cluster.Replicate(cfg, reps)
+}
+
+// ReplicateWorkers is Replicate with an explicit worker-pool size (values
+// <= 0 select GOMAXPROCS). Changing workers never changes the results,
+// only the wall-clock time.
+func ReplicateWorkers(cfg SimConfig, reps, workers int) (*SimSummary, error) {
+	return cluster.ReplicateWorkers(cfg, reps, workers)
 }
 
 // JainFairness returns Jain's fairness index of a vector of per-user

@@ -16,8 +16,15 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/..."
-go test -race ./internal/dist/... ./internal/online/... ./internal/serve/...
+echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/..."
+go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/...
+
+# Fuzz smoke: a short randomized run of each native fuzz target (bisection
+# root finder, M/M/1 queue-depth inversion). Regressions show up as crasher
+# inputs; Go allows one -fuzz target per invocation.
+echo "== go test -fuzz (smoke, 10s each)"
+go test -run '^$' -fuzz FuzzBisect -fuzztime 10s ./internal/numeric
+go test -run '^$' -fuzz FuzzQueueInversion -fuzztime 10s ./internal/estimate
 
 # Allocation-regression gate: the steady-state DES, cluster-job and gateway
 # record paths must stay at zero allocations per operation (the
