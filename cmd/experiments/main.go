@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext8 or all")
+		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext9 or all")
 		simFlag     = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
 		quickFlag   = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
 		csvFlag     = flag.String("csv", "", "directory to write CSV files into (created if missing)")
@@ -39,7 +39,7 @@ func main() {
 		utilFlag    = flag.Float64("util", 0.6, "system utilization for fig2/fig5/fig6 and the ablations")
 		seedFlag    = flag.Uint64("seed", 2002, "random seed for simulated runs")
 		workersFlag = flag.Int("workers", 0, "replication-engine pool size (0 = GOMAXPROCS); results are identical for any value")
-		benchFlag   = flag.String("benchjson", "", "file to write the machine-readable EXT8 result into (implies live serving)")
+		benchFlag   = flag.String("benchjson", "", "file to write the machine-readable EXT8+EXT9 results into (implies live serving)")
 	)
 	flag.Parse()
 
@@ -224,23 +224,37 @@ func main() {
 		emit("ext7_fault_tolerance", res.Table())
 		ran++
 	}
+	// The serving experiments share the BENCH_serve.json document:
+	// -benchjson implies both and writes the combined result.
+	var ext8Res *experiments.Ext8Result
+	var ext9Res *experiments.Ext9Result
 	if selected("ext8") || *benchFlag != "" {
 		res, err := experiments.Ext8(params.Seed, *quickFlag)
 		if err != nil {
 			log.Fatalf("ext8: %v", err)
 		}
 		emit("ext8_live_serving", res.Table())
-		if *benchFlag != "" {
-			data, err := res.BenchJSON()
-			if err != nil {
-				log.Fatalf("ext8: %v", err)
-			}
-			if err := os.WriteFile(*benchFlag, append(data, '\n'), 0o644); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  [bench json written to %s]\n\n", *benchFlag)
-		}
+		ext8Res = res
 		ran++
+	}
+	if selected("ext9") || *benchFlag != "" {
+		res, err := experiments.Ext9(params.Seed, *quickFlag)
+		if err != nil {
+			log.Fatalf("ext9: %v", err)
+		}
+		emit("ext9_self_healing", res.Table())
+		ext9Res = res
+		ran++
+	}
+	if *benchFlag != "" {
+		data, err := experiments.ServeBenchJSON(ext8Res, ext9Res)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		if err := os.WriteFile(*benchFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [bench json written to %s]\n\n", *benchFlag)
 	}
 	if ran == 0 {
 		log.Fatalf("-run: nothing matched %q", *runFlag)

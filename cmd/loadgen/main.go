@@ -61,11 +61,22 @@ func main() {
 			1e3*res.MeanSeconds[i], 1e3*res.MinSeconds[i], 1e3*res.MaxSeconds[i])
 	}
 	var ok, rejected, failed int64
+	var s429, s503, s5xx, shed, timeouts, trans int64
 	for i := range res.Sent {
 		ok += res.OK[i]
 		rejected += res.Rejected[i]
 		failed += res.Failed[i]
+		s429 += res.Status429[i]
+		s503 += res.Status503[i]
+		s5xx += res.Status5xx[i]
+		shed += res.Shed[i]
+		timeouts += res.Timeouts[i]
+		trans += res.TransportErrors[i]
 	}
 	fmt.Printf("%-6s %10d %10d %10d %10d %12.3f\n",
 		"all", res.TotalSent, ok, rejected, failed, 1e3*res.Mean)
+	if rejected+failed > 0 {
+		fmt.Printf("breakdown: 429=%d 503=%d (shed=%d) other-5xx=%d timeout=%d transport=%d\n",
+			s429, s503, shed, s5xx, timeouts, trans)
+	}
 }

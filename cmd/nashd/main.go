@@ -63,21 +63,21 @@ func main() {
 		usersFlag    = flag.Int("users", 0, "ring size (node mode)")
 		arrivalFlag  = flag.Float64("arrival", 0, "this user's arrival rate (node mode)")
 
-		superviseFlag = flag.Bool("supervise", false, "run the demo under the fault supervisor (in-process ring with chaos injection)")
-		dropFlag      = flag.Float64("drop", 0, "chaos: per-message drop probability (supervised demo)")
-		dupFlag       = flag.Float64("dup", 0, "chaos: per-message duplication probability (supervised demo)")
-		delayFlag     = flag.Float64("delay", 0, "chaos: per-message delay probability (supervised demo)")
-		delayMaxFlag  = flag.Duration("delay-max", 2*time.Millisecond, "chaos: maximum injected delay (supervised demo)")
-		reorderFlag   = flag.Float64("reorder", 0, "chaos: per-message reorder probability (supervised demo)")
-		crashFlag     = flag.Int("crash", -1, "chaos: node id to crash (supervised demo; -1 = none, node 0 cannot crash)")
-		crashAfterFlag = flag.Int("crash-after", 4, "chaos: crash the node after this many received tokens (supervised demo)")
-		restartFlag   = flag.Bool("restart", false, "restart the crashed node instead of ejecting it (supervised demo)")
+		superviseFlag    = flag.Bool("supervise", false, "run the demo under the fault supervisor (in-process ring with chaos injection)")
+		dropFlag         = flag.Float64("drop", 0, "chaos: per-message drop probability (supervised demo)")
+		dupFlag          = flag.Float64("dup", 0, "chaos: per-message duplication probability (supervised demo)")
+		delayFlag        = flag.Float64("delay", 0, "chaos: per-message delay probability (supervised demo)")
+		delayMaxFlag     = flag.Duration("delay-max", 2*time.Millisecond, "chaos: maximum injected delay (supervised demo)")
+		reorderFlag      = flag.Float64("reorder", 0, "chaos: per-message reorder probability (supervised demo)")
+		crashFlag        = flag.Int("crash", -1, "chaos: node id to crash (supervised demo; -1 = none, node 0 cannot crash)")
+		crashAfterFlag   = flag.Int("crash-after", 4, "chaos: crash the node after this many received tokens (supervised demo)")
+		restartFlag      = flag.Bool("restart", false, "restart the crashed node instead of ejecting it (supervised demo)")
 		restartDelayFlag = flag.Duration("restart-delay", 5*time.Millisecond, "downtime before a restart (supervised demo)")
-		chaosSeedFlag = flag.Uint64("chaos-seed", 2002, "seed for the chaos fault streams (supervised demo)")
-		recvTimeoutFlag = flag.Duration("recv-timeout", 0, "liveness deadline: supervised-demo stall detection (default 250ms) or node-mode receive guard (0 = off)")
-		maxMissesFlag = flag.Int("max-misses", 0, "generations a node may miss before ejection (supervised demo; 0 = default 3)")
-		recoverFlag   = flag.Bool("recover", false, "node mode, leader only: re-inject lost tokens instead of failing (needs -recv-timeout)")
-		epochFlag     = flag.Uint64("epoch", 0, "node mode: restart incarnation; bump when restarting a crashed node")
+		chaosSeedFlag    = flag.Uint64("chaos-seed", 2002, "seed for the chaos fault streams (supervised demo)")
+		recvTimeoutFlag  = flag.Duration("recv-timeout", 0, "liveness deadline: supervised-demo stall detection (default 250ms) or node-mode receive guard (0 = off)")
+		maxMissesFlag    = flag.Int("max-misses", 0, "generations a node may miss before ejection (supervised demo; 0 = default 3)")
+		recoverFlag      = flag.Bool("recover", false, "node mode, leader only: re-inject lost tokens instead of failing (needs -recv-timeout)")
+		epochFlag        = flag.Uint64("epoch", 0, "node mode: restart incarnation; bump when restarting a crashed node")
 	)
 	flag.Parse()
 

@@ -11,8 +11,17 @@
 //	         [-poll 500ms] [-update-every 1] [-alpha 0.2] \
 //	         [-fill 100 -burst 200] [-seed 2002]
 //
+// The self-healing layer (on by default) probes backends, trips per-backend
+// circuit breakers, re-solves the game over survivors, and sheds load when
+// the surviving capacity is infeasible:
+//
+//	[-probe 250ms] [-breaker-failures 3] [-breaker-cooldown 1s] \
+//	[-ramp-steps 3] [-degraded-rho 0.9] [-retry-budget 0.1] \
+//	[-hedge-after 0]
+//
 // Endpoints: /submit?user=i (or X-User header) serves one request;
 // /metrics is the text exposition; /routing reports the live profile;
+// /backends reports breaker states, weights and probe counters;
 // /healthz is a liveness probe.
 //
 // Backend mode (-backend) runs one worker node — an M/M/1 station serving
@@ -57,6 +66,13 @@ func main() {
 		burstFlag    = flag.Float64("burst", 0, "gateway: token-bucket burst size")
 		timeoutFlag  = flag.Duration("timeout", 5*time.Second, "gateway: per-attempt backend timeout")
 		retriesFlag  = flag.Int("retries", 2, "gateway: retries after backend transport failures")
+		probeFlag    = flag.Duration("probe", 250*time.Millisecond, "gateway: health probe period (0 disables the self-healing layer)")
+		failuresFlag = flag.Int("breaker-failures", 3, "gateway: consecutive failures that open a backend's breaker")
+		cooldownFlag = flag.Duration("breaker-cooldown", time.Second, "gateway: open-breaker wait before a half-open trial")
+		rampFlag     = flag.Int("ramp-steps", 3, "gateway: health epochs over which a recovered backend re-admits")
+		degradedFlag = flag.Float64("degraded-rho", 0.9, "gateway: admitted utilization while shedding in degraded mode")
+		budgetFlag   = flag.Float64("retry-budget", 0.1, "gateway: retry budget as a fraction of requests (negative disables)")
+		hedgeFlag    = flag.Duration("hedge-after", 0, "gateway: hedge slow requests to a second backend after this delay (0 disables)")
 		rateFlag     = flag.Float64("rate", 0, "backend: service rate mu (jobs/s)")
 		queueCapFlag = flag.Int("queue-cap", serve.DefaultQueueCap, "backend: jobs-in-system bound")
 	)
@@ -80,6 +96,13 @@ func main() {
 		burst:    *burstFlag,
 		timeout:  *timeoutFlag,
 		retries:  *retriesFlag,
+		probe:    *probeFlag,
+		failures: *failuresFlag,
+		cooldown: *cooldownFlag,
+		ramp:     *rampFlag,
+		degraded: *degradedFlag,
+		budget:   *budgetFlag,
+		hedge:    *hedgeFlag,
 	})
 }
 
@@ -114,6 +137,9 @@ type gatewayArgs struct {
 	alpha, fill, burst                         float64
 	timeout                                    time.Duration
 	retries                                    int
+	probe, cooldown, hedge                     time.Duration
+	failures, ramp                             int
+	degraded, budget                           float64
 }
 
 func runGateway(a gatewayArgs) {
@@ -175,6 +201,12 @@ func runGateway(a gatewayArgs) {
 		Alpha:       a.alpha,
 		Timeout:     a.timeout,
 		Retries:     a.retries,
+		ProbeEvery:  a.probe,
+		Breaker:     serve.BreakerConfig{Failures: a.failures, Cooldown: a.cooldown},
+		RampSteps:   a.ramp,
+		DegradedRho: a.degraded,
+		RetryBudget: a.budget,
+		HedgeAfter:  a.hedge,
 		Addr:        a.listen,
 	})
 	if err != nil {

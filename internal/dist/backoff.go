@@ -53,6 +53,41 @@ func (b *Backoff) Next() time.Duration {
 // Reset restarts the growth schedule after a successful operation.
 func (b *Backoff) Reset() { b.attempt = 0 }
 
+// AttemptsFor returns how many retries fit inside the given time budget:
+// the largest k such that the sum of the first k un-jittered delays of this
+// schedule (from the current attempt position, normally 0 after a Reset)
+// does not exceed budget. Jitter only ever shrinks a delay, so the bound is
+// conservative in the safe direction: a caller sleeping AttemptsFor(budget)
+// delays never sleeps longer than budget in total. Callers that also pay a
+// per-attempt cost (an HTTP timeout, say) should subtract it from the
+// budget themselves. The count is capped at 64 — with any positive Base the
+// cumulative sleep past that is astronomically beyond any real budget — so
+// an effectively infinite budget cannot produce an unbounded retry horizon.
+func (b *Backoff) AttemptsFor(budget time.Duration) int {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	var total time.Duration
+	for k := 0; k < 64; k++ {
+		attempt := b.attempt + k
+		d := max
+		if attempt < 32 {
+			if v := base << uint(attempt); v > 0 && v < max {
+				d = v
+			}
+		}
+		total += d
+		if total > budget {
+			return k
+		}
+	}
+	return 64
+}
+
 // Attempts reports how many delays have been handed out since the last
 // Reset.
 func (b *Backoff) Attempts() int { return b.attempt }

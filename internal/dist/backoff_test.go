@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// Schedule growth and jitter bounds are covered in fault_test.go; this file
+// tests the AttemptsFor retry-horizon arithmetic.
+
+func TestAttemptsFor(t *testing.T) {
+	// Delays: 2, 4, 8, 16, 16, 16, ... ms (cumulative 2, 6, 14, 30, 46, 62).
+	cases := []struct {
+		budget time.Duration
+		want   int
+	}{
+		{0, 0},
+		{time.Millisecond, 0},
+		{2 * time.Millisecond, 1},
+		{5 * time.Millisecond, 1},
+		{6 * time.Millisecond, 2},
+		{14 * time.Millisecond, 3},
+		{29 * time.Millisecond, 3},
+		{30 * time.Millisecond, 4},
+		{46 * time.Millisecond, 5},
+		{62 * time.Millisecond, 6},
+	}
+	for _, c := range cases {
+		b := Backoff{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond}
+		if got := b.AttemptsFor(c.budget); got != c.want {
+			t.Errorf("AttemptsFor(%v) = %d, want %d", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestAttemptsForAdvancedSchedule(t *testing.T) {
+	// After two Next calls the schedule sits at 8ms, so the same budget
+	// affords fewer retries than from a fresh schedule.
+	b := Backoff{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond}
+	b.Next()
+	b.Next()
+	// Remaining delays: 8, 16, 16, ... (cumulative 8, 24, 40).
+	if got := b.AttemptsFor(24 * time.Millisecond); got != 2 {
+		t.Fatalf("AttemptsFor(24ms) after 2 delays = %d, want 2", got)
+	}
+}
+
+func TestAttemptsForCapsHugeBudget(t *testing.T) {
+	b := Backoff{Base: time.Nanosecond, Max: time.Nanosecond}
+	if got := b.AttemptsFor(time.Hour); got != 64 {
+		t.Fatalf("AttemptsFor(huge) = %d, want the 64 cap", got)
+	}
+	// Defaults (2ms base, 250ms cap): an hour-long budget still bounded.
+	d := Backoff{}
+	if got := d.AttemptsFor(time.Hour); got != 64 {
+		t.Fatalf("default AttemptsFor(huge) = %d, want the 64 cap", got)
+	}
+}
+
+func TestAttemptsForNeverOverspendsBudget(t *testing.T) {
+	// Sleeping exactly AttemptsFor(budget) un-jittered delays never exceeds
+	// the budget, for a spread of budgets.
+	for _, budget := range []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	} {
+		b := Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+		n := b.AttemptsFor(budget)
+		var total time.Duration
+		sleeper := Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+		for i := 0; i < n; i++ {
+			total += sleeper.Next()
+		}
+		if total > budget {
+			t.Fatalf("budget %v: %d delays sum to %v", budget, n, total)
+		}
+	}
+}

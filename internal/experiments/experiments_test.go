@@ -742,3 +742,65 @@ func TestExt8LiveServing(t *testing.T) {
 		}
 	}
 }
+
+func TestExt9SelfHealing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live chaos serving run")
+	}
+	res, err := Ext9(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Ext9Row{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+		if row.Sent == 0 {
+			t.Fatalf("%s: no load sent", row.Scenario)
+		}
+	}
+	clean := byName["clean"]
+	if clean.BreakerOpens != 0 || clean.Availability < 0.99 {
+		t.Errorf("clean run not clean: %+v", clean)
+	}
+	// At rho 0.7 the equilibrium loads every machine; a fault grid over a
+	// backend nobody routes to would be vacuous.
+	if clean.FaultyShare < 0.05 {
+		t.Errorf("faulty backend carries %v of the clean traffic — grid is vacuous", clean.FaultyShare)
+	}
+	// 5% errors sit below every breaker threshold; the retry path absorbs
+	// nearly all of them.
+	if small := byName["errors 5%"]; small.Availability < 0.97 {
+		t.Errorf("5%% injected errors leaked through: %+v", small)
+	}
+	// 50% errors trip the breaker and the survivors carry the load.
+	heavy := byName["errors 50%"]
+	if heavy.BreakerOpens == 0 || heavy.Reequilibrations == 0 {
+		t.Errorf("50%% injected errors never tripped the breaker: %+v", heavy)
+	}
+	crash := byName["crash+recover"]
+	if crash.BreakerOpens == 0 || crash.Reequilibrations < 2 {
+		t.Errorf("crash scenario missed trip or re-equilibration: %+v", crash)
+	}
+	if crash.Availability < 0.9 {
+		t.Errorf("crash availability %v", crash.Availability)
+	}
+	if res.Table().Rows() != 4 {
+		t.Error("table mismatch")
+	}
+
+	data, err := ServeBenchJSON(nil, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": 2`, `"ext9_self_healing"`, `"crash+recover"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench json missing %s", want)
+		}
+	}
+	if strings.Contains(string(data), "ext8_live_serving") {
+		t.Error("nil ext8 result serialized anyway")
+	}
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/report"
+	"nashlb/internal/serve"
+)
+
+// ---------------------------------------------------------------------------
+// EXT9 — self-healing serving: availability under injected HTTP faults
+// ---------------------------------------------------------------------------
+
+// The EXT9 system trades the EXT8 scale for speed: mean services of 25-100ms
+// keep queues reactive inside a short wall-clock window while the offered
+// ~31 req/s stays light on a small machine. One backend (the slowest) sits
+// behind a ChaosProxy that injects the scenario's faults; the gateway runs
+// with the full health layer — probes, breakers, survivor re-equilibration,
+// degraded-mode shedding — and the loadgen measures what clients see.
+// Utilization sits at rho = 0.7 so the Nash equilibrium loads every machine
+// (at light load it would leave the slowest idle and the fault grid would be
+// vacuous) while the survivor pair still has the capacity to absorb a crash.
+var (
+	ext9Rates    = []float64{20, 30, 40}
+	ext9Arrivals = []float64{37.8, 25.2} // rho = 0.7
+)
+
+// ext9FaultIdx is the backend fronted by the chaos proxy.
+const ext9FaultIdx = 0
+
+// Ext9Row is one fault scenario's client-visible outcome.
+type Ext9Row struct {
+	// Scenario names the injected fault pattern.
+	Scenario string
+	// Sent, OK, Shed and Failed count post-warmup requests: everything
+	// issued, 200s, degraded-mode 503s (Retry-After), and hard failures
+	// (transport errors, 5xx).
+	Sent   int64
+	OK     int64
+	Shed   int64
+	Failed int64
+	// Availability is OK / Sent.
+	Availability float64
+	// MeanSeconds is the mean response time of OK requests.
+	MeanSeconds float64
+	// BreakerOpens and Reequilibrations count breaker trips and
+	// health-driven routing installs over the window.
+	BreakerOpens     int64
+	Reequilibrations int64
+	// FaultyShare is the fraction of served requests the faulty backend
+	// carried (the routing answer to the fault).
+	FaultyShare float64
+}
+
+// Ext9Result is the self-healing fault grid over the live gateway.
+type Ext9Result struct {
+	Rates    []float64
+	Arrivals []float64
+	// Predicted is the fault-free closed-form D(s) at the Nash profile.
+	Predicted float64
+	// WindowSeconds is each scenario's measured window.
+	WindowSeconds float64
+	Rows          []Ext9Row
+}
+
+// ext9Scenario describes one grid cell: the chaos schedule installed on the
+// faulty backend's proxy for the whole window.
+type ext9Scenario struct {
+	name     string
+	schedule func(win time.Duration) []serve.ChaosPhase
+}
+
+// Ext9 measures client-visible availability and response times while the
+// self-healing gateway rides out injected HTTP faults on one backend:
+// a clean baseline, a 5% error rate (below every breaker threshold — the
+// retry path's territory), a 50% error rate (the error-rate window trips
+// the breaker), and a mid-window crash with recovery (trip, survivor
+// re-equilibration, ramped re-admission). Each scenario replays the same
+// seeded load schedule, so rows differ only by the injected faults.
+func Ext9(seed uint64, quick bool) (*Ext9Result, error) {
+	sys, err := game.NewSystem(ext9Rates, ext9Arrivals)
+	if err != nil {
+		return nil, err
+	}
+	solved, err := core.Solve(sys, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !solved.Converged {
+		return nil, fmt.Errorf("ext9: NASH did not converge in %d rounds", solved.Rounds)
+	}
+	profile := solved.Profile
+
+	win := 12 * time.Second
+	if quick {
+		win = 4 * time.Second
+	}
+	scenarios := []ext9Scenario{
+		{name: "clean", schedule: func(time.Duration) []serve.ChaosPhase { return nil }},
+		{name: "errors 5%", schedule: func(time.Duration) []serve.ChaosPhase {
+			return []serve.ChaosPhase{{ErrorRate: 0.05}}
+		}},
+		{name: "errors 50%", schedule: func(time.Duration) []serve.ChaosPhase {
+			return []serve.ChaosPhase{{ErrorRate: 0.5}}
+		}},
+		{name: "crash+recover", schedule: func(w time.Duration) []serve.ChaosPhase {
+			return []serve.ChaosPhase{
+				{Start: 0},
+				{Start: w / 4, Down: true},
+				{Start: w * 6 / 10},
+			}
+		}},
+	}
+
+	res := &Ext9Result{
+		Rates:         append([]float64(nil), ext9Rates...),
+		Arrivals:      append([]float64(nil), ext9Arrivals...),
+		Predicted:     sys.OverallResponseTime(profile),
+		WindowSeconds: win.Seconds(),
+	}
+	for _, sc := range scenarios {
+		row, err := ext9Run(sc, profile, seed, win)
+		if err != nil {
+			return nil, fmt.Errorf("ext9 %s: %w", sc.name, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// ext9Run measures one scenario: backends up, chaos proxy on the faulty
+// one, self-healing gateway, seeded open-loop load.
+func ext9Run(sc ext9Scenario, profile game.Profile, seed uint64, win time.Duration) (*Ext9Row, error) {
+	n := len(ext9Rates)
+	backends := make([]*serve.Backend, n)
+	urls := make([]string, n)
+	defer func() {
+		for _, b := range backends {
+			if b != nil {
+				b.Close()
+			}
+		}
+	}()
+	for j, mu := range ext9Rates {
+		b, err := serve.NewBackend(serve.BackendConfig{Rate: mu, Seed: seed + uint64(9000+j)})
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Start(); err != nil {
+			return nil, err
+		}
+		backends[j] = b
+		urls[j] = b.URL()
+	}
+	proxy, err := serve.NewChaosProxy(serve.ChaosProxyConfig{
+		Target:   urls[ext9FaultIdx],
+		Seed:     seed + 99,
+		Schedule: sc.schedule(win),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := proxy.Start(); err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	urls[ext9FaultIdx] = proxy.URL()
+
+	g, err := serve.NewGateway(serve.GatewayConfig{
+		Backends:     urls,
+		Rates:        ext9Rates,
+		Arrivals:     ext9Arrivals,
+		Profile:      profile,
+		Seed:         seed,
+		Timeout:      2 * time.Second,
+		ProbeEvery:   100 * time.Millisecond,
+		ProbeTimeout: 300 * time.Millisecond,
+		Breaker:      serve.BreakerConfig{Failures: 3, Cooldown: 500 * time.Millisecond},
+		RampSteps:    3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Start(); err != nil {
+		return nil, err
+	}
+	defer g.Close()
+
+	load, err := serve.RunLoad(serve.LoadConfig{
+		Target:   g.URL(),
+		Arrivals: ext9Arrivals,
+		Duration: win,
+		Warmup:   win / 8,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	row := &Ext9Row{Scenario: sc.name, MeanSeconds: load.Mean}
+	for i := range load.Sent {
+		row.Sent += load.Sent[i]
+		row.OK += load.OK[i]
+		row.Shed += load.Shed[i]
+		row.Failed += load.Failed[i]
+	}
+	if row.Sent > 0 {
+		row.Availability = float64(row.OK) / float64(row.Sent)
+	}
+	snap := g.Metrics()
+	row.BreakerOpens = snap.BreakerOpens
+	row.Reequilibrations = snap.Reequilibrations
+	var served int64
+	for _, c := range snap.BackendRequests {
+		served += c
+	}
+	if served > 0 {
+		row.FaultyShare = float64(snap.BackendRequests[ext9FaultIdx]) / float64(served)
+	}
+	return row, nil
+}
+
+// Table renders the fault grid.
+func (r *Ext9Result) Table() *report.Table {
+	t := report.NewTable(fmt.Sprintf(
+		"EXT9 — self-healing gateway under injected faults (backend %d faulty, %gs windows, clean D=%ss)",
+		ext9FaultIdx, r.WindowSeconds, report.F(r.Predicted, 4)),
+		"scenario", "sent", "ok", "shed", "failed", "availability",
+		"mean D (s)", "opens", "reequils", "faulty share")
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Scenario,
+			fmt.Sprintf("%d", row.Sent),
+			fmt.Sprintf("%d", row.OK),
+			fmt.Sprintf("%d", row.Shed),
+			fmt.Sprintf("%d", row.Failed),
+			report.F(row.Availability, 4),
+			report.F(row.MeanSeconds, 5),
+			fmt.Sprintf("%d", row.BreakerOpens),
+			fmt.Sprintf("%d", row.Reequilibrations),
+			report.F(row.FaultyShare, 4),
+		)
+	}
+	return t
+}
+
+// ext9Bench is the machine-readable shape of an EXT9 run.
+type ext9Bench struct {
+	Experiment    string      `json:"experiment"`
+	Rates         []float64   `json:"rates"`
+	Arrivals      []float64   `json:"arrivals"`
+	Predicted     float64     `json:"predicted_seconds"`
+	WindowSeconds float64     `json:"window_seconds"`
+	Scenarios     []ext9Entry `json:"scenarios"`
+}
+
+type ext9Entry struct {
+	Scenario         string  `json:"scenario"`
+	Sent             int64   `json:"sent"`
+	OK               int64   `json:"ok"`
+	Shed             int64   `json:"shed"`
+	Failed           int64   `json:"failed"`
+	Availability     float64 `json:"availability"`
+	MeanSeconds      float64 `json:"mean_seconds"`
+	BreakerOpens     int64   `json:"breaker_opens"`
+	Reequilibrations int64   `json:"reequilibrations"`
+	FaultyShare      float64 `json:"faulty_share"`
+}
+
+func (r *Ext9Result) bench() ext9Bench {
+	out := ext9Bench{
+		Experiment:    "ext9_self_healing",
+		Rates:         r.Rates,
+		Arrivals:      r.Arrivals,
+		Predicted:     r.Predicted,
+		WindowSeconds: r.WindowSeconds,
+	}
+	for _, row := range r.Rows {
+		out.Scenarios = append(out.Scenarios, ext9Entry{
+			Scenario:         row.Scenario,
+			Sent:             row.Sent,
+			OK:               row.OK,
+			Shed:             row.Shed,
+			Failed:           row.Failed,
+			Availability:     row.Availability,
+			MeanSeconds:      row.MeanSeconds,
+			BreakerOpens:     row.BreakerOpens,
+			Reequilibrations: row.Reequilibrations,
+			FaultyShare:      row.FaultyShare,
+		})
+	}
+	return out
+}
+
+// ServeBenchJSON combines the EXT8 and EXT9 results into the
+// BENCH_serve.json document (schema 2: one key per serving experiment).
+// Either result may be nil; its key is then omitted.
+func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result) ([]byte, error) {
+	doc := struct {
+		Schema int        `json:"schema"`
+		Ext8   *ext8Bench `json:"ext8_live_serving,omitempty"`
+		Ext9   *ext9Bench `json:"ext9_self_healing,omitempty"`
+	}{Schema: 2}
+	if ext8 != nil {
+		b := ext8.bench()
+		doc.Ext8 = &b
+	}
+	if ext9 != nil {
+		b := ext9.bench()
+		doc.Ext9 = &b
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -331,8 +331,14 @@ type ext8Entry struct {
 	Split       []float64 `json:"split"`
 }
 
-// BenchJSON serializes the run for machine consumption (BENCH_serve.json).
+// BenchJSON serializes the run for machine consumption. For the combined
+// BENCH_serve.json document see ServeBenchJSON.
 func (r *Ext8Result) BenchJSON() ([]byte, error) {
+	out := r.bench()
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func (r *Ext8Result) bench() ext8Bench {
 	out := ext8Bench{
 		Experiment:  "ext8_live_serving",
 		Rates:       r.Rates,
@@ -352,5 +358,5 @@ func (r *Ext8Result) BenchJSON() ([]byte, error) {
 			Split:       row.Split,
 		})
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
 }

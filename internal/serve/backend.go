@@ -96,6 +96,7 @@ func (b *Backend) Start() error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/work", b.handleWork)
 	mux.HandleFunc("/queue", b.handleQueue)
+	mux.HandleFunc("/healthz", b.handleHealthz)
 	b.srv = &http.Server{Handler: mux}
 
 	b.wg.Add(1)
@@ -157,6 +158,20 @@ func (b *Backend) handleQueue(w http.ResponseWriter, r *http.Request) {
 		Served:   b.served.Load(),
 		Rejected: b.rejected.Load(),
 	})
+}
+
+// handleHealthz answers the gateway's liveness probe. It deliberately does
+// not consult queue depth: a full queue means "busy", not "down", and the
+// probe must stay cheap — it bypasses the FCFS queue entirely.
+func (b *Backend) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	closing := b.closing
+	b.mu.Unlock()
+	if closing {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // QueueStatus is the wire form of a backend's /queue report.

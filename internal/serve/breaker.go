@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position: Closed (traffic flows),
+// Open (the backend is cut off), or HalfOpen (a single trial probe is in
+// flight deciding between the two).
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes one backend's circuit breaker.
+type BreakerConfig struct {
+	// Failures opens the breaker after this many consecutive failures
+	// (default 3).
+	Failures int
+	// ErrorRate opens the breaker when the failure fraction over the last
+	// Window outcomes reaches this level even without a consecutive run —
+	// the guard against a backend that fails every other request (default
+	// 0.5; set >= 1 to disable).
+	ErrorRate float64
+	// Window is the rolling outcome window for ErrorRate (default 20); the
+	// rate only trips once the window has filled, so a single early failure
+	// cannot open a fresh breaker.
+	Window int
+	// Cooldown is how long an open breaker blocks before it grants a
+	// half-open trial (default 1s).
+	Cooldown time.Duration
+
+	now func() time.Time // injectable clock for tests
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.ErrorRate <= 0 {
+		c.ErrorRate = 0.5
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// breaker is a three-state circuit breaker fed by both passive signals
+// (forward outcomes) and active health probes. State machine:
+//
+//	closed    --[Failures consecutive fails, or ErrorRate over Window]--> open
+//	open      --[Cooldown elapsed, Trial granted]--> half-open
+//	half-open --[trial ok]--> closed, --[trial fails]--> open (fresh cooldown)
+//
+// It is safe for concurrent use.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int    // consecutive failures while closed
+	window      []bool // rolling outcome ring, true = failure
+	wi, wn      int
+	openedAt    time.Time
+	opens       int64 // closed/half-open -> open transitions
+	lastErr     string
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// Report folds one outcome (request or probe) into the breaker and returns
+// whether the state changed. The optional errText annotates the /backends
+// debug view.
+func (b *breaker) Report(ok bool, errText string) (changed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !ok && errText != "" {
+		b.lastErr = errText
+	}
+	switch b.state {
+	case BreakerOpen:
+		// Late results from requests dispatched before the trip carry no
+		// new information; the half-open trial decides recovery.
+		return false
+	case BreakerHalfOpen:
+		if ok {
+			b.toClosedLocked()
+		} else {
+			b.toOpenLocked()
+		}
+		return true
+	}
+	// Closed: roll the window and the consecutive-failure run.
+	b.window[b.wi] = !ok
+	b.wi = (b.wi + 1) % len(b.window)
+	if b.wn < len(b.window) {
+		b.wn++
+	}
+	if ok {
+		b.consecutive = 0
+		return false
+	}
+	b.consecutive++
+	if b.consecutive >= b.cfg.Failures || b.rateTrippedLocked() {
+		b.toOpenLocked()
+		return true
+	}
+	return false
+}
+
+func (b *breaker) rateTrippedLocked() bool {
+	if b.wn < len(b.window) {
+		return false // window not yet filled
+	}
+	fails := 0
+	for _, f := range b.window {
+		if f {
+			fails++
+		}
+	}
+	return float64(fails) >= b.cfg.ErrorRate*float64(len(b.window))
+}
+
+func (b *breaker) toOpenLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.now()
+	b.opens++
+}
+
+func (b *breaker) toClosedLocked() {
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.wn, b.wi = 0, 0
+	b.lastErr = ""
+}
+
+// Trial reports whether an open breaker's cooldown has elapsed and, if so,
+// moves it to half-open and grants the caller the single trial request.
+// Concurrent callers race for the grant; exactly one wins per cooldown.
+func (b *breaker) Trial() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen || b.cfg.now().Sub(b.openedAt) < b.cfg.Cooldown {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// Allow reports whether regular traffic may be routed to the backend:
+// closed yes, open no, half-open no (the trial request is granted
+// explicitly via Trial, everything else waits for its verdict).
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// State returns the current position.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerSnapshot is the debug view of one breaker for /backends.
+type breakerSnapshot struct {
+	State       BreakerState
+	Consecutive int
+	ErrorRate   float64 // failure fraction over the (possibly partial) window
+	Opens       int64
+	LastErr     string
+}
+
+func (b *breaker) snapshot() breakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fails := 0
+	for i := 0; i < b.wn; i++ {
+		if b.window[i] {
+			fails++
+		}
+	}
+	rate := 0.0
+	if b.wn > 0 {
+		rate = float64(fails) / float64(b.wn)
+	}
+	return breakerSnapshot{
+		State:       b.state,
+		Consecutive: b.consecutive,
+		ErrorRate:   rate,
+		Opens:       b.opens,
+		LastErr:     b.lastErr,
+	}
+}

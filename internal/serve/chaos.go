@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"nashlb/internal/rng"
+)
+
+// ChaosPhase is one segment of a ChaosProxy's fault schedule. Phases are
+// sorted by Start (offset from proxy Start); the last phase whose Start has
+// passed is active. The zero phase is perfectly healthy pass-through.
+type ChaosPhase struct {
+	// Start is when this phase begins, measured from ChaosProxy.Start.
+	Start time.Duration
+	// ErrorRate is the probability an incoming request is answered with an
+	// injected 500 instead of being proxied (seeded draw, reproducible).
+	ErrorRate float64
+	// Delay is added before proxying each request (tail-latency injection).
+	Delay time.Duration
+	// Blackhole holds every request open without answering until the client
+	// gives up — the "accepts connections but never answers" failure.
+	Blackhole bool
+	// Down kills each connection abruptly (no HTTP answer at all) — the
+	// closest a live listener gets to a crashed process.
+	Down bool
+}
+
+// ChaosProxyConfig describes an HTTP fault-injection proxy.
+type ChaosProxyConfig struct {
+	// Target is the base URL of the real backend being fronted.
+	Target string
+	// Seed roots the injection stream: the same seed and request order
+	// reproduce the same fault pattern exactly.
+	Seed uint64
+	// Schedule holds the fault phases in Start order. Empty means healthy
+	// forever (a plain proxy).
+	Schedule []ChaosPhase
+	// Addr is the listen address ("127.0.0.1:0" when empty).
+	Addr string
+}
+
+// ChaosProxy sits between the gateway and one backend and injects faults on
+// a deterministic schedule: injected 5xx answers, added delay, black holes,
+// and hard connection drops. It is the serving-layer analogue of the
+// dist-layer chaos transport — HTTP faults instead of message faults — and
+// is what the self-healing e2e tests drive: every fault the health layer
+// must survive can be scripted, seeded, and replayed.
+type ChaosProxy struct {
+	cfg ChaosProxyConfig
+
+	ln    net.Listener
+	srv   *http.Server
+	wg    sync.WaitGroup
+	start time.Time
+
+	mu     sync.Mutex
+	stream *rng.Stream
+
+	injected  int64 // injected 500s
+	dropped   int64 // connections killed (Down)
+	blackhole int64 // requests held (Blackhole)
+	proxied   int64 // requests passed through
+
+	client *http.Client
+}
+
+// NewChaosProxy validates the configuration and returns an unstarted proxy.
+func NewChaosProxy(cfg ChaosProxyConfig) (*ChaosProxy, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("serve: chaos proxy needs a target")
+	}
+	for i, ph := range cfg.Schedule {
+		if ph.ErrorRate < 0 || ph.ErrorRate > 1 {
+			return nil, fmt.Errorf("serve: chaos phase %d: error rate %g outside [0,1]", i, ph.ErrorRate)
+		}
+		if i > 0 && ph.Start < cfg.Schedule[i-1].Start {
+			return nil, fmt.Errorf("serve: chaos phase %d starts before phase %d", i, i-1)
+		}
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	return &ChaosProxy{
+		cfg:    cfg,
+		stream: rng.NewSource(cfg.Seed).Stream("chaos/http"),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}, nil
+}
+
+// Start binds the listener and begins proxying. The schedule clock starts
+// now.
+func (p *ChaosProxy) Start() error {
+	if p.ln != nil {
+		return errors.New("serve: chaos proxy already started")
+	}
+	ln, err := net.Listen("tcp", p.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: chaos proxy listen: %w", err)
+	}
+	p.ln = ln
+	p.start = time.Now()
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.handle)}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_ = p.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound address (empty before Start).
+func (p *ChaosProxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// URL returns the proxy's base URL — what the gateway should be pointed at.
+func (p *ChaosProxy) URL() string {
+	if p.ln == nil {
+		return ""
+	}
+	return "http://" + p.Addr()
+}
+
+// Counts reports the proxy's tallies: injected 500s, killed connections,
+// black-holed requests, and clean pass-throughs.
+func (p *ChaosProxy) Counts() (injected, dropped, blackholed, proxied int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected, p.dropped, p.blackhole, p.proxied
+}
+
+// phase returns the active schedule entry (zero value when none started).
+func (p *ChaosProxy) phase() ChaosPhase {
+	elapsed := time.Since(p.start)
+	var active ChaosPhase
+	for _, ph := range p.cfg.Schedule {
+		if ph.Start <= elapsed {
+			active = ph
+		} else {
+			break
+		}
+	}
+	return active
+}
+
+func (p *ChaosProxy) handle(w http.ResponseWriter, r *http.Request) {
+	ph := p.phase()
+	switch {
+	case ph.Down:
+		p.mu.Lock()
+		p.dropped++
+		p.mu.Unlock()
+		// Kill the connection without an HTTP answer: the client sees a
+		// transport error, exactly like a crashed process.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	case ph.Blackhole:
+		p.mu.Lock()
+		p.blackhole++
+		p.mu.Unlock()
+		<-r.Context().Done() // hold until the client gives up
+		return
+	}
+	if ph.ErrorRate > 0 {
+		p.mu.Lock()
+		inject := p.stream.Float64() < ph.ErrorRate
+		if inject {
+			p.injected++
+		}
+		p.mu.Unlock()
+		if inject {
+			http.Error(w, "chaos: injected failure", http.StatusInternalServerError)
+			return
+		}
+	}
+	if ph.Delay > 0 {
+		select {
+		case <-time.After(ph.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.cfg.Target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("chaos proxy upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	p.mu.Lock()
+	p.proxied++
+	p.mu.Unlock()
+}
+
+// Close stops the proxy.
+func (p *ChaosProxy) Close() error {
+	if p.srv == nil {
+		return nil
+	}
+	err := p.srv.Close() // abrupt: black-holed requests must not block Shutdown
+	p.wg.Wait()
+	p.client.CloseIdleConnections()
+	p.srv = nil
+	return err
+}
+
+// Crasher wraps a Backend so it can be killed and revived at a fixed
+// address — process-death chaos for the self-healing tests. After Crash the
+// port refuses connections entirely; Restart brings a fresh backend (same
+// config, same address, empty queue) back up, like a supervisor restarting
+// a crashed worker.
+type Crasher struct {
+	cfg BackendConfig
+
+	mu sync.Mutex
+	b  *Backend
+}
+
+// NewCrasher starts the backend and pins its concrete address so restarts
+// land on the same port.
+func NewCrasher(cfg BackendConfig) (*Crasher, error) {
+	b, err := NewBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Start(); err != nil {
+		return nil, err
+	}
+	cfg.Addr = b.Addr()
+	return &Crasher{cfg: cfg, b: b}, nil
+}
+
+// URL returns the fixed base URL (stable across crash/restart cycles).
+func (c *Crasher) URL() string { return "http://" + c.cfg.Addr }
+
+// Backend returns the live backend, or nil while crashed.
+func (c *Crasher) Backend() *Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b
+}
+
+// Crash kills the backend; the address goes dark until Restart.
+func (c *Crasher) Crash() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.b == nil {
+		return nil
+	}
+	err := c.b.Close()
+	c.b = nil
+	return err
+}
+
+// Restart revives the backend on the original address with a fresh queue.
+func (c *Crasher) Restart() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.b != nil {
+		return nil
+	}
+	b, err := NewBackend(c.cfg)
+	if err != nil {
+		return err
+	}
+	if err := b.Start(); err != nil {
+		return err
+	}
+	c.b = b
+	return nil
+}
+
+// ScheduleOutage crashes the backend after crashAfter and restarts it
+// downFor later, from a background goroutine. The returned channel closes
+// once the restart has completed (or an attempt failed), so tests can
+// synchronize on the recovery edge.
+func (c *Crasher) ScheduleOutage(crashAfter, downFor time.Duration) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(crashAfter)
+		_ = c.Crash()
+		time.Sleep(downFor)
+		_ = c.Restart()
+	}()
+	return done
+}
+
+// Close tears the crasher down for good.
+func (c *Crasher) Close() error {
+	return c.Crash()
+}

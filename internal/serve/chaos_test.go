@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"nashlb/internal/testutil"
+)
+
+// chaosGet issues one GET and returns (status, transport error).
+func chaosGet(t *testing.T, client *http.Client, url string) (int, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func startChaos(t *testing.T, cfg ChaosProxyConfig) *ChaosProxy {
+	t.Helper()
+	p, err := NewChaosProxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func startBackend(t *testing.T, cfg BackendConfig) *Backend {
+	t.Helper()
+	b, err := NewBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestChaosProxyPassThrough(t *testing.T) {
+	b := startBackend(t, BackendConfig{Rate: 500, Seed: 1})
+	p := startChaos(t, ChaosProxyConfig{Target: b.URL(), Seed: 2})
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for k := 0; k < 3; k++ {
+		if status, err := chaosGet(t, client, p.URL()+"/work"); err != nil || status != http.StatusOK {
+			t.Fatalf("healthy pass-through %d: status %d, err %v", k, status, err)
+		}
+	}
+	if status, err := chaosGet(t, client, p.URL()+"/healthz"); err != nil || status != http.StatusOK {
+		t.Fatalf("healthz pass-through: status %d, err %v", status, err)
+	}
+	injected, dropped, blackholed, proxied := p.Counts()
+	if injected != 0 || dropped != 0 || blackholed != 0 || proxied != 4 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 0/0/0/4", injected, dropped, blackholed, proxied)
+	}
+	if b.Served() != 3 {
+		t.Fatalf("backend served %d, want 3", b.Served())
+	}
+}
+
+func TestChaosProxyErrorInjection(t *testing.T) {
+	b := startBackend(t, BackendConfig{Rate: 500, Seed: 1})
+	p := startChaos(t, ChaosProxyConfig{
+		Target:   b.URL(),
+		Seed:     3,
+		Schedule: []ChaosPhase{{ErrorRate: 1}},
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	for k := 0; k < 5; k++ {
+		status, err := chaosGet(t, client, p.URL()+"/work")
+		if err != nil || status != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d err %v, want injected 500", k, status, err)
+		}
+	}
+	if injected, _, _, proxied := p.Counts(); injected != 5 || proxied != 0 {
+		t.Fatalf("injected %d proxied %d, want 5/0", injected, proxied)
+	}
+	if b.Served() != 0 {
+		t.Fatal("injected failures must not reach the backend")
+	}
+}
+
+// TestChaosProxyDeterministicInjection replays the same seed against the
+// same request sequence on two independent proxies and requires an
+// identical injection pattern — the property the self-healing e2e runs rely
+// on for reproducibility.
+func TestChaosProxyDeterministicInjection(t *testing.T) {
+	const reqs = 60
+	pattern := func(seed uint64) []bool {
+		b := startBackend(t, BackendConfig{Rate: 2000, Seed: 9})
+		p := startChaos(t, ChaosProxyConfig{
+			Target:   b.URL(),
+			Seed:     seed,
+			Schedule: []ChaosPhase{{ErrorRate: 0.3}},
+		})
+		client := &http.Client{Timeout: 5 * time.Second}
+		out := make([]bool, reqs)
+		for k := 0; k < reqs; k++ {
+			status, err := chaosGet(t, client, p.URL()+"/work")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[k] = status == http.StatusInternalServerError
+		}
+		return out
+	}
+	a, b := pattern(77), pattern(77)
+	injections := 0
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("request %d: run A injected=%v, run B injected=%v", k, a[k], b[k])
+		}
+		if a[k] {
+			injections++
+		}
+	}
+	if injections == 0 || injections == reqs {
+		t.Fatalf("degenerate injection pattern: %d/%d", injections, reqs)
+	}
+	c := pattern(78)
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical injection patterns")
+	}
+}
+
+func TestChaosProxyDown(t *testing.T) {
+	b := startBackend(t, BackendConfig{Rate: 500, Seed: 1})
+	p := startChaos(t, ChaosProxyConfig{
+		Target:   b.URL(),
+		Seed:     4,
+		Schedule: []ChaosPhase{{Down: true}},
+	})
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := chaosGet(t, client, p.URL()+"/work"); err == nil {
+		t.Fatal("down phase answered instead of killing the connection")
+	}
+	if _, dropped, _, _ := p.Counts(); dropped == 0 {
+		t.Fatal("no dropped connections counted")
+	}
+}
+
+func TestChaosProxyBlackhole(t *testing.T) {
+	b := startBackend(t, BackendConfig{Rate: 500, Seed: 1})
+	p := startChaos(t, ChaosProxyConfig{
+		Target:   b.URL(),
+		Seed:     5,
+		Schedule: []ChaosPhase{{Blackhole: true}},
+	})
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	start := time.Now()
+	if _, err := chaosGet(t, client, p.URL()+"/work"); err == nil {
+		t.Fatal("black-holed request returned an answer")
+	}
+	if waited := time.Since(start); waited < 150*time.Millisecond {
+		t.Fatalf("client gave up after %v; black hole should hold until the deadline", waited)
+	}
+	if _, _, blackholed, _ := p.Counts(); blackholed == 0 {
+		t.Fatal("no black-holed requests counted")
+	}
+}
+
+func TestChaosProxySchedulePhases(t *testing.T) {
+	b := startBackend(t, BackendConfig{Rate: 500, Seed: 1})
+	p := startChaos(t, ChaosProxyConfig{
+		Target: b.URL(),
+		Seed:   6,
+		Schedule: []ChaosPhase{
+			{Start: 0},
+			{Start: 150 * time.Millisecond, ErrorRate: 1},
+		},
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	if status, err := chaosGet(t, client, p.URL()+"/work"); err != nil || status != http.StatusOK {
+		t.Fatalf("phase 0: status %d err %v, want healthy 200", status, err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if status, err := chaosGet(t, client, p.URL()+"/work"); err != nil || status != http.StatusInternalServerError {
+		t.Fatalf("phase 1: status %d err %v, want injected 500", status, err)
+	}
+}
+
+func TestChaosProxyRejectsBadSchedule(t *testing.T) {
+	if _, err := NewChaosProxy(ChaosProxyConfig{Target: "http://x", Schedule: []ChaosPhase{{ErrorRate: 1.5}}}); err == nil {
+		t.Fatal("error rate beyond 1 accepted")
+	}
+	if _, err := NewChaosProxy(ChaosProxyConfig{
+		Target: "http://x",
+		Schedule: []ChaosPhase{
+			{Start: time.Second},
+			{Start: 0},
+		},
+	}); err == nil {
+		t.Fatal("out-of-order schedule accepted")
+	}
+	if _, err := NewChaosProxy(ChaosProxyConfig{}); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestCrasherKillsAndRevives(t *testing.T) {
+	c, err := NewCrasher(BackendConfig{Rate: 500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	url := c.URL()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	if status, err := chaosGet(t, client, url+"/work"); err != nil || status != http.StatusOK {
+		t.Fatalf("pre-crash: status %d err %v", status, err)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend() != nil {
+		t.Fatal("Backend() not nil while crashed")
+	}
+	if _, err := chaosGet(t, client, url+"/work"); err == nil {
+		t.Fatal("crashed backend still answering")
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	// Same URL, fresh backend.
+	testutil.WaitFor(t, 2*time.Second, "restarted backend never answered", func() bool {
+		status, err := chaosGet(t, client, url+"/work")
+		return err == nil && status == http.StatusOK
+	})
+	if c.Backend() == nil || c.Backend().Served() == 0 {
+		t.Fatal("restarted backend has no served work")
+	}
+}
+
+func TestCrasherScheduleOutage(t *testing.T) {
+	c, err := NewCrasher(BackendConfig{Rate: 500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	client := &http.Client{Timeout: time.Second}
+
+	done := c.ScheduleOutage(50*time.Millisecond, 100*time.Millisecond)
+	testutil.WaitFor(t, 2*time.Second, "backend never crashed", func() bool {
+		_, err := chaosGet(t, client, c.URL()+"/healthz")
+		return err != nil
+	})
+	<-done
+	if status, err := chaosGet(t, client, c.URL()+"/healthz"); err != nil || status != http.StatusOK {
+		t.Fatalf("post-outage: status %d err %v", status, err)
+	}
+}

@@ -261,8 +261,14 @@ func TestEndToEndRebalancing(t *testing.T) {
 	sort.Float64s(tail)
 	med := tail[len(tail)/2]
 	// Require the settled median to close at least a quarter of the
-	// start→equilibrium gap.
-	want := costPS - (costPS-costNash)/4
+	// start→equilibrium gap — a fifth under the race detector, whose
+	// instrumentation slows the poll/rebalance cadence enough that the loop
+	// lands fewer best responses inside the window.
+	closeBy := 4.0
+	if raceEnabled {
+		closeBy = 5.0
+	}
+	want := costPS - (costPS-costNash)/closeBy
 	if med > want {
 		t.Errorf("settled predicted cost %.4fs; want below %.4fs (start %.4fs, equilibrium %.4fs)",
 			med, want, costPS, costNash)

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nashlb/internal/core"
 	"nashlb/internal/dist"
 	"nashlb/internal/estimate"
 	"nashlb/internal/game"
@@ -57,12 +58,48 @@ type GatewayConfig struct {
 	// Timeout bounds each gateway→backend attempt (default 5s).
 	Timeout time.Duration
 	// Retries is the number of re-attempts after a transport failure
-	// (default 2); retry delays come from dist.Backoff.
+	// (default 2); retry delays come from dist.Backoff, and the count is
+	// additionally capped so the backoff sleeps fit one Timeout
+	// (dist.Backoff.AttemptsFor).
 	Retries int
 	// RetryBase and RetryMax shape the backoff schedule (defaults 2ms and
 	// 250ms, the dist defaults, when zero).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// RetryBudget caps retry amplification: every first attempt earns this
+	// many retry tokens and every retry spends one, so during an outage
+	// retries are bounded to this fraction of the request rate instead of
+	// multiplying the overload. Default 0.1; negative disables the budget
+	// (retries limited only by Retries).
+	RetryBudget float64
+	// HedgeAfter, when positive, fires a hedge request to the caller's
+	// second-best backend if the primary has not answered within this
+	// duration; the first successful answer wins. Tail-latency insurance —
+	// size it near the response-time p95 so only the slowest percentile
+	// pays the duplicate. Zero disables hedging.
+	HedgeAfter time.Duration
+
+	// ProbeEvery enables the backend health layer: every tick each backend
+	// is actively probed on /healthz, probe and request outcomes feed a
+	// per-backend circuit breaker, and breaker trips/recoveries re-solve
+	// the Nash game over the surviving machine set (degraded-mode load
+	// shedding included). Zero disables the layer entirely.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds each probe attempt (default min(ProbeEvery, 500ms)).
+	ProbeTimeout time.Duration
+	// Breaker parameterizes the per-backend circuit breakers (see
+	// BreakerConfig for the defaults).
+	Breaker BreakerConfig
+	// RampSteps is the number of health epochs over which a recovered
+	// backend's capacity is re-admitted (weight k/RampSteps per epoch,
+	// default 3) — full recovery therefore takes RampSteps re-equilibration
+	// epochs after the half-open trial succeeds.
+	RampSteps int
+	// DegradedRho is the utilization ceiling enforced by degraded-mode
+	// admission: when the offered load is infeasible for the surviving
+	// capacity, the gateway admits only DegradedRho × capacity requests/s
+	// and sheds the rest with 503 + Retry-After (default 0.9).
+	DegradedRho float64
 
 	// Addr is the listen address ("127.0.0.1:0" when empty).
 	Addr string
@@ -99,7 +136,10 @@ func newRouteTable(p game.Profile, n int) (*routeTable, error) {
 // Gateway is the serving gateway: it admits requests, routes each one to a
 // backend by weighted sampling over the current strategy profile, forwards
 // over HTTP with retries, and (optionally) re-equilibrates the profile from
-// polled queue depths while traffic flows.
+// polled queue depths while traffic flows. With the health layer enabled it
+// additionally circuit-breaks dead backends, re-solves the Nash game over
+// the survivors, sheds infeasible load, and folds recovered machines back
+// in on a capacity ramp.
 type Gateway struct {
 	cfg GatewayConfig
 
@@ -116,10 +156,18 @@ type Gateway struct {
 	smooth   []*estimate.Smoother
 	satur    atomic.Bool
 
-	ln   net.Listener
-	srv  *http.Server
-	quit chan struct{}
-	wg   sync.WaitGroup
+	health      *healthTracker
+	budget      *retryBudget
+	shed        atomic.Pointer[shedConfig]
+	healthKick  chan struct{}
+	lastWeights []float64 // healthLoop-owned: weights at the last install
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	ln     net.Listener
+	srv    *http.Server
+	quit   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // NewGateway validates the configuration and returns an unstarted gateway.
@@ -165,20 +213,42 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	} else if cfg.Retries == 0 {
 		cfg.Retries = 2
 	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 0.1
+	}
+	if cfg.ProbeEvery > 0 {
+		if cfg.ProbeTimeout <= 0 {
+			cfg.ProbeTimeout = 500 * time.Millisecond
+			if cfg.ProbeEvery < cfg.ProbeTimeout {
+				cfg.ProbeTimeout = cfg.ProbeEvery
+			}
+		}
+		if cfg.RampSteps < 1 {
+			cfg.RampSteps = 3
+		}
+	}
+	if cfg.DegradedRho <= 0 || cfg.DegradedRho >= 1 {
+		cfg.DegradedRho = 0.9
+	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
 	g := &Gateway{
-		cfg:     cfg,
-		sys:     sys,
-		userMu:  make([]sync.Mutex, m),
-		userRng: make([]*rng.Stream, m),
-		bucket:  NewTokenBucket(cfg.FillRate, cfg.Burst),
-		met:     newGatewayMetrics(n, m),
-		est:     estimate.RunQueue{Rates: append([]float64(nil), cfg.Rates...)},
-		smooth:  make([]*estimate.Smoother, n),
-		quit:    make(chan struct{}),
+		cfg:        cfg,
+		sys:        sys,
+		userMu:     make([]sync.Mutex, m),
+		userRng:    make([]*rng.Stream, m),
+		bucket:     NewTokenBucket(cfg.FillRate, cfg.Burst),
+		met:        newGatewayMetrics(n, m),
+		est:        estimate.RunQueue{Rates: append([]float64(nil), cfg.Rates...)},
+		smooth:     make([]*estimate.Smoother, n),
+		budget:     newRetryBudget(cfg.RetryBudget),
+		healthKick: make(chan struct{}, 1),
+		ctx:        ctx,
+		cancel:     cancel,
+		quit:       make(chan struct{}),
 		client: &http.Client{
 			Transport: &http.Transport{
 				MaxIdleConns:        4 * n * 64,
@@ -194,12 +264,14 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	for j := 0; j < n; j++ {
 		s, err := estimate.NewSmoother(cfg.Alpha)
 		if err != nil {
+			cancel()
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 		g.smooth[j] = s
 	}
 	table, err := newRouteTable(cfg.Profile, n)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	g.table.Store(table)
@@ -207,16 +279,24 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.PollEvery > 0 {
 		bal, err := online.New(cfg.Rates, cfg.Arrivals, cfg.Alpha)
 		if err != nil {
+			cancel()
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 		g.balancer = bal
 		g.policy = bal.Policy(cfg.PollEvery.Seconds(), cfg.UpdateEvery).Do
 	}
+	if cfg.ProbeEvery > 0 {
+		g.health = newHealthTracker(n, cfg.Breaker, cfg.RampSteps)
+		g.lastWeights = make([]float64, n)
+		for j := range g.lastWeights {
+			g.lastWeights[j] = 1
+		}
+	}
 	return g, nil
 }
 
 // Start binds the listener, serves HTTP, and launches the re-equilibration
-// loop when configured.
+// and health loops when configured.
 func (g *Gateway) Start() error {
 	if g.ln != nil {
 		return errors.New("serve: gateway already started")
@@ -231,6 +311,7 @@ func (g *Gateway) Start() error {
 	mux.HandleFunc("/submit", g.handleSubmit)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/routing", g.handleRouting)
+	mux.HandleFunc("/backends", g.handleBackends)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -245,6 +326,10 @@ func (g *Gateway) Start() error {
 	if g.cfg.PollEvery > 0 {
 		g.wg.Add(1)
 		go g.rebalanceLoop()
+	}
+	if g.health != nil {
+		g.wg.Add(1)
+		go g.healthLoop()
 	}
 	return nil
 }
@@ -270,19 +355,44 @@ func (g *Gateway) Profile() game.Profile {
 	return g.table.Load().profile.Clone()
 }
 
-// Metrics returns a consistent snapshot of the gateway's counters.
-func (g *Gateway) Metrics() *Snapshot { return g.met.snapshot() }
+// Metrics returns a consistent snapshot of the gateway's counters, extended
+// with the health layer's per-backend state when enabled.
+func (g *Gateway) Metrics() *Snapshot {
+	s := g.met.snapshot()
+	if g.health != nil {
+		s.BreakerStates = make([]string, len(g.health.brs))
+		for j, br := range g.health.brs {
+			s.BreakerStates[j] = br.State().String()
+		}
+		s.Weights = g.health.weights()
+	}
+	if sh := g.shed.Load(); sh != nil {
+		s.Degraded = true
+		s.AdmitFraction = sh.AdmitFrac
+	} else {
+		s.AdmitFraction = 1
+	}
+	return s
+}
 
 // Saturated reports whether the last estimation sweep put every backend at
 // or above its capacity (the reject-on-saturation condition).
 func (g *Gateway) Saturated() bool { return g.satur.Load() }
 
-// Close stops the re-equilibration loop and the HTTP server.
+// Degraded reports whether degraded-mode admission shedding is active.
+func (g *Gateway) Degraded() bool { return g.shed.Load() != nil }
+
+// Close stops the re-equilibration and health loops and the HTTP server.
+// The gateway context is cancelled first so an epoch in flight (a queue
+// poll, a health probe sweep) aborts promptly instead of holding Close for
+// a full backend timeout, and neither loop installs a routing table or
+// touches metrics once Close has returned.
 func (g *Gateway) Close() error {
 	if g.srv == nil {
 		return nil
 	}
 	close(g.quit)
+	g.cancel()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := g.srv.Shutdown(ctx)
@@ -293,6 +403,16 @@ func (g *Gateway) Close() error {
 	g.client.CloseIdleConnections()
 	g.srv = nil
 	return err
+}
+
+// closing reports whether Close has begun (loops must not install state).
+func (g *Gateway) closing() bool {
+	select {
+	case <-g.quit:
+		return true
+	default:
+		return false
+	}
 }
 
 // SubmitResponse is the wire form of a served request.
@@ -313,12 +433,20 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Admission: the token bucket shapes the accepted rate; the saturation
-	// flag refuses work when the estimated load leaves no backend with
-	// spare capacity (estimated rho_j >= 1 everywhere).
+	// Admission: the token bucket shapes the accepted rate; degraded-mode
+	// shedding caps the admitted rate at what the surviving capacity can
+	// feasibly carry; the saturation flag refuses work when the estimated
+	// load leaves no backend with spare capacity (estimated rho_j >= 1
+	// everywhere).
 	if !g.bucket.Allow() {
 		g.met.rejectedRate.Add(1)
 		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	if sh := g.shed.Load(); sh != nil && !sh.Allow() {
+		g.met.shed.Add(1)
+		w.Header().Set("Retry-After", sh.RetryAfter)
+		http.Error(w, "degraded: load shed", http.StatusServiceUnavailable)
 		return
 	}
 	if g.satur.Load() {
@@ -328,45 +456,167 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	g.met.admitted.Add(1)
 
-	// Route: weighted sample over s_ij via the user's alias sampler. The
-	// stream is per-user so the routing sequence is reproducible.
-	table := g.table.Load()
-	g.userMu[user].Lock()
-	backend := table.samplers[user].Pick(g.userRng[user])
-	g.userMu[user].Unlock()
-
-	start := time.Now()
-	status, body, err := g.forward(r.Context(), backend)
-	elapsed := time.Since(start)
-	switch {
-	case err != nil:
-		g.met.backendErrors[backend].Add(1)
-		http.Error(w, fmt.Sprintf("backend %d: %v", backend, err), http.StatusBadGateway)
-		return
-	case status == http.StatusServiceUnavailable:
-		g.met.backendRejects[backend].Add(1)
-		http.Error(w, fmt.Sprintf("backend %d queue full", backend), http.StatusServiceUnavailable)
-		return
-	case status != http.StatusOK:
-		g.met.backendErrors[backend].Add(1)
-		http.Error(w, fmt.Sprintf("backend %d status %d", backend, status), http.StatusBadGateway)
+	backend, ok := g.pickBackend(user)
+	if !ok {
+		g.met.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no live backend", http.StatusServiceUnavailable)
 		return
 	}
 
-	g.met.backendRequests[backend].Add(1)
+	start := time.Now()
+	res := g.dispatch(r.Context(), user, backend)
+	elapsed := time.Since(start)
+	switch {
+	case res.err != nil:
+		g.met.backendErrors[res.backend].Add(1)
+		http.Error(w, fmt.Sprintf("backend %d: %v", res.backend, res.err), http.StatusBadGateway)
+		return
+	case res.status == http.StatusServiceUnavailable:
+		g.met.backendRejects[res.backend].Add(1)
+		http.Error(w, fmt.Sprintf("backend %d queue full", res.backend), http.StatusServiceUnavailable)
+		return
+	case res.status != http.StatusOK:
+		g.met.backendErrors[res.backend].Add(1)
+		http.Error(w, fmt.Sprintf("backend %d status %d", res.backend, res.status), http.StatusBadGateway)
+		return
+	}
+
+	g.met.backendRequests[res.backend].Add(1)
 	g.met.observe(user, elapsed.Seconds())
 
 	var work struct {
 		ServiceSeconds float64 `json:"service_s"`
 	}
-	_ = json.Unmarshal(body, &work)
+	_ = json.Unmarshal(res.body, &work)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(SubmitResponse{
 		User:           user,
-		Backend:        backend,
+		Backend:        res.backend,
 		ServiceSeconds: work.ServiceSeconds,
 		ElapsedSeconds: elapsed.Seconds(),
 	})
+}
+
+// pickBackend samples the user's routing strategy and, when the health
+// layer is live, steers around tripped breakers: if the sampled backend is
+// cut off (a table swap is in flight), the request falls back to the user's
+// highest-weight live backend, then to the fastest live machine. The second
+// return value is false only when no backend is routable at all.
+func (g *Gateway) pickBackend(user int) (int, bool) {
+	table := g.table.Load()
+	g.userMu[user].Lock()
+	backend := table.samplers[user].Pick(g.userRng[user])
+	g.userMu[user].Unlock()
+	if g.health == nil || g.health.allow(backend) {
+		return backend, true
+	}
+	best, bw := -1, 0.0
+	for j, f := range table.profile[user] {
+		if g.health.allow(j) && f > bw {
+			best, bw = j, f
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	for j, mu := range g.cfg.Rates {
+		if g.health.allow(j) && (best < 0 || mu > g.cfg.Rates[best]) {
+			best = j
+		}
+	}
+	return best, best >= 0
+}
+
+// hedgeTarget returns the backend for a tail hedge: the caller's
+// second-preferred live machine by routed weight (falling back to the
+// fastest live machine), or -1 when there is no alternative.
+func (g *Gateway) hedgeTarget(user, primary int) int {
+	table := g.table.Load()
+	best, bw := -1, 0.0
+	for j, f := range table.profile[user] {
+		if j == primary || (g.health != nil && !g.health.allow(j)) {
+			continue
+		}
+		if f > bw {
+			best, bw = j, f
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for j, mu := range g.cfg.Rates {
+		if j == primary || (g.health != nil && !g.health.allow(j)) {
+			continue
+		}
+		if best < 0 || mu > g.cfg.Rates[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// fwdResult is one dispatch outcome, tagged with the backend that produced
+// it (with hedging, not necessarily the sampled primary).
+type fwdResult struct {
+	status  int
+	body    []byte
+	err     error
+	backend int
+}
+
+// dispatch forwards the request, optionally hedging the tail: if the
+// primary has not answered within HedgeAfter, a duplicate goes to the
+// caller's second-best machine and the first success wins (the loser is
+// cancelled). Without hedging it is a plain forward.
+func (g *Gateway) dispatch(ctx context.Context, user, backend int) fwdResult {
+	if g.cfg.HedgeAfter <= 0 {
+		status, body, err := g.forward(ctx, backend)
+		return fwdResult{status: status, body: body, err: err, backend: backend}
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan fwdResult, 2)
+	launch := func(j int) {
+		go func() {
+			status, body, err := g.forward(hctx, j)
+			results <- fwdResult{status: status, body: body, err: err, backend: j}
+		}()
+	}
+	launch(backend)
+	inflight := 1
+	hedged := false
+	timer := time.NewTimer(g.cfg.HedgeAfter)
+	defer timer.Stop()
+	var first *fwdResult
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil && res.status == http.StatusOK {
+				if hedged && res.backend != backend {
+					g.met.hedgeWins.Add(1)
+				}
+				return res
+			}
+			if first == nil {
+				first = &res
+			}
+			if inflight == 0 {
+				return *first
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			if h := g.hedgeTarget(user, backend); h >= 0 {
+				hedged = true
+				g.met.hedges.Add(1)
+				launch(h)
+				inflight++
+			}
+		}
+	}
 }
 
 // userID extracts the requesting user from the X-User header or ?user=
@@ -386,22 +636,67 @@ func (g *Gateway) userID(r *http.Request) (int, error) {
 	return user, nil
 }
 
+// healthyStatus classifies an HTTP answer as a health signal: anything the
+// backend produced while alive counts as healthy — including its queue-full
+// 503, which is flagged with X-Queue-Full and means "busy", not "down".
+// Unflagged 5xx answers (a chaos proxy's 500, a crashing handler) count as
+// failures.
+func healthyStatus(status int, header http.Header) bool {
+	if status < 500 {
+		return true
+	}
+	return status == http.StatusServiceUnavailable && header.Get("X-Queue-Full") == "1"
+}
+
+// reportHealth feeds one attempt outcome into the backend's breaker and, on
+// a state change, wakes the health loop to re-equilibrate immediately
+// instead of waiting out the probe period.
+func (g *Gateway) reportHealth(backend int, ok bool, errText string) {
+	if g.health == nil {
+		return
+	}
+	if g.health.report(backend, ok, errText) {
+		if g.health.brs[backend].State() == BreakerOpen {
+			g.met.breakerOpens.Add(1)
+		}
+		select {
+		case g.healthKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // forward performs the gateway→backend call with capped-exponential retry
-// on transport failures (dist.Backoff). HTTP-level answers, including the
-// backend's queue-full 503, are returned to the caller without retry: the
-// job may already have consumed queue space, and admission decisions are
-// the caller's to surface.
+// on transport failures (dist.Backoff): the retry count is the configured
+// Retries capped by AttemptsFor(Timeout) — the shared horizon arithmetic
+// also used by the health prober — and each retry must be granted by the
+// retry budget, so an outage cannot amplify the offered load. HTTP-level
+// answers, including the backend's queue-full 503, are returned to the
+// caller without retry: the job may already have consumed queue space, and
+// admission decisions are the caller's to surface. Every attempt outcome
+// feeds the backend's breaker as a passive health signal.
 func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error) {
 	backoff := dist.Backoff{Base: g.cfg.RetryBase, Max: g.cfg.RetryMax}
+	retries := g.cfg.Retries
+	if lim := backoff.AttemptsFor(g.cfg.Timeout); retries > lim {
+		retries = lim
+	}
+	g.budget.onRequest()
 	var lastErr error
-	for attempt := 0; attempt <= g.cfg.Retries; attempt++ {
+	attempts := 0
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			if !g.budget.tryRetry() {
+				g.met.retryDenied.Add(1)
+				break
+			}
 			select {
 			case <-time.After(backoff.Next()):
 			case <-ctx.Done():
 				return 0, nil, ctx.Err()
 			}
 		}
+		attempts++
 		callCtx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
 		req, err := http.NewRequestWithContext(callCtx, http.MethodGet, g.cfg.Backends[backend]+"/work", nil)
 		if err != nil {
@@ -411,6 +706,11 @@ func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error)
 		resp, err := g.client.Do(req)
 		if err != nil {
 			cancel()
+			if ctx.Err() != nil {
+				// Caller gone or hedge lost: no verdict on the backend.
+				return 0, nil, ctx.Err()
+			}
+			g.reportHealth(backend, false, err.Error())
 			lastErr = err
 			continue
 		}
@@ -418,19 +718,64 @@ func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error)
 		resp.Body.Close()
 		cancel()
 		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+			g.reportHealth(backend, false, err.Error())
 			lastErr = err
 			continue
 		}
+		ok := healthyStatus(resp.StatusCode, resp.Header)
+		errText := ""
+		if !ok {
+			errText = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+		g.reportHealth(backend, ok, errText)
 		return resp.StatusCode, body, nil
 	}
-	return 0, nil, fmt.Errorf("after %d attempts: %w", g.cfg.Retries+1, lastErr)
+	return 0, nil, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	g.met.render(&b)
+	g.renderHealth(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// renderHealth appends the health layer's Prometheus-style exposition:
+// per-backend breaker state and effective weight, plus the degraded-mode
+// admission gauge.
+func (g *Gateway) renderHealth(b *strings.Builder) {
+	if g.health == nil {
+		return
+	}
+	w := func(format string, args ...any) { fmt.Fprintf(b, format, args...) }
+	w("# HELP nashgate_backend_state Breaker state per backend (0 closed, 1 open, 2 half-open).\n")
+	w("# TYPE nashgate_backend_state gauge\n")
+	for j, br := range g.health.brs {
+		var v int
+		switch br.State() {
+		case BreakerOpen:
+			v = 1
+		case BreakerHalfOpen:
+			v = 2
+		}
+		w("nashgate_backend_state{backend=\"%d\"} %d\n", j, v)
+	}
+	w("# HELP nashgate_backend_weight Effective capacity weight per backend (0 = cut off, 1 = fully admitted).\n")
+	w("# TYPE nashgate_backend_weight gauge\n")
+	for j, wt := range g.health.weights() {
+		w("nashgate_backend_weight{backend=\"%d\"} %g\n", j, wt)
+	}
+	w("# HELP nashgate_admit_fraction Degraded-mode admitted fraction of the offered load (1 = not degraded).\n")
+	w("# TYPE nashgate_admit_fraction gauge\n")
+	admit := 1.0
+	if sh := g.shed.Load(); sh != nil {
+		admit = sh.AdmitFrac
+	}
+	w("nashgate_admit_fraction %g\n", admit)
 }
 
 // RoutingStatus is the wire form of /routing: the live strategy profile and
@@ -440,6 +785,7 @@ type RoutingStatus struct {
 	Rebalances int64        `json:"rebalances"`
 	Polls      int64        `json:"polls"`
 	Saturated  bool         `json:"saturated"`
+	Degraded   bool         `json:"degraded"`
 }
 
 func (g *Gateway) handleRouting(w http.ResponseWriter, r *http.Request) {
@@ -449,12 +795,90 @@ func (g *Gateway) handleRouting(w http.ResponseWriter, r *http.Request) {
 		Rebalances: g.met.rebalances.Load(),
 		Polls:      g.met.polls.Load(),
 		Saturated:  g.satur.Load(),
+		Degraded:   g.Degraded(),
 	})
+}
+
+// BackendStatus is one backend's row in the /backends debug view.
+type BackendStatus struct {
+	Backend int     `json:"backend"`
+	URL     string  `json:"url"`
+	Rate    float64 `json:"rate"`
+	// State is the breaker position: closed, open or half-open (always
+	// closed when the health layer is disabled).
+	State string `json:"state"`
+	// Weight is the effective capacity weight in [0, 1] (the recovery ramp).
+	Weight float64 `json:"weight"`
+	// ConsecutiveFailures and ErrorRate are the breaker's trip inputs.
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	ErrorRate           float64 `json:"error_rate"`
+	// Opens counts breaker trips; Probes/ProbeFailures count active checks.
+	Opens         int64  `json:"opens"`
+	Probes        int64  `json:"probes"`
+	ProbeFailures int64  `json:"probe_failures"`
+	LastError     string `json:"last_error,omitempty"`
+	QueueDepth    int64  `json:"queue_depth"`
+}
+
+// BackendsStatus is the wire form of /backends.
+type BackendsStatus struct {
+	Backends []BackendStatus `json:"backends"`
+	// Degraded and AdmitFraction describe degraded-mode shedding.
+	Degraded      bool    `json:"degraded"`
+	AdmitFraction float64 `json:"admit_fraction"`
+	// Reequilibrations counts health-driven routing-table installs.
+	Reequilibrations int64 `json:"reequilibrations"`
+}
+
+func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	st := BackendsStatus{
+		Backends:         make([]BackendStatus, len(g.cfg.Backends)),
+		AdmitFraction:    1,
+		Reequilibrations: g.met.reequils.Load(),
+	}
+	if sh := g.shed.Load(); sh != nil {
+		st.Degraded = true
+		st.AdmitFraction = sh.AdmitFrac
+	}
+	var weights []float64
+	if g.health != nil {
+		weights = g.health.weights()
+	}
+	for j := range st.Backends {
+		b := BackendStatus{
+			Backend:    j,
+			URL:        g.cfg.Backends[j],
+			Rate:       g.cfg.Rates[j],
+			State:      BreakerClosed.String(),
+			Weight:     1,
+			QueueDepth: g.met.queueDepth[j].Load(),
+		}
+		if g.health != nil {
+			snap := g.health.brs[j].snapshot()
+			b.State = snap.State.String()
+			b.Weight = weights[j]
+			b.ConsecutiveFailures = snap.Consecutive
+			b.ErrorRate = snap.ErrorRate
+			b.Opens = snap.Opens
+			b.LastError = snap.LastErr
+			g.health.mu.Lock()
+			b.Probes = g.health.probes[j]
+			b.ProbeFailures = g.health.probeFails[j]
+			g.health.mu.Unlock()
+		}
+		st.Backends[j] = b
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
 }
 
 // rebalanceLoop closes the paper's measurement loop: poll every backend's
 // queue depth, update the saturation estimate, and hand the depths to the
-// online balancer, installing any best-response profile it returns.
+// online balancer, installing any best-response profile it returns. While
+// the health layer holds a non-nominal view (a breaker open, a recovery
+// ramp in progress) the loop keeps observing but does not install: the
+// survivor re-equilibration owns the routing table until the full set is
+// back.
 func (g *Gateway) rebalanceLoop() {
 	defer g.wg.Done()
 	ticker := time.NewTicker(g.cfg.PollEvery)
@@ -467,7 +891,7 @@ func (g *Gateway) rebalanceLoop() {
 		case <-ticker.C:
 		}
 		depths, ok := g.pollDepths()
-		if !ok {
+		if !ok || g.closing() {
 			continue
 		}
 		g.met.polls.Add(1)
@@ -476,13 +900,211 @@ func (g *Gateway) rebalanceLoop() {
 		if next == nil || !g.installable(next) {
 			continue
 		}
+		if g.health != nil && !g.health.nominal() {
+			continue
+		}
 		table, err := newRouteTable(next, len(g.cfg.Backends))
-		if err != nil {
-			continue // infeasible best response; keep routing as-is
+		if err != nil || g.closing() {
+			continue // infeasible best response or shutdown; keep routing as-is
 		}
 		g.table.Store(table)
 		g.met.rebalances.Add(1)
 	}
+}
+
+// healthLoop drives the health layer: every ProbeEvery it probes all
+// backends, advances recovery ramps, and re-solves the routing whenever the
+// effective machine set changed — one iteration is one "health epoch". A
+// breaker trip from the request path kicks the loop immediately so the
+// survivors take over without waiting out the probe period.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.ProbeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.quit:
+			return
+		case <-ticker.C:
+			// Ramps advance before probing: a backend whose trial succeeded
+			// last epoch has now carried one full epoch at its current
+			// weight, while a trial passing in this sweep re-admits at the
+			// first ramp step and keeps it for a whole epoch.
+			g.health.advanceRamps()
+			g.probeAll()
+		case <-g.healthKick:
+		}
+		if g.closing() {
+			return
+		}
+		w := g.health.weights()
+		if !weightsEqual(w, g.lastWeights) {
+			g.reequilibrate(w)
+			g.lastWeights = w
+		}
+	}
+}
+
+func weightsEqual(a, b []float64) bool {
+	for j := range a {
+		if a[j] != b[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// probeAll actively checks every backend's /healthz concurrently: closed
+// breakers get a routine liveness check, open breakers past their cooldown
+// get the single half-open trial. Probe outcomes feed the breakers exactly
+// like request outcomes.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for j := range g.cfg.Backends {
+		j := j
+		switch g.health.brs[j].State() {
+		case BreakerOpen:
+			if !g.health.brs[j].Trial() {
+				continue // still cooling down
+			}
+		case BreakerHalfOpen:
+			continue // a trial is already in flight
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, errText := g.probe(j)
+			g.health.noteProbe(j, ok)
+			g.reportHealth(j, ok, errText)
+		}()
+	}
+	wg.Wait()
+}
+
+// probe performs one health check with the shared retry-horizon arithmetic:
+// the number of in-probe retries is whatever backoff delays fit inside one
+// ProbeTimeout (dist.Backoff.AttemptsFor), so probe cadence and request
+// retries are configured by the same two knobs.
+func (g *Gateway) probe(j int) (bool, string) {
+	backoff := dist.Backoff{Base: g.cfg.RetryBase, Max: g.cfg.RetryMax}
+	attempts := 1 + backoff.AttemptsFor(g.cfg.ProbeTimeout)
+	var lastErr string
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-time.After(backoff.Next()):
+			case <-g.ctx.Done():
+				return false, "gateway shutting down"
+			}
+		}
+		ctx, cancel := context.WithTimeout(g.ctx, g.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.Backends[j]+"/healthz", nil)
+		if err != nil {
+			cancel()
+			return false, err.Error()
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err.Error()
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if resp.StatusCode == http.StatusOK {
+			return true, ""
+		}
+		lastErr = fmt.Sprintf("healthz status %d", resp.StatusCode)
+	}
+	return false, lastErr
+}
+
+// reequilibrate re-solves the load-balancing game over the effective
+// machine set — each backend's capacity scaled by its health weight — and
+// hot-swaps the routing table, exactly as dist.Supervise re-converges the
+// reduced game after an ejection. If the offered load is infeasible for the
+// surviving capacity it first installs degraded-mode admission (shed down
+// to DegradedRho utilization) and solves for the admitted load, so the
+// installed equilibrium is always feasible. Solver failures fall back to
+// proportional renormalization of the current profile, which at least
+// removes the dead machines.
+func (g *Gateway) reequilibrate(weights []float64) {
+	n := len(g.cfg.Rates)
+	muEff := make([]float64, n)
+	alive := make([]bool, n)
+	var capEff float64
+	for j := range muEff {
+		muEff[j] = g.cfg.Rates[j] * weights[j]
+		alive[j] = weights[j] > 0
+		capEff += muEff[j]
+	}
+	offered := g.sys.TotalArrival()
+
+	if capEff <= 0 {
+		// Every backend is cut off: shed everything, keep the table (each
+		// pick fails closed with 503 anyway) and wait for a trial to pass.
+		g.shed.Store(&shedConfig{AdmitFrac: 0, RetryAfter: "1"})
+		g.met.reequils.Add(1)
+		return
+	}
+
+	admitFrac := 1.0
+	// Shed when the offered load would push the survivors to the same
+	// saturation threshold the install guard enforces; DegradedRho leaves
+	// headroom below it.
+	if offered >= capEff*saturationRho {
+		admitRate := capEff * g.cfg.DegradedRho
+		admitFrac = admitRate / offered
+		g.shed.Store(newShedConfig(admitRate, admitFrac, offered))
+	} else {
+		g.shed.Store(nil)
+	}
+
+	profile := g.solveReduced(muEff, alive, admitFrac)
+	if profile == nil {
+		profile = renormalizeExclude(g.Profile(), alive, muEff)
+	}
+	table, err := newRouteTable(profile, n)
+	if err != nil || g.closing() {
+		return
+	}
+	g.table.Store(table)
+	g.met.reequils.Add(1)
+}
+
+// solveReduced solves the Nash game over the live machines at their
+// effective (ramp-scaled) capacities for the admitted load, and expands the
+// result back to an n-column profile with zeros on dead machines. It
+// returns nil when the reduced game is infeasible or the solver fails.
+func (g *Gateway) solveReduced(muEff []float64, alive []bool, admitFrac float64) game.Profile {
+	var idx []int
+	var rates []float64
+	for j, a := range alive {
+		if a {
+			idx = append(idx, j)
+			rates = append(rates, muEff[j])
+		}
+	}
+	arrivals := make([]float64, len(g.cfg.Arrivals))
+	for i, phi := range g.cfg.Arrivals {
+		arrivals[i] = phi * admitFrac
+	}
+	sysR, err := game.NewSystem(rates, arrivals)
+	if err != nil {
+		return nil
+	}
+	res, err := core.Solve(sysR, core.Options{Init: core.InitProportional})
+	if err != nil || !res.Converged {
+		return nil
+	}
+	profile := game.NewProfile(len(arrivals), len(muEff))
+	for i := range res.Profile {
+		for k, j := range idx {
+			profile[i][j] = res.Profile[i][k]
+		}
+	}
+	return profile
 }
 
 // installable guards routing-table installs: unlike the users' best
@@ -503,6 +1125,8 @@ func (g *Gateway) installable(p game.Profile) bool {
 
 // pollDepths queries every backend's /queue concurrently. A sweep is used
 // only when every backend answered: the balancer needs a consistent vector.
+// Requests derive from the gateway context, so Close aborts a sweep in
+// flight instead of waiting out the backend timeout.
 func (g *Gateway) pollDepths() ([]int, bool) {
 	n := len(g.cfg.Backends)
 	depths := make([]int, n)
@@ -513,7 +1137,7 @@ func (g *Gateway) pollDepths() ([]int, bool) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.Timeout)
+			ctx, cancel := context.WithTimeout(g.ctx, g.cfg.Timeout)
 			defer cancel()
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.Backends[j]+"/queue", nil)
 			if err != nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -40,6 +41,19 @@ type LoadResult struct {
 	OK       []int64
 	Rejected []int64
 	Failed   []int64
+	// Status2xx, Status429, Status503 and Status5xx break the outcomes down
+	// by status class per user (Status5xx counts 5xx other than 503 — 502s
+	// from a dead backend, injected 500s). Shed counts the subset of 503s
+	// carrying Retry-After, the gateway's degraded-mode shedding signature.
+	Status2xx []int64
+	Status429 []int64
+	Status503 []int64
+	Status5xx []int64
+	Shed      []int64
+	// Timeouts counts client-deadline expiries; TransportErrors counts the
+	// remaining connection-level failures (refused, reset, EOF).
+	Timeouts        []int64
+	TransportErrors []int64
 	// MeanSeconds, MinSeconds and MaxSeconds summarize post-warmup
 	// response times of OK requests, per user; Mean is the overall mean.
 	MeanSeconds []float64
@@ -56,6 +70,13 @@ type userStats struct {
 	ok       int64
 	rejected int64
 	failed   int64
+	s2xx     int64
+	s429     int64
+	s503     int64
+	s5xx     int64
+	shed     int64
+	timeouts int64
+	trans    int64
 	sum      float64
 	min, max float64
 }
@@ -136,13 +157,20 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	wg.Wait()
 
 	res := &LoadResult{
-		Sent:        make([]int64, m),
-		OK:          make([]int64, m),
-		Rejected:    make([]int64, m),
-		Failed:      make([]int64, m),
-		MeanSeconds: make([]float64, m),
-		MinSeconds:  make([]float64, m),
-		MaxSeconds:  make([]float64, m),
+		Sent:            make([]int64, m),
+		OK:              make([]int64, m),
+		Rejected:        make([]int64, m),
+		Failed:          make([]int64, m),
+		Status2xx:       make([]int64, m),
+		Status429:       make([]int64, m),
+		Status503:       make([]int64, m),
+		Status5xx:       make([]int64, m),
+		Shed:            make([]int64, m),
+		Timeouts:        make([]int64, m),
+		TransportErrors: make([]int64, m),
+		MeanSeconds:     make([]float64, m),
+		MinSeconds:      make([]float64, m),
+		MaxSeconds:      make([]float64, m),
 	}
 	var totalSum float64
 	var totalOK int64
@@ -152,6 +180,13 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.OK[i] = st.ok
 		res.Rejected[i] = st.rejected
 		res.Failed[i] = st.failed
+		res.Status2xx[i] = st.s2xx
+		res.Status429[i] = st.s429
+		res.Status503[i] = st.s503
+		res.Status5xx[i] = st.s5xx
+		res.Shed[i] = st.shed
+		res.Timeouts[i] = st.timeouts
+		res.TransportErrors[i] = st.trans
 		res.MinSeconds[i] = st.min
 		res.MaxSeconds[i] = st.max
 		if st.ok > 0 {
@@ -172,22 +207,23 @@ func fire(client *http.Client, cfg LoadConfig, user int, warm bool, st *userStat
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/submit", nil)
 	if err != nil {
-		record(st, warm, -1, 0, err)
+		record(st, warm, -1, false, 0, err)
 		return
 	}
 	req.Header.Set("X-User", fmt.Sprintf("%d", user))
 	began := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		record(st, warm, -1, 0, err)
+		record(st, warm, -1, false, 0, err)
 		return
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
+	shed := resp.Header.Get("Retry-After") != ""
 	resp.Body.Close()
-	record(st, warm, resp.StatusCode, time.Since(began).Seconds(), nil)
+	record(st, warm, resp.StatusCode, shed, time.Since(began).Seconds(), nil)
 }
 
-func record(st *userStats, warm bool, status int, seconds float64, err error) {
+func record(st *userStats, warm bool, status int, shed bool, seconds float64, err error) {
 	if !warm {
 		return
 	}
@@ -196,8 +232,14 @@ func record(st *userStats, warm bool, status int, seconds float64, err error) {
 	switch {
 	case err != nil:
 		st.failed++
+		if errors.Is(err, context.DeadlineExceeded) {
+			st.timeouts++
+		} else {
+			st.trans++
+		}
 	case status == http.StatusOK:
 		st.ok++
+		st.s2xx++
 		st.sum += seconds
 		if st.ok == 1 || seconds < st.min {
 			st.min = seconds
@@ -205,9 +247,19 @@ func record(st *userStats, warm bool, status int, seconds float64, err error) {
 		if seconds > st.max {
 			st.max = seconds
 		}
-	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+	case status == http.StatusTooManyRequests:
 		st.rejected++
+		st.s429++
+	case status == http.StatusServiceUnavailable:
+		st.rejected++
+		st.s503++
+		if shed {
+			st.shed++
+		}
 	default:
 		st.failed++
+		if status >= 500 {
+			st.s5xx++
+		}
 	}
 }

@@ -52,6 +52,12 @@ type gatewayMetrics struct {
 	rejectedUser    atomic.Int64 // malformed/unknown user id
 	rebalances      atomic.Int64
 	polls           atomic.Int64
+	shed            atomic.Int64 // degraded-mode 503s (load shed)
+	reequils        atomic.Int64 // health-driven routing installs
+	breakerOpens    atomic.Int64 // breaker trips to open
+	retryDenied     atomic.Int64 // retries refused by the retry budget
+	hedges          atomic.Int64 // hedge requests launched
+	hedgeWins       atomic.Int64 // hedges that answered first
 
 	shards    []metricShard
 	shardPool sync.Pool     // *metricShard, handed out with per-P affinity
@@ -149,12 +155,29 @@ type Snapshot struct {
 	QueueDepth []int64
 	// Admitted counts requests past admission control; the Rejected*
 	// fields split the refusals by reason.
-	Admitted         int64
-	RejectedRate     int64
-	RejectedSat      int64
-	RejectedUser     int64
-	Rebalances       int64
-	Polls            int64
+	Admitted     int64
+	RejectedRate int64
+	RejectedSat  int64
+	RejectedUser int64
+	Rebalances   int64
+	Polls        int64
+	// Shed counts degraded-mode refusals; Reequilibrations counts
+	// health-driven routing installs; BreakerOpens counts breaker trips.
+	Shed             int64
+	Reequilibrations int64
+	BreakerOpens     int64
+	// RetryDenied counts retries the budget refused; Hedges/HedgeWins count
+	// tail hedges launched and hedges that answered first.
+	RetryDenied int64
+	Hedges      int64
+	HedgeWins   int64
+	// BreakerStates and Weights hold the health layer's per-backend view
+	// (nil when the layer is disabled); Degraded and AdmitFraction describe
+	// degraded-mode admission.
+	BreakerStates []string
+	Weights       []float64
+	Degraded      bool
+	AdmitFraction float64
 	// UserCount and UserMeanSeconds summarize the per-user response times
 	// (merged across shards); UserStdDevSeconds is the Welford sample
 	// standard deviation.
@@ -168,16 +191,22 @@ type Snapshot struct {
 
 func (m *gatewayMetrics) snapshot() *Snapshot {
 	s := &Snapshot{
-		BackendRequests: make([]int64, len(m.backendRequests)),
-		BackendRejects:  make([]int64, len(m.backendRejects)),
-		BackendErrors:   make([]int64, len(m.backendErrors)),
-		QueueDepth:      make([]int64, len(m.queueDepth)),
-		Admitted:        m.admitted.Load(),
-		RejectedRate:    m.rejectedRate.Load(),
-		RejectedSat:     m.rejectedSat.Load(),
-		RejectedUser:    m.rejectedUser.Load(),
-		Rebalances:      m.rebalances.Load(),
-		Polls:           m.polls.Load(),
+		BackendRequests:  make([]int64, len(m.backendRequests)),
+		BackendRejects:   make([]int64, len(m.backendRejects)),
+		BackendErrors:    make([]int64, len(m.backendErrors)),
+		QueueDepth:       make([]int64, len(m.queueDepth)),
+		Admitted:         m.admitted.Load(),
+		RejectedRate:     m.rejectedRate.Load(),
+		RejectedSat:      m.rejectedSat.Load(),
+		RejectedUser:     m.rejectedUser.Load(),
+		Rebalances:       m.rebalances.Load(),
+		Polls:            m.polls.Load(),
+		Shed:             m.shed.Load(),
+		Reequilibrations: m.reequils.Load(),
+		BreakerOpens:     m.breakerOpens.Load(),
+		RetryDenied:      m.retryDenied.Load(),
+		Hedges:           m.hedges.Load(),
+		HedgeWins:        m.hedgeWins.Load(),
 	}
 	for j := range s.BackendRequests {
 		s.BackendRequests[j] = m.backendRequests[j].Load()
@@ -214,6 +243,7 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 	w("nashgate_rejected_total{reason=%q} %d\n", "ratelimit", m.rejectedRate.Load())
 	w("nashgate_rejected_total{reason=%q} %d\n", "saturated", m.rejectedSat.Load())
 	w("nashgate_rejected_total{reason=%q} %d\n", "bad_user", m.rejectedUser.Load())
+	w("nashgate_rejected_total{reason=%q} %d\n", "shed", m.shed.Load())
 
 	w("# HELP nashgate_backend_requests_total Served requests per backend.\n")
 	w("# TYPE nashgate_backend_requests_total counter\n")
@@ -242,6 +272,19 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 	w("# HELP nashgate_polls_total Queue-depth polling sweeps completed.\n")
 	w("# TYPE nashgate_polls_total counter\n")
 	w("nashgate_polls_total %d\n", m.polls.Load())
+	w("# HELP nashgate_reequilibrations_total Health-driven routing installs.\n")
+	w("# TYPE nashgate_reequilibrations_total counter\n")
+	w("nashgate_reequilibrations_total %d\n", m.reequils.Load())
+	w("# HELP nashgate_breaker_opens_total Circuit-breaker trips to open.\n")
+	w("# TYPE nashgate_breaker_opens_total counter\n")
+	w("nashgate_breaker_opens_total %d\n", m.breakerOpens.Load())
+	w("# HELP nashgate_retry_denied_total Retries refused by the retry budget.\n")
+	w("# TYPE nashgate_retry_denied_total counter\n")
+	w("nashgate_retry_denied_total %d\n", m.retryDenied.Load())
+	w("# HELP nashgate_hedges_total Tail-hedge requests launched and won.\n")
+	w("# TYPE nashgate_hedges_total counter\n")
+	w("nashgate_hedges_total{outcome=%q} %d\n", "launched", m.hedges.Load())
+	w("nashgate_hedges_total{outcome=%q} %d\n", "won", m.hedgeWins.Load())
 
 	w("# HELP nashgate_response_seconds Gateway-side response time per user.\n")
 	w("# TYPE nashgate_response_seconds histogram\n")

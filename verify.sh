@@ -2,7 +2,8 @@
 # Full verification: the tier-1 gate (build + tests) plus static analysis
 # and the race detector over the concurrent packages (the distributed ring
 # with its fault-tolerance layer, the online balancer, and the live HTTP
-# serving stack).
+# serving stack — including the self-healing chaos tests in internal/serve;
+# the long crash/recovery e2e runs gate themselves behind -short).
 set -eu
 
 cd "$(dirname "$0")"
