@@ -1,10 +1,11 @@
 // Command experiments regenerates the paper's evaluation artifacts — Table
 // 1 and Figures 2-6 — plus the DESIGN.md ablations ABL1-ABL6 and extensions
-// EXT1-EXT8. Results print as aligned text tables; -csv writes one CSV per
+// EXT1-EXT10. Results print as aligned text tables; -csv writes one CSV per
 // artifact into a directory and -plot adds ASCII charts for the figures.
-// EXT8 serves real HTTP traffic through the nashgate gateway and so takes
-// its live window in wall-clock time; -benchjson additionally writes its
-// result in machine-readable form (BENCH_serve.json).
+// EXT8-EXT10 serve real HTTP traffic through the nashgate gateway (EXT10
+// through a whole gateway fleet) and so take their live windows in
+// wall-clock time; -benchjson additionally writes their results in
+// machine-readable form (BENCH_serve.json).
 //
 // Usage:
 //
@@ -31,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext9 or all")
+		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext10 or all")
 		simFlag     = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
 		quickFlag   = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
 		csvFlag     = flag.String("csv", "", "directory to write CSV files into (created if missing)")
@@ -225,9 +226,10 @@ func main() {
 		ran++
 	}
 	// The serving experiments share the BENCH_serve.json document:
-	// -benchjson implies both and writes the combined result.
+	// -benchjson implies all of them and writes the combined result.
 	var ext8Res *experiments.Ext8Result
 	var ext9Res *experiments.Ext9Result
+	var ext10Res *experiments.Ext10Result
 	if selected("ext8") || *benchFlag != "" {
 		res, err := experiments.Ext8(params.Seed, *quickFlag)
 		if err != nil {
@@ -246,8 +248,17 @@ func main() {
 		ext9Res = res
 		ran++
 	}
+	if selected("ext10") || *benchFlag != "" {
+		res, err := experiments.Ext10(params.Seed, *quickFlag)
+		if err != nil {
+			log.Fatalf("ext10: %v", err)
+		}
+		emit("ext10_fleet", res.Table())
+		ext10Res = res
+		ran++
+	}
 	if *benchFlag != "" {
-		data, err := experiments.ServeBenchJSON(ext8Res, ext9Res)
+		data, err := experiments.ServeBenchJSON(ext8Res, ext9Res, ext10Res)
 		if err != nil {
 			log.Fatalf("benchjson: %v", err)
 		}

@@ -5,6 +5,12 @@
 //	loadgen -target http://127.0.0.1:8080 -arrivals 2x12 \
 //	        [-duration 10s] [-warmup 1s] [-seed 2002] [-timeout 10s]
 //
+// Against a gateway fleet, give -target a comma-separated list (or repeat
+// the flag); each request picks a gateway uniformly from a seeded per-user
+// stream, and a transport-level failure (a dead gateway refusing the
+// connection) fails over to the next target round-robin. The report then
+// adds a per-target attempt breakdown by status class.
+//
 // It reports per-user and overall counts and response-time statistics for
 // the post-warmup window. Offered load is open-loop: response latency never
 // throttles the senders, as in the paper's Poisson arrival model.
@@ -14,17 +20,36 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"nashlb/internal/cli"
 	"nashlb/internal/serve"
 )
 
+// targetList collects -target values: the flag may be repeated, and each
+// value may itself be a comma-separated list.
+type targetList []string
+
+func (t *targetList) String() string { return strings.Join(*t, ",") }
+
+func (t *targetList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			return fmt.Errorf("empty URL in %q", v)
+		}
+		*t = append(*t, strings.TrimSuffix(u, "/"))
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
+	var targets targetList
+	flag.Var(&targets, "target", "gateway base URL (repeat or comma-separate for a fleet)")
 	var (
-		targetFlag   = flag.String("target", "", "gateway base URL")
 		arrivalsFlag = flag.String("arrivals", "", "user arrival rates phi_i (req/s)")
 		durationFlag = flag.Duration("duration", 10*time.Second, "sending duration")
 		warmupFlag   = flag.Duration("warmup", time.Second, "discard responses to requests sent before this offset")
@@ -33,7 +58,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *targetFlag == "" {
+	if len(targets) == 0 {
 		log.Fatal("need -target")
 	}
 	arrivals, err := cli.ParseFloats(*arrivalsFlag)
@@ -42,7 +67,7 @@ func main() {
 	}
 
 	res, err := serve.RunLoad(serve.LoadConfig{
-		Target:   *targetFlag,
+		Targets:  targets,
 		Arrivals: arrivals,
 		Duration: *durationFlag,
 		Warmup:   *warmupFlag,
@@ -78,5 +103,15 @@ func main() {
 	if rejected+failed > 0 {
 		fmt.Printf("breakdown: 429=%d 503=%d (shed=%d) other-5xx=%d timeout=%d transport=%d\n",
 			s429, s503, shed, s5xx, timeouts, trans)
+	}
+	if len(targets) > 1 {
+		fmt.Printf("\n%-40s %10s %10s %10s %10s %10s %10s %10s\n",
+			"target (attempts)", "sent", "2xx", "429", "503", "shed", "5xx", "transport")
+		for _, tc := range res.PerTarget {
+			fmt.Printf("%-40s %10d %10d %10d %10d %10d %10d %10d\n",
+				tc.Target, tc.Sent, tc.Status2xx, tc.Status429, tc.Status503,
+				tc.Shed, tc.Status5xx, tc.Transport+tc.Timeouts)
+		}
+		fmt.Printf("failovers: %d\n", res.Failovers)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"nashlb"
@@ -249,7 +250,7 @@ func runState(rates, arrivals, listen string) {
 		sys.Computers(), sys.Users(), srv.Addr())
 	fmt.Println("press Ctrl-C to stop")
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
 	// Print the final profile so an operator sees where the ring landed.

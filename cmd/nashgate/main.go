@@ -31,6 +31,28 @@
 //	         [-seed 2002]
 //
 // Its endpoints: /work performs one job, /queue reports the current depth.
+//
+// Fleet mode (-fleet) runs this gateway as one replica of a nashgate fleet:
+// N gateways serve concurrently over the same backend universe, elect a
+// solver leader (lowest alive id), aggregate each other's live arrival-rate
+// estimates into the game's user weights, and distribute fenced routing
+// tables. Backends join and leave at runtime via POST /fleet/machines on the
+// control listener; -autoscale drains idle capacity automatically:
+//
+//	nashgate -fleet -fleet-id 0 \
+//	         -fleet-peers http://g0:9090,http://g1:9090,http://g2:9090 \
+//	         -fleet-listen :9090 -backends ... -rates ... -arrivals ... \
+//	         [-heartbeat 50ms] [-solve-every 250ms] \
+//	         [-autoscale] [-scale-low 0.3] [-scale-high 0.8] \
+//	         [-scale-sustain 3] [-min-active 1]
+//
+// The control listener adds /fleet (replica status), /fleet/heartbeat,
+// /fleet/report, /fleet/table and /fleet/machines.
+//
+// On SIGINT or SIGTERM every mode drains gracefully: admission stops (new
+// requests get 503 + Retry-After), in-flight requests finish, and a fleet
+// replica advertises the drain so peers elect around it before the process
+// exits. A second signal forces immediate exit.
 package main
 
 import (
@@ -40,10 +62,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"nashlb/internal/cli"
 	"nashlb/internal/core"
+	"nashlb/internal/fleet"
 	"nashlb/internal/game"
 	"nashlb/internal/serve"
 )
@@ -75,11 +99,57 @@ func main() {
 		hedgeFlag    = flag.Duration("hedge-after", 0, "gateway: hedge slow requests to a second backend after this delay (0 disables)")
 		rateFlag     = flag.Float64("rate", 0, "backend: service rate mu (jobs/s)")
 		queueCapFlag = flag.Int("queue-cap", serve.DefaultQueueCap, "backend: jobs-in-system bound")
+
+		fleetFlag        = flag.Bool("fleet", false, "run as a fleet replica (needs -fleet-id and -fleet-peers)")
+		fleetIDFlag      = flag.Int("fleet-id", 0, "fleet: this replica's id (indexes -fleet-peers)")
+		fleetPeersFlag   = flag.String("fleet-peers", "", "fleet: comma-separated control URLs for every replica, ordered by id")
+		fleetListenFlag  = flag.String("fleet-listen", "127.0.0.1:0", "fleet: control-plane listen address")
+		heartbeatFlag    = flag.Duration("heartbeat", 50*time.Millisecond, "fleet: peer heartbeat period")
+		solveEveryFlag   = flag.Duration("solve-every", 250*time.Millisecond, "fleet: leader supervision epoch")
+		autoscaleFlag    = flag.Bool("autoscale", false, "fleet: drain idle capacity / activate standbys automatically")
+		scaleLowFlag     = flag.Float64("scale-low", 0.3, "fleet: utilization below which the autoscaler drains")
+		scaleHighFlag    = flag.Float64("scale-high", 0.8, "fleet: utilization above which the autoscaler activates")
+		scaleSustainFlag = flag.Int("scale-sustain", 3, "fleet: consecutive epochs a threshold must hold before scaling")
+		minActiveFlag    = flag.Int("min-active", 1, "fleet: floor on active machines")
 	)
 	flag.Parse()
 
 	if *backendFlag {
 		runBackend(*rateFlag, *queueCapFlag, *seedFlag, *listenFlag)
+		return
+	}
+	if *fleetFlag {
+		runFleet(fleetArgs{
+			id:         *fleetIDFlag,
+			peers:      *fleetPeersFlag,
+			listen:     *fleetListenFlag,
+			backends:   *backendsFlag,
+			rates:      *ratesFlag,
+			arrivals:   *arrivalsFlag,
+			heartbeat:  *heartbeatFlag,
+			solveEvery: *solveEveryFlag,
+			autoscale: fleet.AutoscaleConfig{
+				Enabled:   *autoscaleFlag,
+				Low:       *scaleLowFlag,
+				High:      *scaleHighFlag,
+				Sustain:   *scaleSustainFlag,
+				MinActive: *minActiveFlag,
+			},
+			gateway: serve.GatewayConfig{
+				Seed:        *seedFlag,
+				FillRate:    *fillFlag,
+				Burst:       *burstFlag,
+				Timeout:     *timeoutFlag,
+				Retries:     *retriesFlag,
+				ProbeEvery:  *probeFlag,
+				Breaker:     serve.BreakerConfig{Failures: *failuresFlag, Cooldown: *cooldownFlag},
+				RampSteps:   *rampFlag,
+				DegradedRho: *degradedFlag,
+				RetryBudget: *budgetFlag,
+				HedgeAfter:  *hedgeFlag,
+				Addr:        *listenFlag,
+			},
+		})
 		return
 	}
 	runGateway(gatewayArgs{
@@ -218,14 +288,101 @@ func runGateway(a gatewayArgs) {
 	fmt.Printf("gateway serving %d users over %d backends on %s\n",
 		len(arrivals), len(urls), g.URL())
 	waitForInterrupt()
+	// Graceful drain: refuse new admissions immediately, then let Close wait
+	// out the in-flight requests.
+	g.Drain()
 	if err := g.Close(); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// fleetArgs bundles the fleet-mode flags.
+type fleetArgs struct {
+	id         int
+	peers      string
+	listen     string
+	backends   string
+	rates      string
+	arrivals   string
+	heartbeat  time.Duration
+	solveEvery time.Duration
+	autoscale  fleet.AutoscaleConfig
+	gateway    serve.GatewayConfig
+}
+
+func runFleet(a fleetArgs) {
+	if a.backends == "" || a.peers == "" {
+		log.Fatal("fleet mode needs -backends, -rates, -arrivals and -fleet-peers")
+	}
+	rates, err := cli.ParseFloats(a.rates)
+	if err != nil {
+		log.Fatalf("-rates: %v", err)
+	}
+	arrivals, err := cli.ParseFloats(a.arrivals)
+	if err != nil {
+		log.Fatalf("-arrivals: %v", err)
+	}
+	var urls []string
+	for _, u := range strings.Split(a.backends, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			log.Fatal("-backends: empty URL in list")
+		}
+		urls = append(urls, strings.TrimSuffix(u, "/"))
+	}
+	if len(urls) != len(rates) {
+		log.Fatalf("%d backends but %d rates", len(urls), len(rates))
+	}
+	machines := make([]fleet.Machine, len(urls))
+	for j, u := range urls {
+		machines[j] = fleet.Machine{URL: u, Rate: rates[j], Active: true}
+	}
+	var peers []string
+	for _, p := range strings.Split(a.peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			log.Fatal("-fleet-peers: empty URL in list")
+		}
+		peers = append(peers, strings.TrimSuffix(p, "/"))
+	}
+
+	n, err := fleet.NewNode(fleet.Config{
+		ID:             a.id,
+		Machines:       machines,
+		Arrivals:       arrivals,
+		Gateway:        a.gateway,
+		HeartbeatEvery: a.heartbeat,
+		SolveEvery:     a.solveEvery,
+		Autoscale:      a.autoscale,
+		Addr:           a.listen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := n.Start(peers); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet replica %d of %d: gateway %s, control %s\n",
+		a.id, len(peers), n.GatewayURL(), n.ControlURL())
+	waitForInterrupt()
+	// Stop drains the gateway, advertises the drain on the heartbeat so
+	// peers elect around this replica, finishes in-flight requests, and
+	// only then closes the servers — the fleet deregistration.
+	if err := n.Stop(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// waitForInterrupt blocks until SIGINT or SIGTERM. A second signal during
+// the graceful drain forces an immediate exit.
 func waitForInterrupt() {
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-	fmt.Println("shutting down")
+	fmt.Println("shutting down (signal again to force)")
+	go func() {
+		<-ch
+		fmt.Println("forced exit")
+		os.Exit(1)
+	}()
 }

@@ -791,16 +791,89 @@ func TestExt9SelfHealing(t *testing.T) {
 		t.Error("table mismatch")
 	}
 
-	data, err := ServeBenchJSON(nil, res)
+	data, err := ServeBenchJSON(nil, res, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema": 2`, `"ext9_self_healing"`, `"crash+recover"`} {
+	for _, want := range []string{`"schema": 3`, `"ext9_self_healing"`, `"crash+recover"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("bench json missing %s", want)
 		}
 	}
 	if strings.Contains(string(data), "ext8_live_serving") {
 		t.Error("nil ext8 result serialized anyway")
+	}
+}
+
+func TestExt10Fleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live fleet serving run")
+	}
+	res, err := Ext10(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Ext10Row{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+		if row.Sent == 0 {
+			t.Fatalf("%s: no load sent", row.Scenario)
+		}
+		if row.PostSamples <= 0 {
+			t.Fatalf("%s: empty post-fault measurement window", row.Scenario)
+		}
+	}
+	clean := byName["clean"]
+	if clean.Availability < 0.99 || clean.Failovers != 0 {
+		t.Errorf("clean run not clean: %+v", clean)
+	}
+	// One leadership assumption (node 0 at startup) and its reign's table.
+	if clean.Elections != 1 || clean.FinalEpoch < 1 {
+		t.Errorf("clean control plane churned: %+v", clean)
+	}
+	// The quick windows hold only a few hundred post-fault samples, so the
+	// split bound here is statistical headroom, not the 2-point acceptance
+	// bound (that one is pinned by the fleet e2e test over a 20s window).
+	if clean.SplitDevPost > 0.06 {
+		t.Errorf("clean split drifted from Nash: %+v", clean)
+	}
+	kill := byName["leader kill"]
+	if kill.Availability < 0.99 {
+		t.Errorf("leader kill availability: %+v", kill)
+	}
+	if kill.Failovers == 0 || kill.Elections < 2 || kill.FinalEpoch < 2 {
+		t.Errorf("leader kill never exercised failover/re-election: %+v", kill)
+	}
+	if kill.RecoverSeconds < 0 || kill.RecoverSeconds > 2 {
+		t.Errorf("leader kill recovery took %vs", kill.RecoverSeconds)
+	}
+	churn := byName["backend churn"]
+	if churn.Availability < 0.99 || churn.FinalEpoch < 1 {
+		t.Errorf("backend churn: %+v", churn)
+	}
+	both := byName["kill+churn"]
+	if both.Availability < 0.98 || both.Elections < 2 || both.FinalEpoch < 2 {
+		t.Errorf("compound scenario: %+v", both)
+	}
+	for _, name := range []string{"leader kill", "backend churn", "kill+churn"} {
+		if dev := byName[name].SplitDevPost; dev > 0.1 {
+			t.Errorf("%s: post-fault split %.4f off Nash", name, dev)
+		}
+	}
+	if res.Table().Rows() != 4 {
+		t.Error("table mismatch")
+	}
+
+	data, err := ServeBenchJSON(nil, nil, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": 3`, `"ext10_fleet"`, `"leader kill"`, `"split_dev_post"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench json missing %s", want)
+		}
 	}
 }

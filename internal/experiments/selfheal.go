@@ -296,15 +296,16 @@ func (r *Ext9Result) bench() ext9Bench {
 	return out
 }
 
-// ServeBenchJSON combines the EXT8 and EXT9 results into the
-// BENCH_serve.json document (schema 2: one key per serving experiment).
-// Either result may be nil; its key is then omitted.
-func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result) ([]byte, error) {
+// ServeBenchJSON combines the EXT8, EXT9 and EXT10 results into the
+// BENCH_serve.json document (schema 3: one key per serving experiment).
+// Any result may be nil; its key is then omitted.
+func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result, ext10 *Ext10Result) ([]byte, error) {
 	doc := struct {
-		Schema int        `json:"schema"`
-		Ext8   *ext8Bench `json:"ext8_live_serving,omitempty"`
-		Ext9   *ext9Bench `json:"ext9_self_healing,omitempty"`
-	}{Schema: 2}
+		Schema int         `json:"schema"`
+		Ext8   *ext8Bench  `json:"ext8_live_serving,omitempty"`
+		Ext9   *ext9Bench  `json:"ext9_self_healing,omitempty"`
+		Ext10  *ext10Bench `json:"ext10_fleet,omitempty"`
+	}{Schema: 3}
 	if ext8 != nil {
 		b := ext8.bench()
 		doc.Ext8 = &b
@@ -312,6 +313,10 @@ func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result) ([]byte, error) {
 	if ext9 != nil {
 		b := ext9.bench()
 		doc.Ext9 = &b
+	}
+	if ext10 != nil {
+		b := ext10.bench()
+		doc.Ext10 = &b
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }

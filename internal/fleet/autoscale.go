@@ -1,0 +1,112 @@
+package fleet
+
+// AutoscaleConfig parameterizes the leader's elastic-capacity hook: each
+// supervision epoch the leader computes the active set's utilization
+// (aggregate offered load over active effective capacity) and, once the
+// condition has held for Sustain consecutive epochs, drains one machine
+// (low) or activates one standby (high). One machine per decision keeps the
+// equilibrium moving in small, re-solvable steps.
+type AutoscaleConfig struct {
+	// Enabled turns the autoscaler on; a zero config never scales.
+	Enabled bool
+	// Low and High are the utilization thresholds for scale-down and
+	// scale-up (defaults 0.3 and 0.8 when Enabled with zero values).
+	Low  float64
+	High float64
+	// Sustain is how many consecutive epochs a threshold must hold before
+	// acting (default 3) — transient dips must not churn capacity.
+	Sustain int
+	// MinActive floors the active set (default 1).
+	MinActive int
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Low <= 0 {
+		c.Low = 0.3
+	}
+	if c.High <= 0 || c.High <= c.Low {
+		c.High = 0.8
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 3
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	return c
+}
+
+// scaleDecision is the autoscaler's verdict for one epoch: the index of a
+// machine to drain or activate, or -1 for no change on that side. At most
+// one of the two is set.
+type scaleDecision struct {
+	drain    int
+	activate int
+}
+
+// decideScale is the pure autoscaler step: given the sustained-streak
+// counters (maintained by the caller across epochs), the current active
+// flags, per-machine effective rates, and the aggregate offered load, it
+// picks at most one membership change. Scale-down drains the
+// smallest-capacity active machine, but only when the survivors still carry
+// the offered load below the High threshold (never drain into overload);
+// scale-up activates the largest-capacity standby.
+func decideScale(cfg AutoscaleConfig, lowStreak, highStreak int, active []bool, rateEff []float64, offered float64) scaleDecision {
+	d := scaleDecision{drain: -1, activate: -1}
+	if !cfg.Enabled {
+		return d
+	}
+	cfg = cfg.withDefaults()
+	nActive := 0
+	for _, a := range active {
+		if a {
+			nActive++
+		}
+	}
+	if highStreak >= cfg.Sustain {
+		best := -1
+		for j, a := range active {
+			if !a && (best < 0 || rateEff[j] > rateEff[best]) {
+				best = j
+			}
+		}
+		d.activate = best
+		return d
+	}
+	if lowStreak >= cfg.Sustain && nActive > cfg.MinActive {
+		var capEff float64
+		for j, a := range active {
+			if a {
+				capEff += rateEff[j]
+			}
+		}
+		best := -1
+		for j, a := range active {
+			if a && (best < 0 || rateEff[j] < rateEff[best]) {
+				best = j
+			}
+		}
+		if best >= 0 {
+			remaining := capEff - rateEff[best]
+			if remaining > 0 && offered < cfg.High*remaining {
+				d.drain = best
+			}
+		}
+	}
+	return d
+}
+
+// utilization returns offered load over active effective capacity (infinity
+// collapses to 1 when there is no capacity: maximally utilized).
+func utilization(active []bool, rateEff []float64, offered float64) float64 {
+	var capEff float64
+	for j, a := range active {
+		if a {
+			capEff += rateEff[j]
+		}
+	}
+	if capEff <= 0 {
+		return 1
+	}
+	return offered / capEff
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import "testing"
+
+func TestDecideScaleDisabled(t *testing.T) {
+	d := decideScale(AutoscaleConfig{}, 100, 100, []bool{true, true}, []float64{10, 20}, 1)
+	if d.drain != -1 || d.activate != -1 {
+		t.Fatalf("disabled autoscaler acted: %+v", d)
+	}
+}
+
+func TestDecideScaleNeedsSustain(t *testing.T) {
+	cfg := AutoscaleConfig{Enabled: true, Low: 0.3, High: 0.8, Sustain: 3}
+	active := []bool{true, true, true}
+	rates := []float64{10, 20, 40}
+	for streak := 0; streak < 3; streak++ {
+		if d := decideScale(cfg, streak, 0, active, rates, 1); d.drain != -1 {
+			t.Fatalf("drained after only %d low epochs", streak)
+		}
+		if d := decideScale(cfg, 0, streak, active, rates, 1); d.activate != -1 {
+			t.Fatalf("activated after only %d high epochs", streak)
+		}
+	}
+}
+
+func TestDecideScaleDrainsSmallestActive(t *testing.T) {
+	cfg := AutoscaleConfig{Enabled: true, Low: 0.3, High: 0.8, Sustain: 2}
+	d := decideScale(cfg, 2, 0, []bool{true, true, true}, []float64{10, 5, 40}, 3)
+	if d.drain != 1 {
+		t.Fatalf("drain = %d, want the smallest active machine (1)", d.drain)
+	}
+	if d.activate != -1 {
+		t.Fatalf("drain decision also activated %d", d.activate)
+	}
+}
+
+func TestDecideScaleNeverDrainsIntoOverload(t *testing.T) {
+	cfg := AutoscaleConfig{Enabled: true, Low: 0.5, High: 0.8, Sustain: 1}
+	// Utilization is "low" only because Low is set high; removing the small
+	// machine would push the survivor past High — the drain must not happen.
+	d := decideScale(cfg, 5, 0, []bool{true, true}, []float64{10, 30}, 27)
+	if d.drain != -1 {
+		t.Fatalf("drained machine %d into overload (offered 27, remaining 30, high 0.8)", d.drain)
+	}
+}
+
+func TestDecideScaleRespectsMinActive(t *testing.T) {
+	cfg := AutoscaleConfig{Enabled: true, Low: 0.3, High: 0.8, Sustain: 1, MinActive: 2}
+	d := decideScale(cfg, 10, 0, []bool{true, true, false}, []float64{10, 20, 40}, 0.1)
+	if d.drain != -1 {
+		t.Fatalf("drained below MinActive: %+v", d)
+	}
+}
+
+func TestDecideScaleActivatesLargestStandby(t *testing.T) {
+	cfg := AutoscaleConfig{Enabled: true, Low: 0.3, High: 0.8, Sustain: 2}
+	d := decideScale(cfg, 0, 2, []bool{true, false, false}, []float64{10, 20, 40}, 9)
+	if d.activate != 2 {
+		t.Fatalf("activate = %d, want the largest standby (2)", d.activate)
+	}
+	// No standby left: nothing to activate.
+	d = decideScale(cfg, 0, 2, []bool{true, true, true}, []float64{10, 20, 40}, 60)
+	if d.activate != -1 {
+		t.Fatalf("activated with no standby: %+v", d)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if u := utilization([]bool{true, false}, []float64{10, 90}, 5); u != 0.5 {
+		t.Fatalf("utilization = %g, want 0.5", u)
+	}
+	if u := utilization([]bool{false, false}, []float64{10, 90}, 5); u != 1 {
+		t.Fatalf("no-capacity utilization = %g, want 1", u)
+	}
+}

@@ -1,0 +1,872 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/serve"
+)
+
+// Config describes one fleet node: a nashgate data plane plus its replica of
+// the control plane.
+type Config struct {
+	// ID is this node's fleet identity. Leadership goes to the lowest alive
+	// non-draining ID, so ID 0 is the natural first leader.
+	ID int
+	// Machines is the provisioned machine universe: every backend this
+	// fleet may ever route to, with the initial Active flags. The universe
+	// is fixed at startup — gateways size their samplers, breakers and
+	// metrics for it — and elastic membership activates or drains machines
+	// within it.
+	Machines []Machine
+	// Arrivals is the nominal per-user arrival-rate vector for the whole
+	// fleet (the full game); leaders re-weight it with the replicas' live
+	// estimates of their traffic shares.
+	Arrivals []float64
+	// Gateway is the data-plane template: Backends, Rates, Arrivals,
+	// Profile and OnWeights are filled in by the node; everything else
+	// (timeouts, breakers, admission shaping) passes through.
+	Gateway serve.GatewayConfig
+	// HeartbeatEvery is the peer-probe period (default 50ms); a peer is
+	// declared dead after MaxMisses consecutive failed probes (default 3).
+	HeartbeatEvery time.Duration
+	MaxMisses      int
+	// SolveEvery is the supervision epoch: how often the leader re-gathers
+	// reports and re-solves the aggregate game. A new leader solves
+	// immediately on assumption, so failover recovery is bounded by
+	// detection time, not by this period (default 250ms).
+	SolveEvery time.Duration
+	// EstimateAlpha is the EWMA weight for the per-user admitted-rate
+	// estimate (default 0.3); EstimateEvery is its sampling period
+	// (default 150ms). Each sample differences the gateway's cumulative
+	// admission counters over a sliding EstimateWindow (default 1s): at
+	// fleet-scale per-gateway rates a single sampling period holds only a
+	// handful of arrivals, and a rate read off one short window is noise.
+	EstimateAlpha  float64
+	EstimateEvery  time.Duration
+	EstimateWindow time.Duration
+	// Autoscale enables the elastic-capacity hook (off by default).
+	Autoscale AutoscaleConfig
+	// Addr is the control listener address ("127.0.0.1:0" when empty).
+	Addr string
+}
+
+// fleetSaturationRho mirrors the serve-layer saturation threshold: offered
+// load at or above this fraction of active capacity triggers degraded-mode
+// admission in the solved table.
+const fleetSaturationRho = 0.95
+
+// Node is one fleet replica: it serves traffic through its gateway from the
+// first request, probes its peers, takes over solving when it is the lowest
+// alive ID, and otherwise applies whatever fenced tables the leader pushes.
+type Node struct {
+	cfg    Config
+	rho    float64 // degraded-mode utilization ceiling
+	gw     *serve.Gateway
+	ln     net.Listener
+	srv    *http.Server
+	client *http.Client
+
+	quit     chan struct{}
+	kick     chan struct{} // out-of-band solve nudge (health changes)
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	solveMu  sync.Mutex // serializes solveAndDistribute across triggers
+
+	mu           sync.Mutex
+	peers        []string // control URLs indexed by node ID ("" = self)
+	alive        []bool
+	drainingPeer []bool
+	misses       []int
+	leader       int // believed leader ID, -1 while unknown
+	wasLeader    bool
+	maxEpoch     uint64 // highest epoch observed anywhere in the fleet
+	leadEpoch    uint64 // our own reign's epoch while leading
+	leadVersion  uint64
+	epoch        uint64 // (epoch, version) of the last installed table
+	version      uint64
+	active       []bool // active flags of the last installed table
+	draining     bool
+	estRates     []float64
+	estInit      bool
+	samples      []countSample // admission counter ring, oldest first
+	lastEstAt    time.Time
+	aggSmooth    []float64 // leader-side EWMA of the aggregated arrivals
+	lowStreak    int
+	highStreak   int
+
+	elections atomic.Int64
+	solves    atomic.Int64
+}
+
+// NewNode validates the configuration, binds the control listener (so
+// ControlURL is known before Start), and builds the gateway over the full
+// machine universe. Every node solves the nominal full game for its initial
+// routing table, so all replicas start from the same equilibrium before the
+// first leader table arrives.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("fleet: negative node id %d", cfg.ID)
+	}
+	if err := validMachines(cfg.Machines); err != nil {
+		return nil, err
+	}
+	if len(cfg.Arrivals) == 0 {
+		return nil, errors.New("fleet: node needs at least one user")
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if cfg.MaxMisses <= 0 {
+		cfg.MaxMisses = 3
+	}
+	if cfg.SolveEvery <= 0 {
+		cfg.SolveEvery = 250 * time.Millisecond
+	}
+	if cfg.EstimateAlpha <= 0 || cfg.EstimateAlpha > 1 {
+		cfg.EstimateAlpha = 0.3
+	}
+	if cfg.EstimateEvery <= 0 {
+		cfg.EstimateEvery = 150 * time.Millisecond
+	}
+	if cfg.EstimateWindow <= 0 {
+		cfg.EstimateWindow = time.Second
+	}
+	if cfg.EstimateWindow < cfg.EstimateEvery {
+		cfg.EstimateWindow = cfg.EstimateEvery
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	rho := cfg.Gateway.DegradedRho
+	if rho <= 0 || rho >= 1 {
+		rho = 0.9
+	}
+
+	n := &Node{
+		cfg:    cfg,
+		rho:    rho,
+		quit:   make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+		leader: -1,
+		active: make([]bool, len(cfg.Machines)),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+	for j, m := range cfg.Machines {
+		n.active[j] = m.Active
+	}
+
+	gwCfg := cfg.Gateway
+	gwCfg.Backends = make([]string, len(cfg.Machines))
+	gwCfg.Rates = make([]float64, len(cfg.Machines))
+	for j, m := range cfg.Machines {
+		gwCfg.Backends[j] = m.URL
+		gwCfg.Rates[j] = m.Rate
+	}
+	gwCfg.Arrivals = append([]float64(nil), cfg.Arrivals...)
+	gwCfg.Profile = nil // the initial table install carries the equilibrium
+	gwCfg.OnWeights = n.onWeights
+	gw, err := serve.NewGateway(gwCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.gw = gw
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: control listen: %w", err)
+	}
+	n.ln = ln
+	return n, nil
+}
+
+// ControlURL returns the node's control-plane base URL.
+func (n *Node) ControlURL() string { return "http://" + n.ln.Addr().String() }
+
+// GatewayURL returns the data-plane base URL (empty before Start).
+func (n *Node) GatewayURL() string { return n.gw.URL() }
+
+// Gateway exposes the underlying data plane (tests and metrics scraping).
+func (n *Node) Gateway() *serve.Gateway { return n.gw }
+
+// Leader returns the believed leader's ID (-1 while unknown).
+func (n *Node) Leader() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader
+}
+
+// TableEpoch returns the (epoch, version) of the node's installed table.
+func (n *Node) TableEpoch() (uint64, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch, n.version
+}
+
+// Elections counts leadership assumptions by this node.
+func (n *Node) Elections() int64 { return n.elections.Load() }
+
+// Machines returns the universe with the currently installed Active flags.
+func (n *Node) Machines() []Machine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Machine, len(n.cfg.Machines))
+	for j, m := range n.cfg.Machines {
+		m.Active = n.active[j]
+		out[j] = m
+	}
+	return out
+}
+
+// Start launches the data plane and the control plane. peers maps node ID to
+// control URL for the whole fleet (the self entry is ignored); every node
+// must be given the same mapping.
+func (n *Node) Start(peers []string) error {
+	if n.cfg.ID >= len(peers) {
+		return fmt.Errorf("fleet: node id %d outside peer list of %d", n.cfg.ID, len(peers))
+	}
+	n.mu.Lock()
+	n.peers = append([]string(nil), peers...)
+	n.peers[n.cfg.ID] = ""
+	n.alive = make([]bool, len(peers))
+	n.drainingPeer = make([]bool, len(peers))
+	n.misses = make([]int, len(peers))
+	for i := range n.alive {
+		// Optimistic start: a peer that never answers is declared dead
+		// after MaxMisses probes; assuming death first would trigger a
+		// spurious election at every cold start.
+		n.alive[i] = true
+	}
+	n.estRates = make([]float64, len(n.cfg.Arrivals))
+	n.mu.Unlock()
+
+	if err := n.gw.Start(); err != nil {
+		return err
+	}
+
+	// Seed routing with the nominal full-game equilibrium at (epoch 0,
+	// version 1): identical on every replica (the solver is deterministic),
+	// superseded by the first elected leader's epoch >= 1 table.
+	profile, admitFrac := solveFleet(n.cfg.Machines, n.active, nil, n.cfg.Arrivals, n.rho)
+	if profile != nil {
+		offered := sum(n.cfg.Arrivals)
+		if err := n.gw.InstallTable(serve.Table{
+			Epoch: 0, Version: 1,
+			Profile:     profile,
+			Active:      append([]bool(nil), n.active...),
+			AdmitFrac:   admitFrac,
+			OfferedRate: offered / float64(len(peers)),
+		}); err == nil {
+			n.mu.Lock()
+			n.epoch, n.version = 0, 1
+			n.mu.Unlock()
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet", n.handleFleet)
+	mux.HandleFunc("GET /fleet/heartbeat", n.handleHeartbeat)
+	mux.HandleFunc("GET /fleet/report", n.handleReport)
+	mux.HandleFunc("POST /fleet/table", n.handleTable)
+	mux.HandleFunc("POST /fleet/machines", n.handleMachines)
+	n.srv = &http.Server{Handler: mux}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = n.srv.Serve(n.ln)
+	}()
+
+	n.wg.Add(1)
+	go n.run()
+	return nil
+}
+
+// Stop drains the node out of the fleet gracefully: admission stops (new
+// requests get 503 + Retry-After and fail over to peers), the draining flag
+// rides the next heartbeats so peers elect around this node and stop
+// counting its reports, in-flight requests finish, and only then do the
+// servers close.
+func (n *Node) Stop() error {
+	n.mu.Lock()
+	already := n.draining
+	n.draining = true
+	n.mu.Unlock()
+	n.gw.Drain()
+	if !already {
+		// Let a couple of heartbeat rounds advertise the drain before the
+		// control plane disappears — the polite deregistration.
+		time.Sleep(2*n.cfg.HeartbeatEvery + 10*time.Millisecond)
+	}
+	n.stopOnce.Do(func() { close(n.quit) })
+	err := n.gw.Close()
+	if n.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if serr := n.srv.Shutdown(ctx); serr != nil {
+			err = errors.Join(err, n.srv.Close())
+		}
+	}
+	n.wg.Wait()
+	n.client.CloseIdleConnections()
+	return err
+}
+
+// Kill crashes the node: control plane and data plane drop instantly,
+// in-flight requests included — the chaos-harness leader-kill.
+func (n *Node) Kill() error {
+	n.stopOnce.Do(func() { close(n.quit) })
+	var err error
+	if n.srv != nil {
+		err = n.srv.Close()
+	}
+	err = errors.Join(err, n.gw.Kill())
+	n.wg.Wait()
+	n.client.CloseIdleConnections()
+	return err
+}
+
+// onWeights is the gateway's managed-mode callback: a health-layer change
+// (breaker trip, recovery ramp step) just needs the next solve to see fresh
+// weights, which /fleet/report serves on demand — so the only action is to
+// nudge the run loop so a leading node solves sooner. Never blocks (it runs
+// on the gateway's health loop).
+func (n *Node) onWeights([]float64) {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the supervision loop: probe peers, refresh arrival estimates,
+// elect, and solve when leading — immediately on assumption, then every
+// SolveEvery, plus whenever the health layer kicks.
+func (n *Node) run() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	var lastSolve time.Time
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-ticker.C:
+		case <-n.kick:
+		}
+		n.probePeers()
+		n.updateEstimates()
+
+		n.mu.Lock()
+		lead := n.electLocked()
+		isLeader := lead == n.cfg.ID && !n.draining
+		becoming := isLeader && !n.wasLeader
+		if becoming {
+			n.maxEpoch++
+			n.leadEpoch = n.maxEpoch
+			n.leadVersion = 0
+			n.elections.Add(1)
+		}
+		n.wasLeader = isLeader
+		n.mu.Unlock()
+
+		if isLeader && (becoming || time.Since(lastSolve) >= n.cfg.SolveEvery) {
+			n.solveAndDistribute()
+			lastSolve = time.Now()
+		}
+	}
+}
+
+// electLocked returns the lowest alive, non-draining node ID — the same
+// deterministic lowest-survivor rule the dist ring uses for token recovery.
+func (n *Node) electLocked() int {
+	lead := -1
+	for i := range n.alive {
+		ok := n.alive[i] && !n.drainingPeer[i]
+		if i == n.cfg.ID {
+			ok = !n.draining
+		}
+		if ok {
+			lead = i
+			break
+		}
+	}
+	n.leader = lead
+	return lead
+}
+
+// probePeers heartbeats every peer concurrently and folds the answers into
+// the liveness view. Probes run without holding the node lock.
+func (n *Node) probePeers() {
+	n.mu.Lock()
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+
+	type outcome struct {
+		ok bool
+		hb Heartbeat
+	}
+	results := make([]outcome, len(peers))
+	var wg sync.WaitGroup
+	for i, url := range peers {
+		if url == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			hb, err := n.fetchHeartbeat(url)
+			results[i] = outcome{ok: err == nil, hb: hb}
+		}(i, url)
+	}
+	wg.Wait()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range peers {
+		if peers[i] == "" {
+			continue
+		}
+		if !results[i].ok {
+			n.misses[i]++
+			if n.misses[i] >= n.cfg.MaxMisses {
+				n.alive[i] = false
+			}
+			continue
+		}
+		n.misses[i] = 0
+		n.alive[i] = true
+		n.drainingPeer[i] = results[i].hb.Draining
+		if results[i].hb.Epoch > n.maxEpoch {
+			n.maxEpoch = results[i].hb.Epoch
+		}
+	}
+}
+
+func (n *Node) fetchHeartbeat(url string) (Heartbeat, error) {
+	timeout := n.cfg.HeartbeatEvery
+	if timeout < 25*time.Millisecond {
+		timeout = 25 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/fleet/heartbeat", nil)
+	if err != nil {
+		return Heartbeat{}, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return Heartbeat{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxMessage+1))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return Heartbeat{}, fmt.Errorf("fleet: heartbeat status %d: %v", resp.StatusCode, err)
+	}
+	return DecodeHeartbeat(body)
+}
+
+// countSample is one reading of the gateway's cumulative admission counters.
+type countSample struct {
+	counts []int64
+	at     time.Time
+}
+
+// updateEstimates refreshes the EWMA per-user admitted-rate estimate — each
+// replica's view of its own traffic share, reported to whoever leads. Each
+// sample differences the cumulative counters against a reading from
+// EstimateWindow ago (a ring of past readings), so one sample already
+// averages over enough arrivals to mean something; the EWMA then tracks
+// shifts, such as a dead peer's share failing over to this gateway.
+func (n *Node) updateEstimates() {
+	now := time.Now()
+	counts := n.gw.AdmittedPerUser()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.samples = append(n.samples, countSample{counts: counts, at: now})
+	// Keep the oldest sample still inside the lookback window (plus one
+	// older reading to anchor a full-width difference).
+	for len(n.samples) > 1 && now.Sub(n.samples[1].at) >= n.cfg.EstimateWindow {
+		n.samples = n.samples[1:]
+	}
+	if now.Sub(n.lastEstAt) < n.cfg.EstimateEvery {
+		return
+	}
+	oldest := n.samples[0]
+	elapsed := now.Sub(oldest.at)
+	if elapsed <= 0 {
+		return
+	}
+	alpha := n.cfg.EstimateAlpha
+	for i := range counts {
+		rate := float64(counts[i]-oldest.counts[i]) / elapsed.Seconds()
+		if n.estInit {
+			n.estRates[i] = alpha*rate + (1-alpha)*n.estRates[i]
+		} else {
+			n.estRates[i] = rate
+		}
+	}
+	// The very first reading anchors at zero traffic; start the EWMA once a
+	// full-width window exists.
+	n.estInit = n.estInit || elapsed >= n.cfg.EstimateWindow
+	n.lastEstAt = now
+}
+
+// gatherReports collects the replicas' arrival estimates and health weights
+// for one solve: the local report plus one fetch per alive, non-draining
+// peer. Unreachable peers are skipped — their share is simply absent this
+// epoch.
+func (n *Node) gatherReports() []Report {
+	n.mu.Lock()
+	self := Report{
+		ID:       n.cfg.ID,
+		Arrivals: append([]float64(nil), n.estRates...),
+		Weights:  n.gw.HealthWeights(),
+	}
+	type target struct {
+		id  int
+		url string
+	}
+	var targets []target
+	for i, url := range n.peers {
+		if url != "" && n.alive[i] && !n.drainingPeer[i] {
+			targets = append(targets, target{i, url})
+		}
+	}
+	n.mu.Unlock()
+
+	reports := make([]Report, len(targets)+1)
+	reports[0] = self
+	var wg sync.WaitGroup
+	for k, t := range targets {
+		wg.Add(1)
+		go func(k int, t target) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.SolveEvery/2+50*time.Millisecond)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url+"/fleet/report", nil)
+			if err != nil {
+				return
+			}
+			resp, err := n.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, MaxMessage+1))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			if rep, err := DecodeReport(body); err == nil {
+				reports[k+1] = rep
+				reports[k+1].ID = t.id
+			}
+		}(k, t)
+	}
+	wg.Wait()
+	out := reports[:0]
+	for _, r := range reports {
+		if r.Arrivals != nil || r.ID == n.cfg.ID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// solveAndDistribute is one leader supervision epoch: gather reports,
+// aggregate the arrival estimates into the game's user weights, fold the
+// fleet-wide health view into machine capacities, run the autoscaler, solve,
+// and push the fenced table to every replica. A 409 carrying a higher epoch
+// means this node has been deposed; it steps down immediately.
+func (n *Node) solveAndDistribute() {
+	n.solveMu.Lock()
+	defer n.solveMu.Unlock()
+
+	n.mu.Lock()
+	if n.leader != n.cfg.ID || n.draining {
+		n.mu.Unlock()
+		return
+	}
+	epoch := n.leadEpoch
+	active := append([]bool(nil), n.active...)
+	n.mu.Unlock()
+
+	reports := n.gatherReports()
+
+	// Aggregate per-user arrivals: the fleet-wide rate for user i is the sum
+	// of the replicas' estimated shares. Before traffic flows (estimates
+	// near zero) the nominal rates stand in; once live, a small per-user
+	// floor keeps a silent user in the game rather than dividing by zero.
+	m := len(n.cfg.Arrivals)
+	agg := make([]float64, m)
+	for _, r := range reports {
+		for i := 0; i < m && i < len(r.Arrivals); i++ {
+			agg[i] += r.Arrivals[i]
+		}
+	}
+	nominalTotal := sum(n.cfg.Arrivals)
+	if sum(agg) < 0.05*nominalTotal {
+		copy(agg, n.cfg.Arrivals)
+	} else {
+		for i := range agg {
+			if floor := 0.02 * n.cfg.Arrivals[i]; agg[i] < floor {
+				agg[i] = floor
+			}
+		}
+	}
+
+	// Second-stage smoothing across supervision epochs: the replica-side
+	// estimates are still sample noise over a ~1s window, and the Nash
+	// split's concentration on fast machines is nonlinear in load, so
+	// solving each epoch's raw aggregate would bias routing toward them.
+	n.mu.Lock()
+	if n.aggSmooth == nil || len(n.aggSmooth) != m {
+		n.aggSmooth = append([]float64(nil), agg...)
+	} else {
+		alpha := n.cfg.EstimateAlpha
+		for i := range agg {
+			n.aggSmooth[i] = alpha*agg[i] + (1-alpha)*n.aggSmooth[i]
+		}
+	}
+	agg = append(agg[:0], n.aggSmooth...)
+	n.mu.Unlock()
+
+	// Fleet-wide machine weights: the element-wise minimum across replicas —
+	// a machine any gateway has breaker-opened is treated as reduced for the
+	// whole fleet (conservative: the shared backend is likely down for all).
+	weights := make([]float64, len(n.cfg.Machines))
+	for j := range weights {
+		weights[j] = 1
+	}
+	for _, r := range reports {
+		for j := 0; j < len(weights) && j < len(r.Weights); j++ {
+			if r.Weights[j] < weights[j] {
+				weights[j] = r.Weights[j]
+			}
+		}
+	}
+
+	// Elastic capacity: sustained low utilization drains the smallest active
+	// machine; sustained high utilization activates the largest standby.
+	offered := sum(agg)
+	rateEff := make([]float64, len(n.cfg.Machines))
+	for j, mach := range n.cfg.Machines {
+		rateEff[j] = mach.Rate * weights[j]
+	}
+	if n.cfg.Autoscale.Enabled {
+		u := utilization(active, rateEff, offered)
+		as := n.cfg.Autoscale.withDefaults()
+		n.mu.Lock()
+		switch {
+		case u < as.Low:
+			n.lowStreak++
+			n.highStreak = 0
+		case u > as.High:
+			n.highStreak++
+			n.lowStreak = 0
+		default:
+			n.lowStreak, n.highStreak = 0, 0
+		}
+		d := decideScale(n.cfg.Autoscale, n.lowStreak, n.highStreak, active, rateEff, offered)
+		if d.drain >= 0 {
+			active[d.drain] = false
+			n.lowStreak, n.highStreak = 0, 0
+		}
+		if d.activate >= 0 {
+			active[d.activate] = true
+			n.lowStreak, n.highStreak = 0, 0
+		}
+		n.mu.Unlock()
+	}
+
+	profile, admitFrac := solveFleet(n.cfg.Machines, active, weights, agg, n.rho)
+	if profile == nil {
+		return // infeasible this epoch; replicas keep their last table
+	}
+
+	n.mu.Lock()
+	n.leadVersion++
+	version := n.leadVersion
+	peers := append([]string(nil), n.peers...)
+	alive := append([]bool(nil), n.alive...)
+	n.mu.Unlock()
+	n.solves.Add(1)
+
+	machines := make([]Machine, len(n.cfg.Machines))
+	for j, mach := range n.cfg.Machines {
+		mach.Active = active[j]
+		machines[j] = mach
+	}
+	offeredBy := make(map[int]float64, len(reports))
+	for _, r := range reports {
+		offeredBy[r.ID] = sum(r.Arrivals)
+	}
+
+	// Install locally first: if even our own gateway fences us out, a newer
+	// reign exists and stepping down beats spraying stale tables.
+	err := n.gw.InstallTable(serve.Table{
+		Epoch: epoch, Version: version,
+		Profile:     profile,
+		Active:      append([]bool(nil), active...),
+		AdmitFrac:   admitFrac,
+		OfferedRate: offeredBy[n.cfg.ID],
+	})
+	if errors.Is(err, serve.ErrStaleTable) {
+		n.stepDown(0)
+		return
+	}
+	if err != nil {
+		return
+	}
+	n.commitTable(epoch, version, active, n.cfg.ID)
+
+	t := Table{
+		Epoch: epoch, Version: version, Leader: n.cfg.ID,
+		Machines: machines, Arrivals: agg, AdmitFrac: admitFrac,
+		Profile: profile,
+	}
+	for i, url := range peers {
+		if url == "" || !alive[i] {
+			continue
+		}
+		t.OfferedRate = offeredBy[i]
+		if deposedBy, ok := n.pushTable(url, t); ok && deposedBy > epoch {
+			n.stepDown(deposedBy)
+			return
+		}
+	}
+}
+
+// pushTable POSTs one table to one replica. The second return is true when
+// the replica answered 409 (fenced out); the first is the epoch it reported.
+func (n *Node) pushTable(url string, t Table) (uint64, bool) {
+	data, err := EncodeTable(t)
+	if err != nil {
+		return 0, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.SolveEvery/2+50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/fleet/table", bytes.NewReader(data))
+	if err != nil {
+		return 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, MaxMessage+1))
+	if resp.StatusCode == http.StatusConflict {
+		var cur struct {
+			Epoch   uint64 `json:"epoch"`
+			Version uint64 `json:"version"`
+		}
+		_ = json.Unmarshal(body, &cur)
+		return cur.Epoch, true
+	}
+	return 0, false
+}
+
+// stepDown abandons leadership after meeting a newer reign.
+func (n *Node) stepDown(newerEpoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if newerEpoch > n.maxEpoch {
+		n.maxEpoch = newerEpoch
+	}
+	n.leader = -1
+	n.wasLeader = false
+}
+
+// commitTable records an installed table in the node's replica state.
+func (n *Node) commitTable(epoch, version uint64, active []bool, leader int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch, n.version = epoch, version
+	copy(n.active, active)
+	n.leader = leader
+	if epoch > n.maxEpoch {
+		n.maxEpoch = epoch
+	}
+}
+
+// solveFleet solves the aggregate game over the active machines at their
+// health-weighted capacities, returning an n-wide profile (zero columns on
+// inactive or cut-off machines) and the admit fraction: 1 when the offered
+// load is feasible, DegradedRho×capacity/offered when the fleet must shed.
+// It returns a nil profile when no capacity is active or the solver fails.
+func solveFleet(machines []Machine, active []bool, weights []float64, arrivals []float64, rho float64) (game.Profile, float64) {
+	n := len(machines)
+	muEff := make([]float64, n)
+	var capEff float64
+	for j := range machines {
+		w := 1.0
+		if weights != nil {
+			w = weights[j]
+		}
+		if active[j] {
+			muEff[j] = machines[j].Rate * w
+		}
+		capEff += muEff[j]
+	}
+	if capEff <= 0 {
+		return nil, 0
+	}
+	offered := sum(arrivals)
+	admitFrac := 1.0
+	if offered >= capEff*fleetSaturationRho {
+		admitFrac = rho * capEff / offered
+	}
+
+	var idx []int
+	var rates []float64
+	for j, mu := range muEff {
+		if mu > 0 {
+			idx = append(idx, j)
+			rates = append(rates, mu)
+		}
+	}
+	scaled := make([]float64, len(arrivals))
+	for i, phi := range arrivals {
+		scaled[i] = phi * admitFrac
+	}
+	sysR, err := game.NewSystem(rates, scaled)
+	if err != nil {
+		return nil, admitFrac
+	}
+	res, err := core.Solve(sysR, core.Options{Init: core.InitProportional})
+	if err != nil || !res.Converged {
+		return nil, admitFrac
+	}
+	profile := game.NewProfile(len(arrivals), n)
+	for i := range res.Profile {
+		for k, j := range idx {
+			profile[i][j] = res.Profile[i][k]
+		}
+	}
+	return profile, admitFrac
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fleet
+
+const raceEnabled = false

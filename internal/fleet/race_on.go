@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled lets timing-sensitive tests widen tolerances under the race
+// detector, whose instrumentation inflates per-request overhead.
+const raceEnabled = true

@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nashlb/internal/game"
+)
+
+// encodeUnchecked marshals without the encoder-side validation, to hand the
+// decoder wire forms EncodeTable itself would refuse to produce.
+func encodeUnchecked(v any) ([]byte, error) { return json.Marshal(v) }
+
+func validTable() Table {
+	return Table{
+		Epoch:   3,
+		Version: 7,
+		Leader:  1,
+		Machines: []Machine{
+			{URL: "http://127.0.0.1:1001", Rate: 10, Active: true},
+			{URL: "http://127.0.0.1:1002", Rate: 20, Active: false},
+		},
+		Arrivals:    []float64{4, 2},
+		AdmitFrac:   1,
+		OfferedRate: 6,
+		Profile:     game.Profile{{1, 0}, {1, 0}},
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	want := validTable()
+	data, err := EncodeTable(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeTableRejectsMalformed(t *testing.T) {
+	base := validTable()
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+	}{
+		{"negative leader", func(t *Table) { t.Leader = -1 }},
+		{"no machines", func(t *Table) { t.Machines = nil }},
+		{"empty machine url", func(t *Table) { t.Machines[0].URL = "" }},
+		{"duplicate machine url", func(t *Table) { t.Machines[1].URL = t.Machines[0].URL }},
+		{"zero rate", func(t *Table) { t.Machines[0].Rate = 0 }},
+		{"no arrivals", func(t *Table) { t.Arrivals = nil; t.Profile = nil }},
+		{"negative arrival", func(t *Table) { t.Arrivals[0] = -1 }},
+		{"admit fraction above one", func(t *Table) { t.AdmitFrac = 1.5 }},
+		{"profile row count", func(t *Table) { t.Profile = t.Profile[:1] }},
+		{"profile not a distribution", func(t *Table) { t.Profile[0] = []float64{0.3, 0.3} }},
+		{"profile negative weight", func(t *Table) { t.Profile[0] = []float64{1.5, -0.5} }},
+	}
+	for _, c := range cases {
+		tab := validTable()
+		c.mutate(&tab)
+		// Marshal through plain JSON (EncodeTable would refuse) and make
+		// sure the decoder refuses the wire form.
+		data, err := encodeUnchecked(tab)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.name, err)
+		}
+		if _, err := DecodeTable(data); err == nil {
+			t.Errorf("%s: DecodeTable accepted malformed input", c.name)
+		}
+	}
+	_ = base
+
+	for _, raw := range []string{
+		"",
+		"{",
+		`{"epoch": "not a number"}`,
+		`{"unknown_field": 1}`,
+		`{} trailing`,
+	} {
+		if _, err := DecodeTable([]byte(raw)); err == nil {
+			t.Errorf("DecodeTable accepted %q", raw)
+		}
+	}
+
+	// Oversized payloads are rejected before parsing.
+	big := `{"pad":"` + strings.Repeat("x", MaxMessage) + `"}`
+	if _, err := DecodeTable([]byte(big)); err == nil {
+		t.Error("DecodeTable accepted an oversized message")
+	}
+}
+
+func TestHeartbeatReportOpRoundTrip(t *testing.T) {
+	hb := Heartbeat{ID: 2, Epoch: 5, Version: 9, Leader: 0, Draining: true}
+	data, err := EncodeHeartbeat(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeHeartbeat(data); err != nil || got != hb {
+		t.Fatalf("heartbeat round trip: got %+v err %v", got, err)
+	}
+	if _, err := DecodeHeartbeat([]byte(`{"id": -3}`)); err == nil {
+		t.Error("DecodeHeartbeat accepted a negative node id")
+	}
+
+	rep := Report{ID: 1, Arrivals: []float64{3.5, 0}, Weights: []float64{1, 0.25}}
+	data, err = EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeReport(data); err != nil || !reflect.DeepEqual(got, rep) {
+		t.Fatalf("report round trip: got %+v err %v", got, err)
+	}
+	if _, err := DecodeReport([]byte(`{"id": 0, "weights": [2]}`)); err == nil {
+		t.Error("DecodeReport accepted a weight above 1")
+	}
+
+	op := MachineOp{Op: "leave", URL: "http://127.0.0.1:1001"}
+	data, err = EncodeMachineOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeMachineOp(data); err != nil || got != op {
+		t.Fatalf("machine op round trip: got %+v err %v", got, err)
+	}
+	if _, err := DecodeMachineOp([]byte(`{"op": "explode", "url": "x"}`)); err == nil {
+		t.Error("DecodeMachineOp accepted an unknown op")
+	}
+}
+
+// FuzzFleetWire drives the control-plane codec with arbitrary bytes: the
+// decoders must never panic, must reject malformed input, and anything they
+// do accept must survive an encode/decode round trip unchanged.
+func FuzzFleetWire(f *testing.F) {
+	if data, err := EncodeTable(validTable()); err == nil {
+		f.Add(data)
+	}
+	if data, err := EncodeHeartbeat(Heartbeat{ID: 1, Leader: -1}); err == nil {
+		f.Add(data)
+	}
+	if data, err := EncodeReport(Report{ID: 0, Arrivals: []float64{1}}); err == nil {
+		f.Add(data)
+	}
+	if data, err := EncodeMachineOp(MachineOp{Op: "join", URL: "http://b"}); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"epoch": 18446744073709551615}`))
+	f.Add([]byte(`{"machines": [{"url": "a", "rate": 1e308}]}`))
+	f.Add([]byte("not json at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tab, err := DecodeTable(data); err == nil {
+			out, err := EncodeTable(tab)
+			if err != nil {
+				t.Fatalf("decoded table does not re-encode: %v", err)
+			}
+			again, err := DecodeTable(out)
+			if err != nil {
+				t.Fatalf("re-encoded table does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(again, tab) {
+				t.Fatalf("table round trip mismatch: %+v vs %+v", again, tab)
+			}
+		}
+		if hb, err := DecodeHeartbeat(data); err == nil {
+			out, err := EncodeHeartbeat(hb)
+			if err != nil {
+				t.Fatalf("decoded heartbeat does not re-encode: %v", err)
+			}
+			if again, err := DecodeHeartbeat(out); err != nil || again != hb {
+				t.Fatalf("heartbeat round trip mismatch: %+v vs %+v (%v)", again, hb, err)
+			}
+		}
+		if rep, err := DecodeReport(data); err == nil {
+			out, err := EncodeReport(rep)
+			if err != nil {
+				t.Fatalf("decoded report does not re-encode: %v", err)
+			}
+			if again, err := DecodeReport(out); err != nil || !reflect.DeepEqual(again, rep) {
+				t.Fatalf("report round trip mismatch: %+v vs %+v (%v)", again, rep, err)
+			}
+		}
+		if op, err := DecodeMachineOp(data); err == nil {
+			out, err := EncodeMachineOp(op)
+			if err != nil {
+				t.Fatalf("decoded op does not re-encode: %v", err)
+			}
+			if again, err := DecodeMachineOp(out); err != nil || again != op {
+				t.Fatalf("op round trip mismatch: %+v vs %+v (%v)", again, op, err)
+			}
+		}
+	})
+}

@@ -196,6 +196,9 @@ type breakerSnapshot struct {
 	ErrorRate   float64 // failure fraction over the (possibly partial) window
 	Opens       int64
 	LastErr     string
+	// CooldownRemaining is how much longer an open breaker blocks before
+	// granting its half-open trial (zero unless open and still cooling).
+	CooldownRemaining time.Duration
 }
 
 func (b *breaker) snapshot() breakerSnapshot {
@@ -211,11 +214,17 @@ func (b *breaker) snapshot() breakerSnapshot {
 	if b.wn > 0 {
 		rate = float64(fails) / float64(b.wn)
 	}
-	return breakerSnapshot{
+	s := breakerSnapshot{
 		State:       b.state,
 		Consecutive: b.consecutive,
 		ErrorRate:   rate,
 		Opens:       b.opens,
 		LastErr:     b.lastErr,
 	}
+	if b.state == BreakerOpen {
+		if rem := b.cfg.Cooldown - b.cfg.now().Sub(b.openedAt); rem > 0 {
+			s.CooldownRemaining = rem
+		}
+	}
+	return s
 }

@@ -101,6 +101,16 @@ type GatewayConfig struct {
 	// and sheds the rest with 503 + Retry-After (default 0.9).
 	DegradedRho float64
 
+	// OnWeights puts the gateway in managed mode: instead of re-solving the
+	// game locally when the health layer's effective machine set changes,
+	// the gateway reports the new weight vector to this callback and waits
+	// for the control plane to InstallTable a fresh equilibrium. Degraded-
+	// mode shedding decisions move to the control plane too (Table.AdmitFrac).
+	// The callback runs on the health loop goroutine and must not block.
+	// Managed gateways keep the local fallback of falling back to live
+	// backends per request, so they stay safe on a stale table.
+	OnWeights func(weights []float64)
+
 	// Addr is the listen address ("127.0.0.1:0" when empty).
 	Addr string
 }
@@ -161,6 +171,15 @@ type Gateway struct {
 	shed        atomic.Pointer[shedConfig]
 	healthKick  chan struct{}
 	lastWeights []float64 // healthLoop-owned: weights at the last install
+
+	// Control-plane state: drained backends are administratively out of
+	// rotation (distinct from breaker-dead), draining refuses new admissions
+	// while in-flight work finishes, and the fence orders InstallTable
+	// against superseded leaders.
+	drained   []atomic.Bool
+	draining  atomic.Bool
+	fence     dist.Fence
+	installMu sync.Mutex
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -244,6 +263,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		met:        newGatewayMetrics(n, m),
 		est:        estimate.RunQueue{Rates: append([]float64(nil), cfg.Rates...)},
 		smooth:     make([]*estimate.Smoother, n),
+		drained:    make([]atomic.Bool, n),
 		budget:     newRetryBudget(cfg.RetryBudget),
 		healthKick: make(chan struct{}, 1),
 		ctx:        ctx,
@@ -405,6 +425,26 @@ func (g *Gateway) Close() error {
 	return err
 }
 
+// Kill abruptly closes the gateway: the listener and every open connection
+// drop immediately, in-flight requests included — the chaos-harness model of
+// a crashed gateway process (compare Close, which drains gracefully).
+func (g *Gateway) Kill() error {
+	if g.srv == nil {
+		return nil
+	}
+	select {
+	case <-g.quit:
+	default:
+		close(g.quit)
+	}
+	g.cancel()
+	err := g.srv.Close()
+	g.wg.Wait()
+	g.client.CloseIdleConnections()
+	g.srv = nil
+	return err
+}
+
 // closing reports whether Close has begun (loops must not install state).
 func (g *Gateway) closing() bool {
 	select {
@@ -433,11 +473,18 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Admission: the token bucket shapes the accepted rate; degraded-mode
-	// shedding caps the admitted rate at what the surviving capacity can
-	// feasibly carry; the saturation flag refuses work when the estimated
-	// load leaves no backend with spare capacity (estimated rho_j >= 1
-	// everywhere).
+	// Admission: a draining gateway refuses all new work (graceful shutdown
+	// or fleet deregistration — callers should fail over to a peer); the
+	// token bucket shapes the accepted rate; degraded-mode shedding caps the
+	// admitted rate at what the surviving capacity can feasibly carry; the
+	// saturation flag refuses work when the estimated load leaves no backend
+	// with spare capacity (estimated rho_j >= 1 everywhere).
+	if g.draining.Load() {
+		g.met.rejectedDrain.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "gateway draining", http.StatusServiceUnavailable)
+		return
+	}
 	if !g.bucket.Allow() {
 		g.met.rejectedRate.Add(1)
 		http.Error(w, "rate limited", http.StatusTooManyRequests)
@@ -455,6 +502,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.met.admitted.Add(1)
+	g.met.userAdmitted[user].Add(1)
 
 	backend, ok := g.pickBackend(user)
 	if !ok {
@@ -498,22 +546,34 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// pickBackend samples the user's routing strategy and, when the health
-// layer is live, steers around tripped breakers: if the sampled backend is
-// cut off (a table swap is in flight), the request falls back to the user's
-// highest-weight live backend, then to the fastest live machine. The second
-// return value is false only when no backend is routable at all.
+// routable reports whether backend j may receive traffic: not drained by
+// the control plane, and (when the health layer is live) not cut off by its
+// breaker. Drained machines are administratively out of rotation even as a
+// fallback — the control plane is emptying them for scale-down.
+func (g *Gateway) routable(j int) bool {
+	if g.drained[j].Load() {
+		return false
+	}
+	return g.health == nil || g.health.allow(j)
+}
+
+// pickBackend samples the user's routing strategy and steers around
+// unroutable machines (tripped breakers, control-plane drains): if the
+// sampled backend is cut off (a table swap is in flight), the request falls
+// back to the user's highest-weight routable backend, then to the fastest
+// routable machine. The second return value is false only when no backend
+// is routable at all.
 func (g *Gateway) pickBackend(user int) (int, bool) {
 	table := g.table.Load()
 	g.userMu[user].Lock()
 	backend := table.samplers[user].Pick(g.userRng[user])
 	g.userMu[user].Unlock()
-	if g.health == nil || g.health.allow(backend) {
+	if g.routable(backend) {
 		return backend, true
 	}
 	best, bw := -1, 0.0
 	for j, f := range table.profile[user] {
-		if g.health.allow(j) && f > bw {
+		if g.routable(j) && f > bw {
 			best, bw = j, f
 		}
 	}
@@ -521,7 +581,7 @@ func (g *Gateway) pickBackend(user int) (int, bool) {
 		return best, true
 	}
 	for j, mu := range g.cfg.Rates {
-		if g.health.allow(j) && (best < 0 || mu > g.cfg.Rates[best]) {
+		if g.routable(j) && (best < 0 || mu > g.cfg.Rates[best]) {
 			best = j
 		}
 	}
@@ -529,13 +589,13 @@ func (g *Gateway) pickBackend(user int) (int, bool) {
 }
 
 // hedgeTarget returns the backend for a tail hedge: the caller's
-// second-preferred live machine by routed weight (falling back to the
-// fastest live machine), or -1 when there is no alternative.
+// second-preferred routable machine by routed weight (falling back to the
+// fastest routable machine), or -1 when there is no alternative.
 func (g *Gateway) hedgeTarget(user, primary int) int {
 	table := g.table.Load()
 	best, bw := -1, 0.0
 	for j, f := range table.profile[user] {
-		if j == primary || (g.health != nil && !g.health.allow(j)) {
+		if j == primary || !g.routable(j) {
 			continue
 		}
 		if f > bw {
@@ -546,7 +606,7 @@ func (g *Gateway) hedgeTarget(user, primary int) int {
 		return best
 	}
 	for j, mu := range g.cfg.Rates {
-		if j == primary || (g.health != nil && !g.health.allow(j)) {
+		if j == primary || !g.routable(j) {
 			continue
 		}
 		if best < 0 || mu > g.cfg.Rates[best] {
@@ -812,6 +872,12 @@ type BackendStatus struct {
 	// ConsecutiveFailures and ErrorRate are the breaker's trip inputs.
 	ConsecutiveFailures int     `json:"consecutive_failures"`
 	ErrorRate           float64 `json:"error_rate"`
+	// CooldownRemainingSeconds is how much longer an open breaker blocks
+	// before granting its half-open trial (0 unless open and cooling).
+	CooldownRemainingSeconds float64 `json:"cooldown_remaining_s"`
+	// Drained marks a machine administratively removed from rotation by the
+	// control plane (scale-down in progress), as opposed to breaker-dead.
+	Drained bool `json:"drained"`
 	// Opens counts breaker trips; Probes/ProbeFailures count active checks.
 	Opens         int64  `json:"opens"`
 	Probes        int64  `json:"probes"`
@@ -826,8 +892,17 @@ type BackendsStatus struct {
 	// Degraded and AdmitFraction describe degraded-mode shedding.
 	Degraded      bool    `json:"degraded"`
 	AdmitFraction float64 `json:"admit_fraction"`
-	// Reequilibrations counts health-driven routing-table installs.
+	// Reequilibrations counts health-driven routing-table installs;
+	// TableInstalls counts control-plane tables applied via InstallTable.
 	Reequilibrations int64 `json:"reequilibrations"`
+	TableInstalls    int64 `json:"table_installs"`
+	// TableEpoch and TableVersion identify the last installed control-plane
+	// table (both 0 when the gateway has only ever routed locally).
+	TableEpoch   uint64 `json:"table_epoch"`
+	TableVersion uint64 `json:"table_version"`
+	// Draining reports whether the gateway is refusing new admissions while
+	// in-flight requests finish.
+	Draining bool `json:"draining"`
 }
 
 func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
@@ -835,7 +910,10 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 		Backends:         make([]BackendStatus, len(g.cfg.Backends)),
 		AdmitFraction:    1,
 		Reequilibrations: g.met.reequils.Load(),
+		TableInstalls:    g.met.tableInstalls.Load(),
+		Draining:         g.draining.Load(),
 	}
+	st.TableEpoch, st.TableVersion = g.fence.Current()
 	if sh := g.shed.Load(); sh != nil {
 		st.Degraded = true
 		st.AdmitFraction = sh.AdmitFrac
@@ -851,6 +929,7 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 			Rate:       g.cfg.Rates[j],
 			State:      BreakerClosed.String(),
 			Weight:     1,
+			Drained:    g.drained[j].Load(),
 			QueueDepth: g.met.queueDepth[j].Load(),
 		}
 		if g.health != nil {
@@ -860,6 +939,7 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 			b.ConsecutiveFailures = snap.Consecutive
 			b.ErrorRate = snap.ErrorRate
 			b.Opens = snap.Opens
+			b.CooldownRemainingSeconds = snap.CooldownRemaining.Seconds()
 			b.LastError = snap.LastErr
 			g.health.mu.Lock()
 			b.Probes = g.health.probes[j]
@@ -896,6 +976,11 @@ func (g *Gateway) rebalanceLoop() {
 		}
 		g.met.polls.Add(1)
 		g.updateSaturation(depths)
+		if g.cfg.OnWeights != nil {
+			// Managed mode: keep the saturation estimate fresh but never
+			// install a locally computed table over the control plane's.
+			continue
+		}
 		next := g.policy(time.Since(start).Seconds(), depths, g.Profile())
 		if next == nil || !g.installable(next) {
 			continue
@@ -939,7 +1024,14 @@ func (g *Gateway) healthLoop() {
 		}
 		w := g.health.weights()
 		if !weightsEqual(w, g.lastWeights) {
-			g.reequilibrate(w)
+			if g.cfg.OnWeights != nil {
+				// Managed mode: the control plane owns routing. Report the
+				// change and keep serving the installed table; per-request
+				// fallback already steers around the cut-off machines.
+				g.cfg.OnWeights(w)
+			} else {
+				g.reequilibrate(w)
+			}
 			g.lastWeights = w
 		}
 	}

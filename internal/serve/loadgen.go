@@ -7,15 +7,24 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nashlb/internal/rng"
 )
 
-// LoadConfig describes an open-loop Poisson load test against a gateway.
+// LoadConfig describes an open-loop Poisson load test against a gateway (or
+// a fleet of them).
 type LoadConfig struct {
 	// Target is the gateway's base URL.
 	Target string
+	// Targets, when non-empty, overrides Target with a list of gateway base
+	// URLs — the client view of a gateway fleet. Each request picks a target
+	// uniformly from a seeded per-user stream and, on a transport-level
+	// failure (connection refused — a dead gateway), fails over to the next
+	// target in round-robin order before giving up. HTTP answers, including
+	// 503s, come from a live gateway and are terminal.
+	Targets []string
 	// Arrivals holds each user's request rate phi_i (requests/second); one
 	// independent Poisson stream per user.
 	Arrivals []float64
@@ -60,6 +69,60 @@ type LoadResult struct {
 	MinSeconds  []float64
 	MaxSeconds  []float64
 	Mean        float64
+	// PerTarget breaks post-warmup attempts down by target (attempt-level:
+	// a request that fails over counts one attempt on every target it
+	// touched, while the per-user counters above record only its final
+	// outcome). Failovers counts post-warmup transport-triggered switches.
+	PerTarget []TargetCounts
+	Failovers int64
+}
+
+// TargetCounts aggregates one target's post-warmup attempt outcomes across
+// all users.
+type TargetCounts struct {
+	Target    string
+	Sent      int64
+	Status2xx int64
+	Status429 int64
+	Status503 int64
+	Status5xx int64
+	Shed      int64
+	Timeouts  int64
+	Transport int64
+}
+
+// targetAccum accumulates one target's counts under its own lock.
+type targetAccum struct {
+	mu sync.Mutex
+	c  TargetCounts
+}
+
+func (a *targetAccum) note(warm bool, status int, shed bool, err error) {
+	if !warm {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.c.Sent++
+	switch {
+	case err != nil:
+		if errors.Is(err, context.DeadlineExceeded) {
+			a.c.Timeouts++
+		} else {
+			a.c.Transport++
+		}
+	case status >= 200 && status < 300:
+		a.c.Status2xx++
+	case status == http.StatusTooManyRequests:
+		a.c.Status429++
+	case status == http.StatusServiceUnavailable:
+		a.c.Status503++
+		if shed {
+			a.c.Shed++
+		}
+	case status >= 500:
+		a.c.Status5xx++
+	}
 }
 
 // userStats accumulates one user's post-warmup outcomes under its own lock
@@ -92,6 +155,13 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if m == 0 {
 		return nil, fmt.Errorf("serve: loadgen needs at least one user")
 	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		if cfg.Target == "" {
+			return nil, fmt.Errorf("serve: loadgen needs a target")
+		}
+		targets = []string{cfg.Target}
+	}
 	for i, phi := range cfg.Arrivals {
 		if !(phi > 0) {
 			return nil, fmt.Errorf("serve: invalid arrival phi[%d]=%g", i, phi)
@@ -115,12 +185,23 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	src := rng.NewSource(cfg.Seed)
 	stats := make([]*userStats, m)
+	tacc := make([]*targetAccum, len(targets))
+	for t := range tacc {
+		tacc[t] = &targetAccum{c: TargetCounts{Target: targets[t]}}
+	}
+	var failovers atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < m; i++ {
 		st := &userStats{}
 		stats[i] = st
 		stream := src.Stream(fmt.Sprintf("arrivals/%d", i))
+		// The target pick draws from its own stream only in fleet mode, so
+		// single-target schedules stay bit-identical to earlier releases.
+		var pick *rng.Stream
+		if len(targets) > 1 {
+			pick = src.Stream(fmt.Sprintf("target/%d", i))
+		}
 		wg.Add(1)
 		go func(user int, phi float64) {
 			defer wg.Done()
@@ -146,10 +227,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					st.sent++
 					st.mu.Unlock()
 				}
+				idx := 0
+				if pick != nil {
+					idx = pick.Intn(len(targets))
+				}
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					fire(client, cfg, user, warm, st)
+					fire(client, cfg, targets, tacc, user, idx, warm, st, &failovers)
 				}()
 			}
 		}(i, cfg.Arrivals[i])
@@ -198,29 +283,55 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if totalOK > 0 {
 		res.Mean = totalSum / float64(totalOK)
 	}
+	res.PerTarget = make([]TargetCounts, len(tacc))
+	for t, a := range tacc {
+		res.PerTarget[t] = a.c
+	}
+	res.Failovers = failovers.Load()
 	return res, nil
 }
 
-// fire issues one request and records its outcome.
-func fire(client *http.Client, cfg LoadConfig, user int, warm bool, st *userStats) {
+// fire issues one request, failing over across targets on transport errors
+// (the whole failover chain shares one Timeout), and records its outcome.
+func fire(client *http.Client, cfg LoadConfig, targets []string, tacc []*targetAccum, user, startIdx int, warm bool, st *userStats, failovers *atomic.Int64) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/submit", nil)
-	if err != nil {
-		record(st, warm, -1, false, 0, err)
+	idx := startIdx
+	for attempt := 0; ; attempt++ {
+		status, shed, seconds, err := issue(ctx, client, targets[idx], user)
+		tacc[idx].note(warm, status, shed, err)
+		// A transport-level failure may mean the gateway itself is dead:
+		// against a fleet, try each remaining peer once. HTTP answers —
+		// including 503s — come from a live gateway and are terminal, and a
+		// spent deadline ends the chain.
+		if err != nil && ctx.Err() == nil && attempt < len(targets)-1 {
+			idx = (idx + 1) % len(targets)
+			if warm {
+				failovers.Add(1)
+			}
+			continue
+		}
+		record(st, warm, status, shed, seconds, err)
 		return
+	}
+}
+
+// issue performs one attempt against one target.
+func issue(ctx context.Context, client *http.Client, target string, user int) (status int, shed bool, seconds float64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/submit", nil)
+	if err != nil {
+		return -1, false, 0, err
 	}
 	req.Header.Set("X-User", fmt.Sprintf("%d", user))
 	began := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		record(st, warm, -1, false, 0, err)
-		return
+		return -1, false, 0, err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	shed := resp.Header.Get("Retry-After") != ""
+	shed = resp.Header.Get("Retry-After") != ""
 	resp.Body.Close()
-	record(st, warm, resp.StatusCode, shed, time.Since(began).Seconds(), nil)
+	return resp.StatusCode, shed, time.Since(began).Seconds(), nil
 }
 
 func record(st *userStats, warm bool, status int, shed bool, seconds float64, err error) {

@@ -46,14 +46,17 @@ type gatewayMetrics struct {
 	backendRejects  []atomic.Int64 // backend said queue-full (503)
 	backendErrors   []atomic.Int64 // transport failures after retries
 	queueDepth      []atomic.Int64 // last polled depth gauge
+	userAdmitted    []atomic.Int64 // admitted requests per user (arrival estimation)
 	admitted        atomic.Int64
 	rejectedRate    atomic.Int64 // token bucket said no
 	rejectedSat     atomic.Int64 // estimated rho_j >= 1 everywhere
 	rejectedUser    atomic.Int64 // malformed/unknown user id
+	rejectedDrain   atomic.Int64 // refused because the gateway is draining
 	rebalances      atomic.Int64
 	polls           atomic.Int64
 	shed            atomic.Int64 // degraded-mode 503s (load shed)
 	reequils        atomic.Int64 // health-driven routing installs
+	tableInstalls   atomic.Int64 // control-plane routing tables installed
 	breakerOpens    atomic.Int64 // breaker trips to open
 	retryDenied     atomic.Int64 // retries refused by the retry budget
 	hedges          atomic.Int64 // hedge requests launched
@@ -86,6 +89,7 @@ func newGatewayMetrics(nBackends, nUsers int) *gatewayMetrics {
 		backendRejects:  make([]atomic.Int64, nBackends),
 		backendErrors:   make([]atomic.Int64, nBackends),
 		queueDepth:      make([]atomic.Int64, nBackends),
+		userAdmitted:    make([]atomic.Int64, nUsers),
 		shards:          make([]metricShard, shardCount()),
 		nUsers:          nUsers,
 	}
@@ -154,17 +158,23 @@ type Snapshot struct {
 	// QueueDepth is the last polled jobs-in-system gauge per backend.
 	QueueDepth []int64
 	// Admitted counts requests past admission control; the Rejected*
-	// fields split the refusals by reason.
-	Admitted     int64
-	RejectedRate int64
-	RejectedSat  int64
-	RejectedUser int64
-	Rebalances   int64
-	Polls        int64
+	// fields split the refusals by reason. UserAdmitted breaks Admitted
+	// down per user — the raw material for per-gateway arrival-rate
+	// estimation in a fleet.
+	Admitted      int64
+	UserAdmitted  []int64
+	RejectedRate  int64
+	RejectedSat   int64
+	RejectedUser  int64
+	RejectedDrain int64
+	Rebalances    int64
+	Polls         int64
 	// Shed counts degraded-mode refusals; Reequilibrations counts
-	// health-driven routing installs; BreakerOpens counts breaker trips.
+	// health-driven routing installs; TableInstalls counts control-plane
+	// (fleet) routing tables applied; BreakerOpens counts breaker trips.
 	Shed             int64
 	Reequilibrations int64
+	TableInstalls    int64
 	BreakerOpens     int64
 	// RetryDenied counts retries the budget refused; Hedges/HedgeWins count
 	// tail hedges launched and hedges that answered first.
@@ -196,13 +206,16 @@ func (m *gatewayMetrics) snapshot() *Snapshot {
 		BackendErrors:    make([]int64, len(m.backendErrors)),
 		QueueDepth:       make([]int64, len(m.queueDepth)),
 		Admitted:         m.admitted.Load(),
+		UserAdmitted:     make([]int64, m.nUsers),
 		RejectedRate:     m.rejectedRate.Load(),
 		RejectedSat:      m.rejectedSat.Load(),
 		RejectedUser:     m.rejectedUser.Load(),
+		RejectedDrain:    m.rejectedDrain.Load(),
 		Rebalances:       m.rebalances.Load(),
 		Polls:            m.polls.Load(),
 		Shed:             m.shed.Load(),
 		Reequilibrations: m.reequils.Load(),
+		TableInstalls:    m.tableInstalls.Load(),
 		BreakerOpens:     m.breakerOpens.Load(),
 		RetryDenied:      m.retryDenied.Load(),
 		Hedges:           m.hedges.Load(),
@@ -244,6 +257,7 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 	w("nashgate_rejected_total{reason=%q} %d\n", "saturated", m.rejectedSat.Load())
 	w("nashgate_rejected_total{reason=%q} %d\n", "bad_user", m.rejectedUser.Load())
 	w("nashgate_rejected_total{reason=%q} %d\n", "shed", m.shed.Load())
+	w("nashgate_rejected_total{reason=%q} %d\n", "draining", m.rejectedDrain.Load())
 
 	w("# HELP nashgate_backend_requests_total Served requests per backend.\n")
 	w("# TYPE nashgate_backend_requests_total counter\n")
@@ -275,6 +289,9 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 	w("# HELP nashgate_reequilibrations_total Health-driven routing installs.\n")
 	w("# TYPE nashgate_reequilibrations_total counter\n")
 	w("nashgate_reequilibrations_total %d\n", m.reequils.Load())
+	w("# HELP nashgate_table_installs_total Control-plane routing tables applied.\n")
+	w("# TYPE nashgate_table_installs_total counter\n")
+	w("nashgate_table_installs_total %d\n", m.tableInstalls.Load())
 	w("# HELP nashgate_breaker_opens_total Circuit-breaker trips to open.\n")
 	w("# TYPE nashgate_breaker_opens_total counter\n")
 	w("nashgate_breaker_opens_total %d\n", m.breakerOpens.Load())

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Full verification: the tier-1 gate (build + tests) plus static analysis
 # and the race detector over the concurrent packages (the distributed ring
-# with its fault-tolerance layer, the online balancer, and the live HTTP
-# serving stack — including the self-healing chaos tests in internal/serve;
-# the long crash/recovery e2e runs gate themselves behind -short).
+# with its fault-tolerance layer, the online balancer, the live HTTP
+# serving stack, and the gateway-fleet control plane — including the
+# self-healing chaos tests in internal/serve and the leader-failover tests
+# in internal/fleet; the long crash/recovery e2e runs gate themselves
+# behind -short).
 set -eu
 
 cd "$(dirname "$0")"
@@ -17,15 +19,16 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/..."
-go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/...
+echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/..."
+go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/...
 
 # Fuzz smoke: a short randomized run of each native fuzz target (bisection
-# root finder, M/M/1 queue-depth inversion). Regressions show up as crasher
-# inputs; Go allows one -fuzz target per invocation.
+# root finder, M/M/1 queue-depth inversion, fleet wire codec). Regressions
+# show up as crasher inputs; Go allows one -fuzz target per invocation.
 echo "== go test -fuzz (smoke, 10s each)"
 go test -run '^$' -fuzz FuzzBisect -fuzztime 10s ./internal/numeric
 go test -run '^$' -fuzz FuzzQueueInversion -fuzztime 10s ./internal/estimate
+go test -run '^$' -fuzz FuzzFleetWire -fuzztime 10s ./internal/fleet
 
 # Allocation-regression gate: the steady-state DES, cluster-job and gateway
 # record paths must stay at zero allocations per operation (the
