@@ -2,11 +2,12 @@
 # Core-path benchmark runner and regression artifact emitter.
 #
 # Runs the BenchmarkCore* suite — the DES kernel, the cluster job loop, the
-# gateway metrics path, and the cross-layer solve-and-simulate pipeline —
-# with allocation reporting, and converts the output into BENCH_core.json
-# (schema nashlb/bench-core/v1, documented in EXPERIMENTS.md) via
-# cmd/benchjson. CI runs this as a non-blocking job and uploads the JSON;
-# locally it is the before/after tool for performance work.
+# gateway metrics path, the class-aggregated megascale solver, and the
+# cross-layer solve-and-simulate pipeline — with allocation reporting, runs
+# the EXT11 planet-scale scaling sweep (quick mode), and converts everything
+# into BENCH_core.json (schema nashlb/bench-core/v2, documented in
+# EXPERIMENTS.md) via cmd/benchjson. CI runs this as a non-blocking job and
+# uploads the JSON; locally it is the before/after tool for performance work.
 #
 # Environment knobs:
 #   BENCH_COUNT  repetitions per benchmark (default 1; use 5+ for stable
@@ -22,12 +23,16 @@ benchtime=${BENCH_TIME:-1s}
 out=${BENCH_OUT:-BENCH_core.json}
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+ext11=$(mktemp)
+trap 'rm -f "$tmp" "$ext11"' EXIT
 
 echo "== go test -bench BenchmarkCore (count=$count, benchtime=$benchtime)"
 go test -run '^$' -bench 'BenchmarkCore' -benchmem \
     -benchtime "$benchtime" -count "$count" \
-    ./internal/des ./internal/cluster ./internal/serve . | tee "$tmp"
+    ./internal/des ./internal/cluster ./internal/serve ./internal/megascale . | tee "$tmp"
 
-go run ./cmd/benchjson <"$tmp" >"$out"
+echo "== experiments -run ext11 -quick (planet-scale scaling sweep)"
+go run ./cmd/experiments -run ext11 -quick -benchcore "$ext11"
+
+go run ./cmd/benchjson -ext11 "$ext11" <"$tmp" >"$out"
 echo "bench: wrote $out"

@@ -1,8 +1,11 @@
 // Command benchjson converts `go test -bench` text output into the
-// machine-readable BENCH_core.json document (schema nashlb/bench-core/v1,
+// machine-readable BENCH_core.json document (schema nashlb/bench-core/v2,
 // documented in EXPERIMENTS.md). It reads benchmark output on stdin —
 // possibly spanning several packages and several -count repetitions — and
-// writes one JSON document to stdout.
+// writes one JSON document to stdout. With -ext11 FILE, the EXT11
+// planet-scale scaling sweep (written by `experiments -benchcore`) is
+// embedded verbatim under the "ext11" key, putting the solve-time and
+// memory curves next to the microbenchmarks they explain.
 //
 // Repeated runs of the same benchmark are folded into a single entry
 // keeping the fastest ns/op (the standard best-of-N reading, least noise)
@@ -15,6 +18,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -66,10 +70,16 @@ type document struct {
 	Goarch     string   `json:"goarch"`
 	CPU        string   `json:"cpu,omitempty"`
 	Benchmarks []*entry `json:"benchmarks"`
+	// Ext11 is the EXT11 planet-scale scaling sweep, embedded verbatim from
+	// the -ext11 file when given (see internal/experiments.Ext11).
+	Ext11 json.RawMessage `json:"ext11,omitempty"`
 }
 
 func main() {
-	doc := document{Schema: "nashlb/bench-core/v1", GoVersion: runtime.Version()}
+	ext11Flag := flag.String("ext11", "", "EXT11 sweep JSON (from `experiments -benchcore`) to embed under the ext11 key")
+	flag.Parse()
+
+	doc := document{Schema: "nashlb/bench-core/v2", GoVersion: runtime.Version()}
 	byKey := map[string]*entry{}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -118,6 +128,19 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *ext11Flag != "" {
+		raw, err := os.ReadFile(*ext11Flag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *ext11Flag)
+			os.Exit(1)
+		}
+		doc.Ext11 = json.RawMessage(raw)
 	}
 
 	for _, e := range doc.Benchmarks {

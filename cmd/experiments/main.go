@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext10 or all")
+		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext11 or all")
 		simFlag     = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
 		quickFlag   = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
 		csvFlag     = flag.String("csv", "", "directory to write CSV files into (created if missing)")
@@ -41,6 +41,7 @@ func main() {
 		seedFlag    = flag.Uint64("seed", 2002, "random seed for simulated runs")
 		workersFlag = flag.Int("workers", 0, "replication-engine pool size (0 = GOMAXPROCS); results are identical for any value")
 		benchFlag   = flag.String("benchjson", "", "file to write the machine-readable EXT8+EXT9 results into (implies live serving)")
+		coreFlag    = flag.String("benchcore", "", "file to write the machine-readable EXT11 scaling sweep into (implies ext11)")
 	)
 	flag.Parse()
 
@@ -255,6 +256,24 @@ func main() {
 		}
 		emit("ext10_fleet", res.Table())
 		ext10Res = res
+		ran++
+	}
+	if selected("ext11") || *coreFlag != "" {
+		res, err := experiments.Ext11(*quickFlag)
+		if err != nil {
+			log.Fatalf("ext11: %v", err)
+		}
+		emit("ext11_megascale", res.Table())
+		if *coreFlag != "" {
+			data, err := res.BenchJSON()
+			if err != nil {
+				log.Fatalf("benchcore: %v", err)
+			}
+			if err := os.WriteFile(*coreFlag, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  [ext11 bench json written to %s]\n\n", *coreFlag)
+		}
 		ran++
 	}
 	if *benchFlag != "" {

@@ -5,9 +5,15 @@
 //
 //	nashsolve -rates 6x10,5x20,3x50,2x100 -arrivals 10x30.6 [-init P|0]
 //	          [-eps 1e-9] [-compare] [-profile]
+//	nashsolve -rates 100x100 -classes 1000000x0.05,5000x1.2
 //
 // Rates and arrivals are comma-separated jobs/second, with the COUNTxVALUE
-// repetition shorthand.
+// repetition shorthand. The -classes flag describes the population in
+// aggregated form: "1000000x0.05" is one million identical users, kept as a
+// single user class and never expanded, so planet-scale populations solve in
+// milliseconds. -arrivals input is aggregated into classes internally too
+// (users sharing an arrival rate share a class), so output is always a
+// per-class summary rather than a row per user.
 package main
 
 import (
@@ -28,23 +34,16 @@ func main() {
 	var (
 		ratesFlag    = flag.String("rates", "6x10,5x20,3x50,2x100", "computer processing rates (jobs/s, comma list, COUNTxVALUE allowed)")
 		arrivalsFlag = flag.String("arrivals", "10x30.6", "user arrival rates (jobs/s, comma list, COUNTxVALUE allowed)")
+		classesFlag  = flag.String("classes", "", "user classes as COUNTxPHI entries (kept aggregated; overrides -arrivals)")
 		initFlag     = flag.String("init", "P", "initialization: P (NASH_P, proportional) or 0 (NASH_0)")
 		epsFlag      = flag.Float64("eps", 0, "convergence tolerance (0 = library default)")
 		compareFlag  = flag.Bool("compare", false, "also evaluate the PS, GOS and IOS baselines")
-		profileFlag  = flag.Bool("profile", false, "print the full equilibrium strategy profile")
+		profileFlag  = flag.Bool("profile", false, "print the equilibrium strategy profile (one sparse row per class)")
 		jsonFlag     = flag.Bool("json", false, "emit the result as JSON instead of tables")
 	)
 	flag.Parse()
 
-	rates, err := cli.ParseFloats(*ratesFlag)
-	if err != nil {
-		log.Fatalf("-rates: %v", err)
-	}
-	arrivals, err := cli.ParseFloats(*arrivalsFlag)
-	if err != nil {
-		log.Fatalf("-arrivals: %v", err)
-	}
-	sys, err := nashlb.NewSystem(rates, arrivals)
+	cs, err := buildClassSystem(*ratesFlag, *arrivalsFlag, *classesFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,38 +57,45 @@ func main() {
 		log.Fatalf("-init: unknown initialization %q", *initFlag)
 	}
 
-	res, err := nashlb.SolveNash(sys, nashlb.NashOptions{Init: init, Epsilon: *epsFlag})
+	res, err := nashlb.SolveNashClasses(cs, nashlb.ClassOptions{Init: init, Epsilon: *epsFlag})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	weights := make([]float64, cs.ClassCount())
+	for c, cl := range cs.Classes {
+		weights[c] = float64(cl.Count)
+	}
+	fairness := nashlb.JainFairnessWeighted(res.ClassTimes, weights)
+
+	var schemes []jsonScheme
+	if *compareFlag {
+		schemes, err = compareSchemes(cs, res, fairness)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *jsonFlag {
 		out := jsonResult{
-			Computers:   sys.Rates,
-			Arrivals:    sys.Arrivals,
-			Utilization: sys.Utilization(),
+			Computers:   cs.Rates,
+			Users:       cs.Users(),
+			Utilization: cs.Utilization(),
 			Init:        init.String(),
 			Rounds:      res.Rounds,
+			Converged:   res.Converged,
 			OverallTime: res.OverallTime,
-			UserTimes:   res.UserTimes,
-			Fairness:    nashlb.JainFairness(res.UserTimes),
+			Fairness:    fairness,
+			Schemes:     schemes,
 		}
-		if *profileFlag {
-			out.Profile = make([][]float64, len(res.Profile))
-			for i := range res.Profile {
-				out.Profile[i] = res.Profile[i]
+		for c, cl := range cs.Classes {
+			jc := jsonClass{Count: cl.Count, Phi: cl.Phi, Weight: cl.Weight(), Time: res.ClassTimes[c]}
+			if *profileFlag {
+				cols, vals := res.Profile.Row(c)
+				jc.Machines = cols
+				jc.Fractions = vals
 			}
-		}
-		if *compareFlag {
-			for _, s := range nashlb.AllSchemes() {
-				ev, err := nashlb.RunScheme(s, sys)
-				if err != nil {
-					log.Fatalf("%s: %v", s.Name(), err)
-				}
-				out.Schemes = append(out.Schemes, jsonScheme{
-					Name: ev.Scheme, OverallTime: ev.OverallTime, Fairness: ev.Fairness,
-				})
-			}
+			out.Classes = append(out.Classes, jc)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -99,61 +105,134 @@ func main() {
 		return
 	}
 
-	fmt.Printf("system: %d computers (%.4g jobs/s total), %d users (%.4g jobs/s, utilization %.1f%%)\n",
-		sys.Computers(), sys.TotalCapacity(), sys.Users(), sys.TotalArrival(), 100*sys.Utilization())
+	fmt.Printf("system: %d computers (%.4g jobs/s total), %d users in %d classes (%.4g jobs/s, utilization %.1f%%)\n",
+		cs.MachineCount(), cs.TotalCapacity(), cs.Users(), cs.ClassCount(), cs.TotalArrival(), 100*cs.Utilization())
 	fmt.Printf("equilibrium (%s): %d rounds, overall expected response time %.6g s, fairness %.4f\n",
-		init, res.Rounds, res.OverallTime, nashlb.JainFairness(res.UserTimes))
+		init, res.Rounds, res.OverallTime, fairness)
 
-	ut := report.NewTable("Per-user expected response time", "user", "phi (jobs/s)", "D_i (s)")
-	for i, d := range res.UserTimes {
-		ut.AddRow(fmt.Sprint(i+1), report.F(sys.Arrivals[i], 5), report.F(d, 6))
+	ct := report.NewTable("Per-class expected response time", "class", "users", "phi (jobs/s)", "weight (jobs/s)", "D (s)")
+	for c, cl := range cs.Classes {
+		ct.AddRow(fmt.Sprint(c+1), fmt.Sprint(cl.Count), report.F(cl.Phi, 5), report.F(cl.Weight(), 5), report.F(res.ClassTimes[c], 6))
 	}
 	fmt.Println()
-	fmt.Print(ut.String())
+	fmt.Print(ct.String())
 
 	if *profileFlag {
-		pt := report.NewTable("Equilibrium strategy profile (rows = users, columns = computers)", "user", "fractions")
-		for i, s := range res.Profile {
+		pt := report.NewTable("Equilibrium strategy profile (one sparse row per class)", "class", "machine:fraction")
+		for c := 0; c < cs.ClassCount(); c++ {
+			cols, vals := res.Profile.Row(c)
 			row := ""
-			for j, f := range s {
-				if j > 0 {
+			for k, j := range cols {
+				if vals[k] == 0 {
+					continue
+				}
+				if row != "" {
 					row += " "
 				}
-				row += report.Fix(f, 4)
+				row += fmt.Sprintf("%d:%s", j, report.Fix(vals[k], 4))
 			}
-			pt.AddRow(fmt.Sprint(i+1), row)
+			pt.AddRow(fmt.Sprint(c+1), row)
 		}
 		fmt.Println()
 		fmt.Print(pt.String())
 	}
 
 	if *compareFlag {
-		ct := report.NewTable("Scheme comparison (analytic)", "scheme", "overall D (s)", "fairness")
-		for _, s := range nashlb.AllSchemes() {
-			ev, err := nashlb.RunScheme(s, sys)
-			if err != nil {
-				log.Fatalf("%s: %v", s.Name(), err)
-			}
-			ct.AddRow(ev.Scheme, report.F(ev.OverallTime, 6), report.Fix(ev.Fairness, 4))
+		st := report.NewTable("Scheme comparison (analytic)", "scheme", "overall D (s)", "fairness")
+		for _, s := range schemes {
+			st.AddRow(s.Name, report.F(s.OverallTime, 6), report.Fix(s.Fairness, 4))
 		}
 		fmt.Println()
-		fmt.Print(ct.String())
+		fmt.Print(st.String())
 	}
 	os.Exit(0)
+}
+
+// buildClassSystem assembles the class-aggregated system from the flag specs.
+// A non-empty -classes spec wins; otherwise the dense -arrivals list is
+// aggregated so that users sharing an arrival rate form one class.
+func buildClassSystem(ratesSpec, arrivalsSpec, classesSpec string) (*nashlb.ClassSystem, error) {
+	rates, err := cli.ParseFloats(ratesSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-rates: %w", err)
+	}
+	if classesSpec != "" {
+		specs, err := cli.ParseClasses(classesSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-classes: %w", err)
+		}
+		classes := make([]nashlb.UserClass, len(specs))
+		for i, sp := range specs {
+			classes[i] = nashlb.UserClass{Phi: sp.Phi, Count: sp.Count}
+		}
+		return nashlb.NewClassSystem(rates, classes)
+	}
+	arrivals, err := cli.ParseFloats(arrivalsSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-arrivals: %w", err)
+	}
+	sys, err := nashlb.NewSystem(rates, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	cs, _ := nashlb.ClassifyUsers(sys)
+	return cs, nil
+}
+
+// compareSchemes evaluates the baselines. NASH comes from the class solve
+// itself; PS, GOS and IOS run on a one-user-per-class aggregate system (each
+// class collapsed to a single user carrying its total weight). Their overall
+// response times are exact — all three distribute load as a function of the
+// total arrival rate only — while GOS's sequential-fill fairness is computed
+// over classes rather than individual members.
+func compareSchemes(cs *nashlb.ClassSystem, res *nashlb.ClassResult, nashFairness float64) ([]jsonScheme, error) {
+	out := []jsonScheme{{Name: "NASH", OverallTime: res.OverallTime, Fairness: nashFairness}}
+	agg := make([]float64, cs.ClassCount())
+	for c, cl := range cs.Classes {
+		if cl.Machines != nil {
+			return nil, fmt.Errorf("-compare: class %d has a machine constraint; baselines are unconstrained", c)
+		}
+		agg[c] = cl.Weight()
+	}
+	sys, err := nashlb.NewSystem(cs.Rates, agg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range nashlb.AllSchemes() {
+		if s.Name() == "NASH" {
+			continue // the aggregate system plays a different game; use the class solve
+		}
+		ev, err := nashlb.RunScheme(s, sys)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		out = append(out, jsonScheme{Name: ev.Scheme, OverallTime: ev.OverallTime, Fairness: ev.Fairness})
+	}
+	return out, nil
 }
 
 // jsonResult is the machine-readable output of -json.
 type jsonResult struct {
 	Computers   []float64    `json:"computers"`
-	Arrivals    []float64    `json:"arrivals"`
+	Classes     []jsonClass  `json:"classes"`
+	Users       int64        `json:"users"`
 	Utilization float64      `json:"utilization"`
 	Init        string       `json:"init"`
 	Rounds      int          `json:"rounds"`
+	Converged   bool         `json:"converged"`
 	OverallTime float64      `json:"overall_time_s"`
-	UserTimes   []float64    `json:"user_times_s"`
 	Fairness    float64      `json:"fairness"`
-	Profile     [][]float64  `json:"profile,omitempty"`
 	Schemes     []jsonScheme `json:"schemes,omitempty"`
+}
+
+// jsonClass is one user class in the -json output.
+type jsonClass struct {
+	Count     int       `json:"count"`
+	Phi       float64   `json:"phi"`
+	Weight    float64   `json:"weight"`
+	Time      float64   `json:"time_s"`
+	Machines  []int32   `json:"machines,omitempty"`
+	Fractions []float64 `json:"fractions,omitempty"`
 }
 
 // jsonScheme is one baseline's evaluation in the -json output.

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildClassSystemFromClasses(t *testing.T) {
+	cs, err := buildClassSystem("4x100", "ignored-when-classes-set", "1000000x0.0001,3x5,2.5")
+	if err != nil {
+		t.Fatalf("buildClassSystem: %v", err)
+	}
+	if got := cs.MachineCount(); got != 4 {
+		t.Fatalf("machines = %d, want 4", got)
+	}
+	if got := cs.ClassCount(); got != 3 {
+		t.Fatalf("classes = %d, want 3", got)
+	}
+	if got := cs.Users(); got != 1000004 {
+		t.Fatalf("users = %d, want 1000004", got)
+	}
+	wantCounts := []int{1000000, 3, 1}
+	wantPhis := []float64{0.0001, 5, 2.5}
+	for c, cl := range cs.Classes {
+		if cl.Count != wantCounts[c] || cl.Phi != wantPhis[c] {
+			t.Errorf("class %d = {Count: %d, Phi: %g}, want {%d, %g}",
+				c, cl.Count, cl.Phi, wantCounts[c], wantPhis[c])
+		}
+	}
+}
+
+func TestBuildClassSystemAggregatesArrivals(t *testing.T) {
+	cs, err := buildClassSystem("6x10,5x20,3x50,2x100", "10x30.6", "")
+	if err != nil {
+		t.Fatalf("buildClassSystem: %v", err)
+	}
+	if got := cs.ClassCount(); got != 1 {
+		t.Fatalf("classes = %d, want 1 (all ten users share one arrival rate)", got)
+	}
+	if cl := cs.Classes[0]; cl.Count != 10 || cl.Phi != 30.6 {
+		t.Fatalf("class 0 = {Count: %d, Phi: %g}, want {10, 30.6}", cl.Count, cl.Phi)
+	}
+}
+
+func TestBuildClassSystemErrors(t *testing.T) {
+	cases := []struct {
+		name, rates, arrivals, classes, want string
+	}{
+		{"bad rates", "abc", "1", "", "-rates"},
+		{"bad classes", "4x100", "", "0x5", "-classes"},
+		{"bad arrivals", "4x100", "oops", "", "-arrivals"},
+		{"overloaded classes", "2x10", "", "3x10", "total arrival rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildClassSystem(tc.rates, tc.arrivals, tc.classes)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

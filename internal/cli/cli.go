@@ -3,6 +3,7 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -38,6 +39,59 @@ func ParseFloats(s string) ([]float64, error) {
 		for k := 0; k < count; k++ {
 			out = append(out, v)
 		}
+	}
+	return out, nil
+}
+
+// MaxClassCount bounds the repetition count of one -classes entry. It keeps
+// obviously-corrupt specs ("1e18x0.5" style typos) from silently building
+// absurd populations while still allowing billions of users per class.
+const MaxClassCount = 1_000_000_000_000
+
+// ClassSpec is one parsed entry of a -classes list: Count identical users,
+// each with per-user arrival rate Phi.
+type ClassSpec struct {
+	Count int
+	Phi   float64
+}
+
+// ParseClasses parses a comma-separated user-class list using the same
+// "COUNTxVALUE" shorthand as ParseFloats, but keeps the population
+// aggregated: "1000000x0.5" is one million users of 0.5 jobs/s as ONE class
+// entry, never expanded into a million elements. A bare number is a
+// singleton class. Arrival rates must be positive and finite.
+func ParseClasses(s string) ([]ClassSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cli: empty class list")
+	}
+	var out []ClassSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cli: empty entry in %q", s)
+		}
+		count := 1
+		if i := strings.IndexByte(part, 'x'); i > 0 {
+			c, err := strconv.Atoi(strings.TrimSpace(part[:i]))
+			if err == nil {
+				if c < 1 {
+					return nil, fmt.Errorf("cli: non-positive repetition in %q", part)
+				}
+				if c > MaxClassCount {
+					return nil, fmt.Errorf("cli: class count %d in %q exceeds %d", c, part, MaxClassCount)
+				}
+				count = c
+				part = strings.TrimSpace(part[i+1:])
+			}
+		}
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad arrival rate %q: %w", part, err)
+		}
+		if !(phi > 0) || math.IsInf(phi, 0) || math.IsNaN(phi) {
+			return nil, fmt.Errorf("cli: arrival rate %q must be positive and finite", part)
+		}
+		out = append(out, ClassSpec{Count: count, Phi: phi})
 	}
 	return out, nil
 }

@@ -31,3 +31,33 @@ func FuzzParseFloats(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseClasses checks that the aggregated class-spec parser never panics
+// and that every accepted entry is well formed: positive bounded count and a
+// positive finite per-user arrival rate.
+func FuzzParseClasses(f *testing.F) {
+	for _, seed := range []string{
+		"1000000x0.5", "3x1.5,2x2,7", "10,20,50", "", "a,b", "1,,2",
+		"0x10", "1x", "x", "-3", "2x-1", "NaN", "2xInf", "9e999",
+		"10000000000000x1", " 5 x 2 ", "1e2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		out, err := ParseClasses(in)
+		if err != nil {
+			return
+		}
+		if len(out) == 0 {
+			t.Fatalf("accepted %q but returned empty list", in)
+		}
+		for _, c := range out {
+			if c.Count < 1 || c.Count > MaxClassCount {
+				t.Fatalf("accepted %q with count %d out of range", in, c.Count)
+			}
+			if !(c.Phi > 0) || math.IsInf(c.Phi, 0) || math.IsNaN(c.Phi) {
+				t.Fatalf("accepted %q with invalid arrival rate %g", in, c.Phi)
+			}
+		}
+	})
+}

@@ -42,3 +42,46 @@ func TestParseFloats(t *testing.T) {
 		}
 	}
 }
+
+func TestParseClasses(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []ClassSpec
+		ok   bool
+	}{
+		{"1000000x0.5", []ClassSpec{{1000000, 0.5}}, true},
+		{"10,20", []ClassSpec{{1, 10}, {1, 20}}, true},
+		{"3x1.5, 2x2 ,7", []ClassSpec{{3, 1.5}, {2, 2}, {1, 7}}, true},
+		{"1e2", []ClassSpec{{1, 100}}, true},
+		{"", nil, false},
+		{"a", nil, false},
+		{"1,,2", nil, false},
+		{"0x10", nil, false},
+		{"-1x10", nil, false},
+		{"2x-1", nil, false},             // negative arrival
+		{"2x0", nil, false},              // zero arrival
+		{"2xNaN", nil, false},            // non-finite arrival
+		{"2x9e999", nil, false},          // overflows to +Inf
+		{"10000000000000x1", nil, false}, // count above MaxClassCount
+	}
+	for _, c := range cases {
+		got, err := ParseClasses(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("%q: err = %v, ok = %v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: got %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -877,3 +877,64 @@ func TestExt10Fleet(t *testing.T) {
 		}
 	}
 }
+
+func TestExt11MegascalePoint(t *testing.T) {
+	// A tiny sweep point with the dense cross-check keeps the smoke fast
+	// while exercising the whole measurement path (solve, certificate,
+	// dense ground-truth comparison).
+	row, err := ext11Point(8, 3, 30, 0.7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Machines != 8 || row.Classes != 3 || row.Users != 30 {
+		t.Fatalf("row shape %+v", row)
+	}
+	if row.Rounds <= 0 || row.Solves <= 0 || row.SolveSeconds <= 0 {
+		t.Errorf("degenerate measurements %+v", row)
+	}
+	if row.StateMB <= 0 || row.OverallTime <= 0 {
+		t.Errorf("degenerate state/time %+v", row)
+	}
+	// The class equilibrium must agree with the dense per-user ground truth
+	// and certify as an approximate equilibrium.
+	if row.DenseLoadDev < 0 || row.DenseLoadDev > 1e-3 {
+		t.Errorf("dense load deviation %v", row.DenseLoadDev)
+	}
+	if row.MaxDeviation > 1e-3 {
+		t.Errorf("equilibrium certificate %v", row.MaxDeviation)
+	}
+
+	res := &Ext11Result{Utilization: 0.7, Epsilon: ext11PerUserEps, Rows: []Ext11Row{*row}}
+	if res.Table().Rows() != 1 {
+		t.Error("table mismatch")
+	}
+	data, err := res.BenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ext11_megascale"`, `"solve_seconds"`, `"dense_load_dev"`, `"max_deviation"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench json missing %s", want)
+		}
+	}
+}
+
+func TestExt11SystemShape(t *testing.T) {
+	cs, err := ext11System(10, 4, 103, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Users(); got != 103 {
+		t.Fatalf("users = %d, want 103", got)
+	}
+	if got := cs.ClassCount(); got != 4 {
+		t.Fatalf("classes = %d, want 4", got)
+	}
+	if rho := cs.Utilization(); math.Abs(rho-0.7) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.7", rho)
+	}
+	// More users than classes is required; the degenerate case errors.
+	if _, err := ext11System(4, 10, 3, 0.7); err == nil {
+		t.Fatal("want error when users < classes")
+	}
+}

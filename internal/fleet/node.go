@@ -15,6 +15,7 @@ import (
 
 	"nashlb/internal/core"
 	"nashlb/internal/game"
+	"nashlb/internal/megascale"
 	"nashlb/internal/serve"
 )
 
@@ -850,7 +851,9 @@ func solveFleet(machines []Machine, active []bool, weights []float64, arrivals [
 	if err != nil {
 		return nil, admitFrac
 	}
-	res, err := core.Solve(sysR, core.Options{Init: core.InitProportional})
+	// Class-aggregated solve: the leader's cost per re-equilibration scales
+	// with the number of distinct arrival rates, not the population size.
+	res, err := megascale.SolveSystem(sysR, core.Options{Init: core.InitProportional})
 	if err != nil || !res.Converged {
 		return nil, admitFrac
 	}

@@ -1,0 +1,347 @@
+package megascale_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nashlb/internal/core"
+	"nashlb/internal/game"
+	"nashlb/internal/megascale"
+	"nashlb/internal/numeric"
+	"nashlb/internal/testutil"
+)
+
+// hasDuplicateArrivals reports whether two users share a bitwise-identical
+// arrival rate, in which case FromSystem would merge them and the dense and
+// class iterations would follow different (both correct) trajectories.
+func hasDuplicateArrivals(sys *game.System) bool {
+	seen := map[float64]bool{}
+	for _, phi := range sys.Arrivals {
+		if seen[phi] {
+			return true
+		}
+		seen[phi] = true
+	}
+	return false
+}
+
+// TestSolveSystemMatchesDenseSingletons pins the class engine to the dense
+// solver on random instances where every class has size 1: identical
+// convergence verdicts, round counts within one, and profiles, user times
+// and overall times within 1e-9.
+func TestSolveSystemMatchesDenseSingletons(t *testing.T) {
+	gen := testutil.InstanceGen{MaxComputers: 8, MaxUsers: 6}
+	const instances = 150
+	for idx := 0; idx < instances; idx++ {
+		sys, err := gen.Draw(0x51ab, idx)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		if hasDuplicateArrivals(sys) {
+			continue
+		}
+		init := core.InitZero
+		if idx%2 == 1 {
+			init = core.InitProportional
+		}
+		opts := core.Options{Init: init}
+		want, errDense := core.Solve(sys, opts)
+		got, errClass := megascale.SolveSystem(sys, opts)
+		if (errDense == nil) != (errClass == nil) {
+			t.Fatalf("instance %d (%v): dense err=%v, class err=%v", idx, init, errDense, errClass)
+		}
+		if errDense != nil {
+			continue
+		}
+		if want.Converged != got.Converged {
+			t.Fatalf("instance %d (%v): converged dense=%v class=%v", idx, init, want.Converged, got.Converged)
+		}
+		if d := want.Rounds - got.Rounds; d < -1 || d > 1 {
+			t.Errorf("instance %d (%v): rounds dense=%d class=%d", idx, init, want.Rounds, got.Rounds)
+		}
+		for i := range want.Profile {
+			if d := numeric.MaxAbsDiff(want.Profile[i], got.Profile[i]); d > 1e-9 {
+				t.Fatalf("instance %d (%v): user %d strategy differs by %g", idx, init, i, d)
+			}
+		}
+		for i := range want.UserTimes {
+			if !numeric.EqualWithin(want.UserTimes[i], got.UserTimes[i], 1e-9) {
+				t.Fatalf("instance %d (%v): user %d time dense=%g class=%g", idx, init, i, want.UserTimes[i], got.UserTimes[i])
+			}
+		}
+		if !numeric.EqualWithin(want.OverallTime, got.OverallTime, 1e-9) {
+			t.Fatalf("instance %d (%v): overall dense=%g class=%g", idx, init, want.OverallTime, got.OverallTime)
+		}
+	}
+}
+
+// replicate builds the dense system in which class c's members are the
+// consecutive users [starts[c], starts[c]+Count_c).
+func replicate(cs *megascale.ClassSystem) (*game.System, []int, error) {
+	var arrivals []float64
+	starts := make([]int, len(cs.Classes))
+	for c, cl := range cs.Classes {
+		starts[c] = len(arrivals)
+		for i := 0; i < cl.Count; i++ {
+			arrivals = append(arrivals, cl.Phi)
+		}
+	}
+	sys, err := game.NewSystem(cs.Rates, arrivals)
+	return sys, starts, err
+}
+
+// TestSolveMatchesDenseReplicatedClasses checks the weighted within-class
+// solve against the dense solver on replicated populations: the equilibrium
+// is unique, so machine loads, member times, and the overall time must
+// agree even though the two iterations take different paths.
+func TestSolveMatchesDenseReplicatedClasses(t *testing.T) {
+	gen := testutil.InstanceGen{MaxComputers: 6, MaxUsers: 3, MaxUtilization: 0.85}
+	const instances = 40
+	for idx := 0; idx < instances; idx++ {
+		base, err := gen.Draw(0xc1a5, idx)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		classes := make([]megascale.Class, len(base.Arrivals))
+		for i, phi := range base.Arrivals {
+			count := 1 + (idx+7*i)%8
+			// Keep the aggregate arrival equal to the base instance so the
+			// replicated system stays feasible.
+			classes[i] = megascale.Class{Phi: phi / float64(count), Count: count}
+		}
+		cs, err := megascale.NewClassSystem(base.Rates, classes)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		dense, starts, err := replicate(cs)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		opts := core.Options{Init: core.InitProportional, Epsilon: 1e-11}
+		want, errDense := core.Solve(dense, opts)
+		got, errClass := megascale.Solve(cs, megascale.Options{Init: core.InitProportional, Epsilon: 1e-11})
+		if errDense != nil || errClass != nil {
+			t.Fatalf("instance %d: dense err=%v, class err=%v", idx, errDense, errClass)
+		}
+
+		denseLoads := dense.Loads(want.Profile)
+		classLoads := got.Profile.Loads(cs)
+		for j := range denseLoads {
+			if !numeric.EqualWithin(denseLoads[j], classLoads[j], 1e-7) {
+				t.Fatalf("instance %d: machine %d load dense=%g class=%g", idx, j, denseLoads[j], classLoads[j])
+			}
+		}
+		for c, cl := range cs.Classes {
+			for i := starts[c]; i < starts[c]+cl.Count; i++ {
+				if !numeric.EqualWithin(want.UserTimes[i], got.ClassTimes[c], 1e-6) {
+					t.Fatalf("instance %d: class %d member %d time dense=%g class=%g",
+						idx, c, i, want.UserTimes[i], got.ClassTimes[c])
+				}
+			}
+		}
+		if !numeric.EqualWithin(want.OverallTime, got.OverallTime, 1e-7) {
+			t.Fatalf("instance %d: overall dense=%g class=%g", idx, want.OverallTime, got.OverallTime)
+		}
+		if ok, worst, err := megascale.VerifyEquilibrium(cs, got.Profile, 1e-6); err != nil || !ok {
+			t.Fatalf("instance %d: not an equilibrium (worst=%g, err=%v)", idx, worst, err)
+		}
+	}
+}
+
+// TestSolveConstrainedClasses exercises machine-constrained classes, which
+// the dense model cannot express: the solution must be feasible, confined
+// to the allowed machines by construction, and an equilibrium of the
+// constrained game.
+func TestSolveConstrainedClasses(t *testing.T) {
+	rates := []float64{10, 20, 50, 100, 40, 5}
+	classes := []megascale.Class{
+		{Phi: 0.2, Count: 100, Machines: []int32{0, 1, 2}},
+		{Phi: 0.5, Count: 40, Machines: []int32{2, 3, 4}},
+		{Phi: 0.8, Count: 10, Machines: nil},
+		{Phi: 4, Count: 3, Machines: []int32{3}},
+	}
+	cs, err := megascale.NewClassSystem(rates, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, init := range []core.Init{core.InitZero, core.InitProportional} {
+		res, err := megascale.Solve(cs, megascale.Options{Init: init})
+		if err != nil {
+			t.Fatalf("%v: %v", init, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v: did not converge", init)
+		}
+		if err := res.Profile.CheckFeasible(cs); err != nil {
+			t.Fatalf("%v: %v", init, err)
+		}
+		if ok, worst, err := megascale.VerifyEquilibrium(cs, res.Profile, 1e-6); err != nil || !ok {
+			t.Fatalf("%v: not an equilibrium (worst=%g, err=%v)", init, worst, err)
+		}
+		// The single-machine class must send everything to its machine.
+		_, vals := res.Profile.Row(3)
+		if len(vals) != 1 || vals[0] != 1 {
+			t.Fatalf("%v: single-machine class got %v", init, vals)
+		}
+		for c := range classes {
+			if d := res.ClassTimes[c]; !(d > 0) || math.IsInf(d, 0) {
+				t.Fatalf("%v: class %d time %g", init, c, d)
+			}
+		}
+	}
+}
+
+// TestIncrementalInvariance checks that the incremental machinery is purely
+// an optimization: solving with every refresh cadence — including the
+// non-incremental every-round refresh and no refresh at all — lands on the
+// same answer.
+func TestIncrementalInvariance(t *testing.T) {
+	gen := testutil.InstanceGen{MaxComputers: 8, MaxUsers: 5}
+	for idx := 0; idx < 25; idx++ {
+		base, err := gen.Draw(0x1234, idx)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		classes := make([]megascale.Class, len(base.Arrivals))
+		for i, phi := range base.Arrivals {
+			count := 1 + (3*idx+i)%5
+			classes[i] = megascale.Class{Phi: phi / float64(count), Count: count}
+		}
+		cs, err := megascale.NewClassSystem(base.Rates, classes)
+		if err != nil {
+			t.Fatalf("instance %d: %v", idx, err)
+		}
+		var ref *megascale.Result
+		for _, every := range []int{1, 7, 0, -1} {
+			res, err := megascale.Solve(cs, megascale.Options{Init: core.InitZero, RefreshEvery: every})
+			if err != nil {
+				t.Fatalf("instance %d (refresh %d): %v", idx, every, err)
+			}
+			cells := int64(res.Rounds) * int64(len(cs.Classes))
+			if res.Solves+res.Skips != cells {
+				t.Fatalf("instance %d (refresh %d): solves %d + skips %d != cells %d",
+					idx, every, res.Solves, res.Skips, cells)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if d := ref.Rounds - res.Rounds; d < -1 || d > 1 {
+				t.Errorf("instance %d (refresh %d): rounds %d vs %d", idx, every, res.Rounds, ref.Rounds)
+			}
+			for c := range cs.Classes {
+				_, wantVals := ref.Profile.Row(c)
+				_, gotVals := res.Profile.Row(c)
+				if d := numeric.MaxAbsDiff(wantVals, gotVals); d > 1e-9 {
+					t.Fatalf("instance %d (refresh %d): class %d fractions differ by %g", idx, every, c, d)
+				}
+			}
+		}
+	}
+}
+
+// TestDirtySkipsDisjointClasses checks the dirty tracking end to end: two
+// classes on disjoint machine sets cannot invalidate each other, so both
+// are skipped in round 2 and the iteration converges with a zero norm.
+func TestDirtySkipsDisjointClasses(t *testing.T) {
+	rates := []float64{10, 20, 50, 30, 40, 5}
+	classes := []megascale.Class{
+		{Phi: 0.3, Count: 50, Machines: []int32{0, 1, 2}},
+		{Phi: 0.4, Count: 40, Machines: []int32{3, 4, 5}},
+	}
+	cs, err := megascale.NewClassSystem(rates, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := megascale.Solve(cs, megascale.Options{Init: core.InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 || res.Solves != 2 || res.Skips != 2 {
+		t.Fatalf("rounds=%d solves=%d skips=%d, want 2/2/2", res.Rounds, res.Solves, res.Skips)
+	}
+	if res.Norms[1] != 0 {
+		t.Fatalf("round-2 norm %g, want exactly 0", res.Norms[1])
+	}
+}
+
+// TestSolveFromWarmStart checks that warm-starting from a previous
+// equilibrium after a small parameter change converges in fewer rounds than
+// solving cold.
+func TestSolveFromWarmStart(t *testing.T) {
+	rates := []float64{10, 20, 50, 100, 15, 25, 60, 80}
+	classes := []megascale.Class{
+		{Phi: 0.05, Count: 1000},
+		{Phi: 0.125, Count: 400},
+		{Phi: 0.7, Count: 50},
+		{Phi: 2.5, Count: 20},
+		{Phi: 0.01, Count: 8000},
+	}
+	cs, err := megascale.NewClassSystem(rates, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := megascale.Solve(cs, megascale.Options{Init: core.InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := append([]megascale.Class(nil), classes...)
+	perturbed[1].Phi *= 1.001
+	cs2, err := megascale.NewClassSystem(rates, perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := megascale.Solve(cs2, megascale.Options{Init: core.InitProportional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := megascale.SolveFrom(cs2, cold.Profile, megascale.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged {
+		t.Fatal("warm start did not converge")
+	}
+	if warm.Rounds >= cold2.Rounds {
+		t.Errorf("warm start took %d rounds, cold %d", warm.Rounds, cold2.Rounds)
+	}
+	if ok, worst, err := megascale.VerifyEquilibrium(cs2, warm.Profile, 1e-6); err != nil || !ok {
+		t.Fatalf("warm-start result not an equilibrium (worst=%g, err=%v)", worst, err)
+	}
+}
+
+// TestSolveInfeasibleContention: two classes individually feasible but
+// jointly over machine 0's capacity must surface ErrInsufficientCapacity
+// from the best response, exactly like the dense solver.
+func TestSolveInfeasibleContention(t *testing.T) {
+	rates := []float64{1, 100}
+	classes := []megascale.Class{
+		{Phi: 0.6, Count: 1, Machines: []int32{0}},
+		{Phi: 0.6, Count: 1, Machines: []int32{0}},
+	}
+	cs, err := megascale.NewClassSystem(rates, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = megascale.Solve(cs, megascale.Options{})
+	if !errors.Is(err, core.ErrInsufficientCapacity) {
+		t.Fatalf("got %v, want ErrInsufficientCapacity", err)
+	}
+}
+
+// TestSolveSystemNotConverged mirrors core.Solve's contract: on round
+// exhaustion the partial result comes back alongside ErrNotConverged.
+func TestSolveSystemNotConverged(t *testing.T) {
+	sys, err := game.NewSystem([]float64{10, 20, 30}, []float64{5, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := megascale.SolveSystem(sys, core.Options{MaxRounds: 1, Epsilon: 1e-15})
+	if !errors.Is(err, core.ErrNotConverged) {
+		t.Fatalf("got %v, want ErrNotConverged", err)
+	}
+	if res == nil || res.Converged || res.Rounds != 1 {
+		t.Fatalf("partial result %+v", res)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"nashlb/internal/dist"
 	"nashlb/internal/estimate"
 	"nashlb/internal/game"
+	"nashlb/internal/megascale"
 	"nashlb/internal/online"
 	"nashlb/internal/rng"
 )
@@ -116,18 +118,36 @@ type GatewayConfig struct {
 }
 
 // routeTable is an immutable routing state: the profile and one O(1) alias
-// sampler per user, swapped atomically by the re-equilibration loop.
+// sampler per user, swapped atomically by the re-equilibration loop. Users
+// with identical strategy rows — the common case, since equilibrium rows
+// depend only on a user's class — share one sampler, so a table over
+// n_classes distinct rows builds n_classes alias structures, not n_users.
+// Sharing is safe: an Alias is immutable after construction and Pick draws
+// all randomness from the caller's per-user stream.
 type routeTable struct {
 	profile  game.Profile
 	samplers []*rng.Alias
+	// classes is the number of distinct strategy rows (== alias tables
+	// actually built); exposed on /routing as alias_classes.
+	classes int
 }
 
 func newRouteTable(p game.Profile, n int) (*routeTable, error) {
 	t := &routeTable{profile: p.Clone(), samplers: make([]*rng.Alias, len(p))}
 	row := make([]float64, n)
+	key := make([]byte, 0, n*8)
+	shared := make(map[string]*rng.Alias)
 	for i := range p {
 		if err := game.CheckStrategy(p[i], n); err != nil {
 			return nil, err
+		}
+		key = key[:0]
+		for _, f := range p[i] {
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(f))
+		}
+		if a, ok := shared[string(key)]; ok {
+			t.samplers[i] = a
+			continue
 		}
 		// CheckStrategy tolerates fractions down to -FeasibilityTol;
 		// clamp those to zero weight for the sampler.
@@ -138,8 +158,10 @@ func newRouteTable(p game.Profile, n int) (*routeTable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: user %d: %w", i, err)
 		}
+		shared[string(key)] = a
 		t.samplers[i] = a
 	}
+	t.classes = len(shared)
 	return t, nil
 }
 
@@ -846,16 +868,20 @@ type RoutingStatus struct {
 	Polls      int64        `json:"polls"`
 	Saturated  bool         `json:"saturated"`
 	Degraded   bool         `json:"degraded"`
+	// AliasClasses is the number of distinct strategy rows in the installed
+	// table — the number of alias samplers actually built.
+	AliasClasses int `json:"alias_classes"`
 }
 
 func (g *Gateway) handleRouting(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(RoutingStatus{
-		Profile:    g.Profile(),
-		Rebalances: g.met.rebalances.Load(),
-		Polls:      g.met.polls.Load(),
-		Saturated:  g.satur.Load(),
-		Degraded:   g.Degraded(),
+		Profile:      g.Profile(),
+		Rebalances:   g.met.rebalances.Load(),
+		Polls:        g.met.polls.Load(),
+		Saturated:    g.satur.Load(),
+		Degraded:     g.Degraded(),
+		AliasClasses: g.table.Load().classes,
 	})
 }
 
@@ -1186,7 +1212,10 @@ func (g *Gateway) solveReduced(muEff []float64, alive []bool, admitFrac float64)
 	if err != nil {
 		return nil
 	}
-	res, err := core.Solve(sysR, core.Options{Init: core.InitProportional})
+	// The class-aggregated engine solves one water-filling pass per user
+	// class instead of per user, so re-equilibration cost stays flat as the
+	// population grows.
+	res, err := megascale.SolveSystem(sysR, core.Options{Init: core.InitProportional})
 	if err != nil || !res.Converged {
 		return nil
 	}

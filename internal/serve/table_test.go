@@ -168,3 +168,40 @@ func TestBackendsEndpointJSON(t *testing.T) {
 			dresp.StatusCode, dresp.Header.Get("Retry-After"))
 	}
 }
+
+// TestRouteTableAliasSharing pins the class-dedup of alias samplers: users
+// with bitwise-identical strategy rows share one *rng.Alias, so a table
+// over k distinct rows allocates k samplers no matter how many users it
+// routes — the serving-side half of the megascale class aggregation.
+func TestRouteTableAliasSharing(t *testing.T) {
+	const users, n = 300, 4
+	rows := []game.Strategy{
+		{0.5, 0.5, 0, 0},
+		{0.25, 0.25, 0.25, 0.25},
+		{0, 0, 0.9, 0.1},
+	}
+	p := make(game.Profile, users)
+	for i := range p {
+		p[i] = rows[i%len(rows)].Clone()
+	}
+	table, err := newRouteTable(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.classes != len(rows) {
+		t.Fatalf("classes = %d, want %d", table.classes, len(rows))
+	}
+	for i := range p {
+		if table.samplers[i] != table.samplers[i%len(rows)] {
+			t.Fatalf("user %d does not share its class's sampler", i)
+		}
+	}
+	// Distinct rows must not share.
+	if table.samplers[0] == table.samplers[1] || table.samplers[1] == table.samplers[2] {
+		t.Fatal("distinct rows share a sampler")
+	}
+	// Samplers must still honour the row they were built for.
+	if got := len(table.samplers); got != users {
+		t.Fatalf("samplers = %d, want %d", got, users)
+	}
+}

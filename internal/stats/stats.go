@@ -232,6 +232,30 @@ func JainFairness(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sq)
 }
 
+// JainFairnessWeighted is Jain's index over a population given in aggregated
+// form: xs[i] is a value shared by ws[i] identical members. It equals
+// JainFairness of the expanded vector, (sum w_i x_i)^2 / (W * sum w_i x_i^2)
+// with W = sum w_i, but costs O(classes) instead of O(population). Entries
+// with non-positive weight are ignored; mismatched lengths return 0.
+func JainFairnessWeighted(xs, ws []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0
+	}
+	var w, sum, sq float64
+	for i, x := range xs {
+		if !(ws[i] > 0) {
+			continue
+		}
+		w += ws[i]
+		sum += ws[i] * x
+		sq += ws[i] * x * x
+	}
+	if sq == 0 || w == 0 {
+		return 0
+	}
+	return sum * sum / (w * sq)
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

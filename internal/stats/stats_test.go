@@ -278,6 +278,45 @@ func TestJainFairnessScaleInvariance(t *testing.T) {
 	}
 }
 
+func TestJainFairnessWeightedMatchesExpanded(t *testing.T) {
+	xs := []float64{0.8, 1.3, 2.1, 0.5}
+	ws := []float64{3, 1, 5, 2}
+	var expanded []float64
+	for i, x := range xs {
+		for k := 0; k < int(ws[i]); k++ {
+			expanded = append(expanded, x)
+		}
+	}
+	got := JainFairnessWeighted(xs, ws)
+	want := JainFairness(expanded)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted %v != expanded %v", got, want)
+	}
+}
+
+func TestJainFairnessWeightedDegenerate(t *testing.T) {
+	if got := JainFairnessWeighted([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("mismatched lengths: got %v, want 0", got)
+	}
+	if got := JainFairnessWeighted(nil, nil); got != 0 {
+		t.Errorf("empty: got %v, want 0", got)
+	}
+	if got := JainFairnessWeighted([]float64{1, 2}, []float64{0, -1}); got != 0 {
+		t.Errorf("all weights non-positive: got %v, want 0", got)
+	}
+	// Unit weights reduce to the unweighted index.
+	xs := []float64{1, 2, 3}
+	if a, b := JainFairnessWeighted(xs, []float64{1, 1, 1}), JainFairness(xs); math.Abs(a-b) > 1e-15 {
+		t.Errorf("unit weights: %v != %v", a, b)
+	}
+	// Zero-weight entries are ignored, even with pathological values.
+	a := JainFairnessWeighted([]float64{1, math.Inf(1), 2}, []float64{2, 0, 3})
+	b := JainFairnessWeighted([]float64{1, 2}, []float64{2, 3})
+	if math.Abs(a-b) > 1e-15 {
+		t.Errorf("zero-weight entry not ignored: %v != %v", a, b)
+	}
+}
+
 func TestJainFairnessEmptyAndZero(t *testing.T) {
 	if JainFairness(nil) != 0 {
 		t.Error("empty input should give 0")

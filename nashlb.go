@@ -37,6 +37,7 @@ import (
 	"nashlb/internal/core"
 	"nashlb/internal/dist"
 	"nashlb/internal/game"
+	"nashlb/internal/megascale"
 	"nashlb/internal/schemes"
 	"nashlb/internal/stats"
 )
@@ -186,4 +187,52 @@ func ReplicateWorkers(cfg SimConfig, reps, workers int) (*SimSummary, error) {
 // expected response times.
 func JainFairness(times []float64) float64 {
 	return stats.JainFairness(times)
+}
+
+// JainFairnessWeighted returns Jain's fairness index of a population given in
+// class-aggregated form: times[c] shared by weights[c] identical users.
+func JainFairnessWeighted(times, weights []float64) float64 {
+	return stats.JainFairnessWeighted(times, weights)
+}
+
+// UserClass is a group of identical users: Count members, each with arrival
+// rate Phi, optionally restricted to a sorted subset of machines.
+type UserClass = megascale.Class
+
+// ClassSystem is the class-aggregated form of System for planet-scale
+// populations: the solve cost depends on the number of classes, not users.
+type ClassSystem = megascale.ClassSystem
+
+// ClassProfile is a sparse (CSR) strategy profile with one row per class.
+type ClassProfile = megascale.ClassProfile
+
+// ClassOptions configures SolveNashClasses.
+type ClassOptions = megascale.Options
+
+// ClassResult is the outcome of SolveNashClasses.
+type ClassResult = megascale.Result
+
+// NewClassSystem validates and builds a class-aggregated system.
+func NewClassSystem(rates []float64, classes []UserClass) (*ClassSystem, error) {
+	return megascale.NewClassSystem(rates, classes)
+}
+
+// ClassifyUsers aggregates a dense per-user System into classes of users with
+// identical arrival rates, returning the class system and each user's class.
+func ClassifyUsers(sys *System) (*ClassSystem, []int) {
+	return megascale.FromSystem(sys)
+}
+
+// SolveNashClasses computes the Nash equilibrium of the class-aggregated game
+// with the incremental sparse best-reply engine (internal/megascale).
+func SolveNashClasses(cs *ClassSystem, opts ClassOptions) (*ClassResult, error) {
+	return megascale.Solve(cs, opts)
+}
+
+// SolveNashAggregated is a drop-in replacement for SolveNash that internally
+// aggregates identical users into classes, solves the class game, and expands
+// the result back to per-user form. Identical semantics, and dramatically
+// faster whenever many users share an arrival rate.
+func SolveNashAggregated(sys *System, opts NashOptions) (*NashResult, error) {
+	return megascale.SolveSystem(sys, opts)
 }

@@ -19,21 +19,24 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/..."
-go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/...
+echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/... ./internal/megascale/..."
+go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/... ./internal/megascale/...
 
 # Fuzz smoke: a short randomized run of each native fuzz target (bisection
-# root finder, M/M/1 queue-depth inversion, fleet wire codec). Regressions
-# show up as crasher inputs; Go allows one -fuzz target per invocation.
+# root finder, M/M/1 queue-depth inversion, fleet wire codec, user-class
+# spec parser). Regressions show up as crasher inputs; Go allows one -fuzz
+# target per invocation.
 echo "== go test -fuzz (smoke, 10s each)"
 go test -run '^$' -fuzz FuzzBisect -fuzztime 10s ./internal/numeric
 go test -run '^$' -fuzz FuzzQueueInversion -fuzztime 10s ./internal/estimate
 go test -run '^$' -fuzz FuzzFleetWire -fuzztime 10s ./internal/fleet
+go test -run '^$' -fuzz FuzzParseClasses -fuzztime 10s ./internal/cli
 
-# Allocation-regression gate: the steady-state DES, cluster-job and gateway
-# record paths must stay at zero allocations per operation (the
-# testing.AllocsPerRun tests; benchmarks in bench.sh track the same paths).
-echo "== go test -run 'Allocs' ./internal/des ./internal/cluster ./internal/serve"
-go test -run 'Allocs' ./internal/des ./internal/cluster ./internal/serve
+# Allocation-regression gate: the steady-state DES, cluster-job, gateway
+# record and megascale solver round paths must stay at zero allocations per
+# operation (the testing.AllocsPerRun tests; benchmarks in bench.sh track
+# the same paths).
+echo "== go test -run 'Allocs' ./internal/des ./internal/cluster ./internal/serve ./internal/megascale"
+go test -run 'Allocs' ./internal/des ./internal/cluster ./internal/serve ./internal/megascale
 
 echo "verify: OK"
