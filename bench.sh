@@ -9,11 +9,18 @@
 # EXPERIMENTS.md) via cmd/benchjson. CI runs this as a non-blocking job and
 # uploads the JSON; locally it is the before/after tool for performance work.
 #
+# It then runs the BenchmarkServeThroughput family (gateway hot path,
+# legacy comparison, end-to-end HTTP) plus the admission/parse/encode
+# micro-benchmarks and merges them into BENCH_serve.json (schema 4) under
+# the "throughput" key via `benchjson -serve`, which refuses to touch a
+# document whose schema it does not understand.
+#
 # Environment knobs:
 #   BENCH_COUNT  repetitions per benchmark (default 1; use 5+ for stable
 #                numbers — benchjson keeps the fastest run)
 #   BENCH_TIME   -benchtime per benchmark (default 1s)
 #   BENCH_OUT    output path (default BENCH_core.json)
+#   BENCH_SERVE  serving-throughput output path (default BENCH_serve.json)
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,10 +28,12 @@ cd "$(dirname "$0")"
 count=${BENCH_COUNT:-1}
 benchtime=${BENCH_TIME:-1s}
 out=${BENCH_OUT:-BENCH_core.json}
+serveout=${BENCH_SERVE:-BENCH_serve.json}
 
 tmp=$(mktemp)
 ext11=$(mktemp)
-trap 'rm -f "$tmp" "$ext11"' EXIT
+servetmp=$(mktemp)
+trap 'rm -f "$tmp" "$ext11" "$servetmp"' EXIT
 
 echo "== go test -bench BenchmarkCore (count=$count, benchtime=$benchtime)"
 go test -run '^$' -bench 'BenchmarkCore' -benchmem \
@@ -36,3 +45,12 @@ go run ./cmd/experiments -run ext11 -quick -benchcore "$ext11"
 
 go run ./cmd/benchjson -ext11 "$ext11" <"$tmp" >"$out"
 echo "bench: wrote $out"
+
+echo "== go test -bench serving throughput (count=$count, benchtime=$benchtime)"
+go test -run '^$' \
+    -bench 'BenchmarkServeThroughput|BenchmarkShardedAdmission|BenchmarkParseServiceSeconds|BenchmarkAppendSubmitResponse' \
+    -benchmem -benchtime "$benchtime" -count "$count" \
+    ./internal/serve | tee "$servetmp"
+
+go run ./cmd/benchjson -serve "$serveout" <"$servetmp"
+echo "bench: merged throughput into $serveout"

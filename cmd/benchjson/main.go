@@ -7,6 +7,14 @@
 // embedded verbatim under the "ext11" key, putting the solve-time and
 // memory curves next to the microbenchmarks they explain.
 //
+// With -serve FILE the tool switches to merge mode for BENCH_serve.json
+// (schema 4): the parsed benchmarks are placed under the "throughput" key
+// of FILE, preserving every other key the serving experiments wrote
+// (ext8/ext9/ext10). If FILE already exists with a different schema
+// version, benchjson refuses with an error instead of silently
+// overwriting it — a stale or foreign document is a bug to surface, not
+// data to clobber.
+//
 // Repeated runs of the same benchmark are folded into a single entry
 // keeping the fastest ns/op (the standard best-of-N reading, least noise)
 // and the worst-case allocation counts (a regression must not hide behind
@@ -20,7 +28,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -75,14 +85,67 @@ type document struct {
 	Ext11 json.RawMessage `json:"ext11,omitempty"`
 }
 
+// serveSchema is the BENCH_serve.json schema version the merge mode
+// understands (schema 4 = serving experiments plus the "throughput" key).
+const serveSchema = 4
+
 func main() {
 	ext11Flag := flag.String("ext11", "", "EXT11 sweep JSON (from `experiments -benchcore`) to embed under the ext11 key")
+	serveFlag := flag.String("serve", "", "merge the parsed benchmarks into this BENCH_serve.json (schema 4) under the throughput key")
 	flag.Parse()
 
-	doc := document{Schema: "nashlb/bench-core/v2", GoVersion: runtime.Version()}
+	doc, err := scanBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *serveFlag != "" {
+		existing, err := os.ReadFile(*serveFlag)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		merged, err := mergeServe(existing, doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: refusing to write %s: %v\n", *serveFlag, err)
+			os.Exit(1)
+		}
+		if err := writeFileAtomic(*serveFlag, merged); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ext11Flag != "" {
+		raw, err := os.ReadFile(*ext11Flag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *ext11Flag)
+			os.Exit(1)
+		}
+		doc.Ext11 = json.RawMessage(raw)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// scanBench parses `go test -bench` text output into a bench-core
+// document, folding repeated runs and attaching seed baselines.
+func scanBench(r io.Reader) (*document, error) {
+	doc := &document{Schema: "nashlb/bench-core/v2", GoVersion: runtime.Version()}
 	byKey := map[string]*entry{}
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	pkg := ""
 	for sc.Scan() {
@@ -122,25 +185,10 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	if len(doc.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
-
-	if *ext11Flag != "" {
-		raw, err := os.ReadFile(*ext11Flag)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		if !json.Valid(raw) {
-			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *ext11Flag)
-			os.Exit(1)
-		}
-		doc.Ext11 = json.RawMessage(raw)
+		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
 
 	for _, e := range doc.Benchmarks {
@@ -153,13 +201,79 @@ func main() {
 			}
 		}
 	}
+	return doc, nil
+}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+// throughputSection is what mergeServe places under the "throughput" key:
+// the environment header plus the parsed benchmark entries.
+type throughputSection struct {
+	GoVersion  string   `json:"go"`
+	Goos       string   `json:"goos"`
+	Goarch     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []*entry `json:"benchmarks"`
+}
+
+// mergeServe folds doc's benchmarks into an existing BENCH_serve.json body
+// (nil or empty when the file does not exist yet) under the "throughput"
+// key, keeping every other top-level key intact. A document whose schema
+// is not serveSchema — or that is not a JSON object at all — is refused:
+// the caller must not overwrite data it does not understand.
+func mergeServe(existing []byte, doc *document) ([]byte, error) {
+	top := map[string]json.RawMessage{}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &top); err != nil {
+			return nil, fmt.Errorf("existing document is not a JSON object: %v", err)
+		}
+		if raw, ok := top["schema"]; ok {
+			var schema int
+			if err := json.Unmarshal(raw, &schema); err != nil {
+				return nil, fmt.Errorf("existing document has a non-numeric schema %s", raw)
+			}
+			if schema != serveSchema {
+				return nil, fmt.Errorf("existing document has schema %d, this tool writes schema %d — regenerate it (experiments -run ext8,ext9,ext10 -benchjson FILE) or delete it first", schema, serveSchema)
+			}
+		}
 	}
+	schemaRaw, err := json.Marshal(serveSchema)
+	if err != nil {
+		return nil, err
+	}
+	top["schema"] = schemaRaw
+	section := throughputSection{
+		GoVersion:  doc.GoVersion,
+		Goos:       doc.Goos,
+		Goarch:     doc.Goarch,
+		CPU:        doc.CPU,
+		Benchmarks: doc.Benchmarks,
+	}
+	sectionRaw, err := json.Marshal(section)
+	if err != nil {
+		return nil, err
+	}
+	top["throughput"] = sectionRaw
+	return json.MarshalIndent(top, "", "  ")
+}
+
+// writeFileAtomic writes data via a temp file and rename so a crashed run
+// never leaves a truncated BENCH_serve.json behind.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".benchjson-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
 }
 
 // parseBenchLine parses one result line, e.g.

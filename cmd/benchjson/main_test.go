@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const serveBenchOutput = `goos: linux
+goarch: amd64
+pkg: nashlb/internal/serve
+cpu: Intel(R) Xeon(R) CPU @ 2.70GHz
+BenchmarkServeThroughput/hot-4     2500000   460.8 ns/op   2170000 req/s   0 B/op   0 allocs/op
+BenchmarkServeThroughput/legacy-4   500000  2232.0 ns/op    448000 req/s  1184 B/op  8 allocs/op
+`
+
+func scanServe(t *testing.T) *document {
+	t.Helper()
+	doc, err := scanBench(strings.NewReader(serveBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestMergeServeSchemaMismatch pins the satellite fix: an existing
+// BENCH_serve.json with a foreign schema version must be refused, never
+// silently overwritten.
+func TestMergeServeSchemaMismatch(t *testing.T) {
+	existing := []byte(`{"schema": 3, "ext8_live_serving": {"experiment": "ext8"}}`)
+	_, err := mergeServe(existing, scanServe(t))
+	if err == nil {
+		t.Fatal("schema-3 document was merged, want refusal")
+	}
+	if !strings.Contains(err.Error(), "schema 3") || !strings.Contains(err.Error(), "schema 4") {
+		t.Fatalf("refusal %q does not name both schema versions", err)
+	}
+}
+
+// TestMergeServeRejectsGarbage: a corrupt or non-object existing file is
+// refused too — merge mode never guesses.
+func TestMergeServeRejectsGarbage(t *testing.T) {
+	for _, existing := range []string{`not json`, `[1, 2, 3]`, `{"schema": "four"}`} {
+		if _, err := mergeServe([]byte(existing), scanServe(t)); err == nil {
+			t.Fatalf("existing body %q was merged, want refusal", existing)
+		}
+	}
+}
+
+// TestMergeServePreservesKeys: merging into a matching-schema document
+// keeps the serving-experiment keys and adds throughput.
+func TestMergeServePreservesKeys(t *testing.T) {
+	existing := []byte(`{"schema": 4, "ext8_live_serving": {"experiment": "ext8"}, "ext9_self_healing": {"experiment": "ext9"}}`)
+	out, err := mergeServe(existing, scanServe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(out, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "ext8_live_serving", "ext9_self_healing", "throughput"} {
+		if _, ok := top[key]; !ok {
+			t.Fatalf("merged document lost key %q", key)
+		}
+	}
+	var schema int
+	if err := json.Unmarshal(top["schema"], &schema); err != nil || schema != serveSchema {
+		t.Fatalf("merged schema %s, want %d", top["schema"], serveSchema)
+	}
+	var section throughputSection
+	if err := json.Unmarshal(top["throughput"], &section); err != nil {
+		t.Fatal(err)
+	}
+	if len(section.Benchmarks) != 2 {
+		t.Fatalf("throughput carries %d benchmarks, want 2", len(section.Benchmarks))
+	}
+	hot := section.Benchmarks[0]
+	if hot.Name != "BenchmarkServeThroughput/hot" {
+		t.Fatalf("first benchmark %q", hot.Name)
+	}
+	if hot.Metrics["req/s"] != 2170000 {
+		t.Fatalf("hot req/s metric %v", hot.Metrics)
+	}
+	if hot.AllocsPerOp != 0 || section.Benchmarks[1].AllocsPerOp != 8 {
+		t.Fatalf("allocs hot=%d legacy=%d, want 0 and 8",
+			hot.AllocsPerOp, section.Benchmarks[1].AllocsPerOp)
+	}
+}
+
+// TestMergeServeFreshFile: with no existing document, merge mode starts a
+// schema-4 document from scratch.
+func TestMergeServeFreshFile(t *testing.T) {
+	out, err := mergeServe(nil, scanServe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(out, &top); err != nil {
+		t.Fatal(err)
+	}
+	var schema int
+	if err := json.Unmarshal(top["schema"], &schema); err != nil || schema != serveSchema {
+		t.Fatalf("fresh schema %s, want %d", top["schema"], serveSchema)
+	}
+	if _, ok := top["throughput"]; !ok {
+		t.Fatal("fresh document missing throughput")
+	}
+}
+
+// TestParseBenchLine covers the GOMAXPROCS suffix strip, the standard
+// columns, and ReportMetric custom units.
+func TestParseBenchLine(t *testing.T) {
+	e, err := parseBenchLine("nashlb/internal/serve",
+		"BenchmarkServeThroughput/e2e-4   14000   81250 ns/op   12307 req/s   8032 B/op   159 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "BenchmarkServeThroughput/e2e" {
+		t.Fatalf("name %q: GOMAXPROCS suffix not stripped", e.Name)
+	}
+	if e.Iters != 14000 || e.NsPerOp != 81250 || e.BytesPerOp != 8032 || e.AllocsPerOp != 159 {
+		t.Fatalf("columns %+v", e)
+	}
+	if e.Metrics["req/s"] != 12307 {
+		t.Fatalf("metrics %v", e.Metrics)
+	}
+	for _, bad := range []string{
+		"BenchmarkX", "BenchmarkX notanumber 5 ns/op", "BenchmarkX 100 bad ns/op",
+	} {
+		if _, err := parseBenchLine("p", bad); err == nil {
+			t.Fatalf("%q parsed, want error", bad)
+		}
+	}
+}

@@ -1,19 +1,30 @@
-// Command loadgen drives a nashgate gateway with open-loop Poisson traffic:
-// one independent arrival stream per user, scheduled on seeded rng streams
-// so a run's offered load is exactly reproducible.
+// Command loadgen drives a nashgate gateway with reproducible traffic: one
+// independent seeded Poisson arrival stream per user.
 //
 //	loadgen -target http://127.0.0.1:8080 -arrivals 2x12 \
-//	        [-duration 10s] [-warmup 1s] [-seed 2002] [-timeout 10s]
+//	        [-duration 10s] [-warmup 1s] [-seed 2002] [-timeout 10s] \
+//	        [-mode open|closed] [-connections 16] [-ramp 0.25,0.5,1,2,4]
+//
+// Two generator modes. The default -mode open is the paper's arrival model:
+// requests fire on schedule regardless of how slowly the server answers, so
+// offered load is exact. -mode closed is the wrk-style harness: a fixed pool
+// of -connections workers sends synchronously against the shared Poisson
+// schedule — cheaper at high rates, but a stalled server silently throttles
+// the senders. Both modes report latency two ways: uncorrected (send to
+// completion, what a closed loop naively measures) and corrected (intended
+// schedule time to completion), so coordinated omission is visible instead
+// of hidden. p50/p90/p99/p999 come from the corrected and uncorrected
+// distributions side by side.
+//
+// -ramp runs the whole load repeatedly at scaled offered rates (the factors
+// given) and reports the goodput curve and its knee — the last factor where
+// achieved/offered >= 0.9 — instead of a single-point report.
 //
 // Against a gateway fleet, give -target a comma-separated list (or repeat
 // the flag); each request picks a gateway uniformly from a seeded per-user
 // stream, and a transport-level failure (a dead gateway refusing the
 // connection) fails over to the next target round-robin. The report then
 // adds a per-target attempt breakdown by status class.
-//
-// It reports per-user and overall counts and response-time statistics for
-// the post-warmup window. Offered load is open-loop: response latency never
-// throttles the senders, as in the paper's Poisson arrival model.
 package main
 
 import (
@@ -55,6 +66,9 @@ func main() {
 		warmupFlag   = flag.Duration("warmup", time.Second, "discard responses to requests sent before this offset")
 		seedFlag     = flag.Uint64("seed", 2002, "seed for the interarrival streams")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		modeFlag     = flag.String("mode", "open", "generator mode: open (schedule-driven) or closed (worker pool)")
+		connsFlag    = flag.Int("connections", 16, "closed-loop worker count (ignored in open mode)")
+		rampFlag     = flag.String("ramp", "", "rate factors for a throughput ramp, e.g. 0.25,0.5,1,2,4")
 	)
 	flag.Parse()
 
@@ -66,14 +80,31 @@ func main() {
 		log.Fatalf("-arrivals: %v", err)
 	}
 
-	res, err := serve.RunLoad(serve.LoadConfig{
-		Targets:  targets,
-		Arrivals: arrivals,
-		Duration: *durationFlag,
-		Warmup:   *warmupFlag,
-		Seed:     *seedFlag,
-		Timeout:  *timeoutFlag,
-	})
+	cfg := serve.LoadConfig{
+		Targets:     targets,
+		Arrivals:    arrivals,
+		Duration:    *durationFlag,
+		Warmup:      *warmupFlag,
+		Seed:        *seedFlag,
+		Timeout:     *timeoutFlag,
+		Mode:        *modeFlag,
+		Connections: *connsFlag,
+	}
+
+	if *rampFlag != "" {
+		factors, err := cli.ParseFloats(*rampFlag)
+		if err != nil {
+			log.Fatalf("-ramp: %v", err)
+		}
+		ramp, err := serve.RunRamp(cfg, factors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRamp(ramp)
+		return
+	}
+
+	res, err := serve.RunLoad(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,6 +135,7 @@ func main() {
 		fmt.Printf("breakdown: 429=%d 503=%d (shed=%d) other-5xx=%d timeout=%d transport=%d\n",
 			s429, s503, shed, s5xx, timeouts, trans)
 	}
+	printPercentiles(res.Corrected, res.Uncorrected)
 	if len(targets) > 1 {
 		fmt.Printf("\n%-40s %10s %10s %10s %10s %10s %10s %10s\n",
 			"target (attempts)", "sent", "2xx", "429", "503", "shed", "5xx", "transport")
@@ -113,5 +145,38 @@ func main() {
 				tc.Shed, tc.Status5xx, tc.Transport+tc.Timeouts)
 		}
 		fmt.Printf("failovers: %d\n", res.Failovers)
+	}
+}
+
+// printPercentiles shows the two latency views side by side: corrected
+// (intended schedule time to completion — immune to coordinated omission)
+// and uncorrected (send to completion — what a blocked closed loop sees).
+func printPercentiles(corr, uncorr serve.LatencySummary) {
+	if corr.Count == 0 {
+		return
+	}
+	fmt.Printf("\n%-22s %10s %10s %10s %10s %10s\n",
+		"latency (ms)", "p50", "p90", "p99", "p999", "max")
+	fmt.Printf("%-22s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+		"corrected (intended)", 1e3*corr.P50, 1e3*corr.P90, 1e3*corr.P99, 1e3*corr.P999, 1e3*corr.Max)
+	fmt.Printf("%-22s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+		"uncorrected (send)", 1e3*uncorr.P50, 1e3*uncorr.P90, 1e3*uncorr.P99, 1e3*uncorr.P999, 1e3*uncorr.Max)
+}
+
+// printRamp shows the goodput curve and the knee factor.
+func printRamp(r *serve.RampResult) {
+	fmt.Printf("%-8s %12s %12s %8s %12s %12s %12s\n",
+		"factor", "offered/s", "achieved/s", "goodput", "p50(ms)", "p99(ms)", "p99corr(ms)")
+	for _, pt := range r.Points {
+		fmt.Printf("%-8.3g %12.1f %12.1f %8.3f %12.3f %12.3f %12.3f\n",
+			pt.Factor, pt.OfferedRate, pt.AchievedRate, pt.Goodput,
+			1e3*pt.Uncorrected.P50, 1e3*pt.Uncorrected.P99, 1e3*pt.Corrected.P99)
+	}
+	if r.Knee >= 0 {
+		pt := r.Points[r.Knee]
+		fmt.Printf("knee: factor %.3g (%.1f req/s offered, goodput %.3f >= %.2f)\n",
+			pt.Factor, pt.OfferedRate, pt.Goodput, serve.KneeGoodput)
+	} else {
+		fmt.Printf("knee: none (goodput below %.2f at every factor)\n", serve.KneeGoodput)
 	}
 }

@@ -97,6 +97,7 @@ func main() {
 		degradedFlag = flag.Float64("degraded-rho", 0.9, "gateway: admitted utilization while shedding in degraded mode")
 		budgetFlag   = flag.Float64("retry-budget", 0.1, "gateway: retry budget as a fraction of requests (negative disables)")
 		hedgeFlag    = flag.Duration("hedge-after", 0, "gateway: hedge slow requests to a second backend after this delay (0 disables)")
+		idleFlag     = flag.Int("max-idle-per-host", 0, "gateway: idle connections kept per backend (0 = default 512)")
 		rateFlag     = flag.Float64("rate", 0, "backend: service rate mu (jobs/s)")
 		queueCapFlag = flag.Int("queue-cap", serve.DefaultQueueCap, "backend: jobs-in-system bound")
 
@@ -173,6 +174,7 @@ func main() {
 		degraded: *degradedFlag,
 		budget:   *budgetFlag,
 		hedge:    *hedgeFlag,
+		maxIdle:  *idleFlag,
 	})
 }
 
@@ -210,6 +212,7 @@ type gatewayArgs struct {
 	probe, cooldown, hedge                     time.Duration
 	failures, ramp                             int
 	degraded, budget                           float64
+	maxIdle                                    int
 }
 
 func runGateway(a gatewayArgs) {
@@ -277,7 +280,10 @@ func runGateway(a gatewayArgs) {
 		DegradedRho: a.degraded,
 		RetryBudget: a.budget,
 		HedgeAfter:  a.hedge,
-		Addr:        a.listen,
+
+		MaxIdleConnsPerHost: a.maxIdle,
+
+		Addr: a.listen,
 	})
 	if err != nil {
 		log.Fatal(err)

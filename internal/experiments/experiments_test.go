@@ -795,7 +795,7 @@ func TestExt9SelfHealing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema": 3`, `"ext9_self_healing"`, `"crash+recover"`} {
+	for _, want := range []string{`"schema": 4`, `"ext9_self_healing"`, `"crash+recover"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("bench json missing %s", want)
 		}
@@ -871,7 +871,7 @@ func TestExt10Fleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema": 3`, `"ext10_fleet"`, `"leader kill"`, `"split_dev_post"`} {
+	for _, want := range []string{`"schema": 4`, `"ext10_fleet"`, `"leader kill"`, `"split_dev_post"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("bench json missing %s", want)
 		}

@@ -297,7 +297,8 @@ func (r *Ext9Result) bench() ext9Bench {
 }
 
 // ServeBenchJSON combines the EXT8, EXT9 and EXT10 results into the
-// BENCH_serve.json document (schema 3: one key per serving experiment).
+// BENCH_serve.json document (schema 4: one key per serving experiment,
+// plus the "throughput" key merged in afterwards by cmd/benchjson -serve).
 // Any result may be nil; its key is then omitted.
 func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result, ext10 *Ext10Result) ([]byte, error) {
 	doc := struct {
@@ -305,7 +306,7 @@ func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result, ext10 *Ext10Result) ([]b
 		Ext8   *ext8Bench  `json:"ext8_live_serving,omitempty"`
 		Ext9   *ext9Bench  `json:"ext9_self_healing,omitempty"`
 		Ext10  *ext10Bench `json:"ext10_fleet,omitempty"`
-	}{Schema: 3}
+	}{Schema: 4}
 	if ext8 != nil {
 		b := ext8.bench()
 		doc.Ext8 = &b

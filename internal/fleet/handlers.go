@@ -24,9 +24,11 @@ type FleetStatus struct {
 	Version  uint64 `json:"version"`
 	Draining bool   `json:"draining"`
 	// Elections counts this node's leadership assumptions; Solves counts
-	// the supervision epochs it has led.
-	Elections int64 `json:"elections"`
-	Solves    int64 `json:"solves"`
+	// the supervision epochs it has led; TableSkips counts led epochs whose
+	// re-solve matched the distributed table so no push went out.
+	Elections  int64 `json:"elections"`
+	Solves     int64 `json:"solves"`
+	TableSkips int64 `json:"table_skips"`
 	// Machines is the provisioned universe with installed Active flags.
 	Machines []Machine `json:"machines"`
 	// PeersAlive is the liveness view indexed by node ID (self always true).
@@ -53,6 +55,7 @@ func (n *Node) handleFleet(w http.ResponseWriter, r *http.Request) {
 		Draining:         n.draining,
 		Elections:        n.elections.Load(),
 		Solves:           n.solves.Load(),
+		TableSkips:       n.distSkips.Load(),
 		PeersAlive:       append([]bool(nil), n.alive...),
 		ArrivalsEstimate: append([]float64(nil), n.estRates...),
 		GatewayURL:       n.gw.URL(),

@@ -107,9 +107,26 @@ type Node struct {
 	lowStreak    int
 	highStreak   int
 
+	// Last-distributed table content, guarded by solveMu: the leader skips
+	// the version bump and the fleet-wide push when a re-solve lands on the
+	// exact table already out there, refreshing periodically (anti-entropy)
+	// so a replica that missed a push still converges.
+	lastDistEpoch uint64
+	lastProfile   game.Profile
+	lastActive    []bool
+	lastAlive     []bool
+	lastAdmitFrac float64
+	lastDistAt    time.Time
+
 	elections atomic.Int64
 	solves    atomic.Int64
+	distSkips atomic.Int64
 }
+
+// antiEntropyEvery bounds how many supervision epochs an unchanged table
+// may go without being re-pushed: at most this many solve intervals pass
+// before even an identical table is distributed again.
+const antiEntropyEvery = 8
 
 // NewNode validates the configuration, binds the control listener (so
 // ControlURL is known before Start), and builds the gateway over the full
@@ -223,6 +240,13 @@ func (n *Node) TableEpoch() (uint64, uint64) {
 
 // Elections counts leadership assumptions by this node.
 func (n *Node) Elections() int64 { return n.elections.Load() }
+
+// Solves counts the supervision epochs this node has led.
+func (n *Node) Solves() int64 { return n.solves.Load() }
+
+// TableSkips counts leader supervision epochs whose re-solve produced the
+// exact table already distributed, so no version bump or push went out.
+func (n *Node) TableSkips() int64 { return n.distSkips.Load() }
 
 // Machines returns the universe with the currently installed Active flags.
 func (n *Node) Machines() []Machine {
@@ -701,12 +725,37 @@ func (n *Node) solveAndDistribute() {
 	}
 
 	n.mu.Lock()
-	n.leadVersion++
-	version := n.leadVersion
 	peers := append([]string(nil), n.peers...)
 	alive := append([]bool(nil), n.alive...)
 	n.mu.Unlock()
 	n.solves.Add(1)
+
+	// An epoch that re-derives the exact table already distributed in this
+	// reign is a no-op for every replica: skip the version bump and the
+	// fleet push instead of churning fences. Shedding epochs always go out
+	// (replicas size degraded-mode buckets from the fresh offered rates),
+	// as does any change in the reachable-replica set (a recovered peer
+	// needs its table now, not at the next content change); the anti-entropy
+	// clock re-pushes even an unchanged table every few epochs.
+	healthy := admitFrac <= 0 || admitFrac >= 1
+	unchanged := healthy && epoch == n.lastDistEpoch &&
+		admitFrac == n.lastAdmitFrac && profile.Equal(n.lastProfile) &&
+		boolsEqual(active, n.lastActive) && boolsEqual(alive, n.lastAlive)
+	if unchanged && time.Since(n.lastDistAt) < antiEntropyEvery*n.cfg.SolveEvery {
+		n.distSkips.Add(1)
+		return
+	}
+	n.lastDistEpoch = epoch
+	n.lastProfile = profile
+	n.lastActive = append(n.lastActive[:0], active...)
+	n.lastAlive = append(n.lastAlive[:0], alive...)
+	n.lastAdmitFrac = admitFrac
+	n.lastDistAt = time.Now()
+
+	n.mu.Lock()
+	n.leadVersion++
+	version := n.leadVersion
+	n.mu.Unlock()
 
 	machines := make([]Machine, len(n.cfg.Machines))
 	for j, mach := range n.cfg.Machines {
@@ -864,6 +913,18 @@ func solveFleet(machines []Machine, active []bool, weights []float64, arrivals [
 		}
 	}
 	return profile, admitFrac
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sum(xs []float64) float64 {

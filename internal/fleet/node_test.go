@@ -95,6 +95,42 @@ func TestFleetElectsLowestAndDistributesTables(t *testing.T) {
 	}
 }
 
+// TestFleetSkipsUnchangedTables: with no live traffic the leader's
+// re-solves keep landing on the identical equilibrium, so supervision
+// epochs must mostly skip distribution (no version churn) while the
+// anti-entropy clock still re-pushes the table every few epochs.
+func TestFleetSkipsUnchangedTables(t *testing.T) {
+	nodes := startFleet(t, 2, testMachines(20, 40), []float64{3, 2}, nil)
+	waitLeader(t, nodes, 0, 5*time.Second)
+	leader := nodes[0]
+
+	testutil.WaitFor(t, 10*time.Second, "steady-state epochs skip distribution", func() bool {
+		return leader.Solves() >= 12 && leader.TableSkips() >= 5
+	})
+
+	_, version := leader.TableEpoch()
+	solves, skips := leader.Solves(), leader.TableSkips()
+	if int64(version) >= solves {
+		t.Fatalf("version %d not below %d solves: unchanged tables still bump the fence", version, solves)
+	}
+	if solves-skips < 1 {
+		t.Fatalf("solves %d vs skips %d: nothing was ever distributed", solves, skips)
+	}
+	// Anti-entropy: even an unchanged table goes out again within
+	// antiEntropyEvery solve intervals, so over >=12 epochs the version
+	// must have advanced past the initial distribution.
+	testutil.WaitFor(t, 5*time.Second, "anti-entropy refresh re-pushed the table", func() bool {
+		_, v := leader.TableEpoch()
+		return v >= 2
+	})
+	// The refreshed fence must have reached the follower too.
+	testutil.WaitFor(t, 5*time.Second, "follower converged on the refreshed fence", func() bool {
+		le, lv := leader.TableEpoch()
+		fe, fv := nodes[1].TableEpoch()
+		return fe == le && fv == lv
+	})
+}
+
 // TestFleetStatusEndpointJSON is the handler unit test for the /fleet debug
 // endpoint: JSON content type, and a status payload consistent with the
 // replica's accessor view.

@@ -167,6 +167,27 @@ func (p Profile) Clone() Profile {
 	return q
 }
 
+// Equal reports whether two profiles are bitwise-identical: same shape and
+// same float64 values in every cell (NaNs compare unequal, as in ==). The
+// serving layer uses it to skip re-resolving a routing table when a control
+// plane re-pushes an unchanged equilibrium.
+func (p Profile) Equal(q Profile) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if len(p[i]) != len(q[i]) {
+			return false
+		}
+		for j := range p[i] {
+			if p[i][j] != q[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // UniformProfile returns the profile in which every user spreads jobs
 // equally over all computers.
 func UniformProfile(m, n int) Profile {

@@ -261,12 +261,12 @@ func TestEndToEndRebalancing(t *testing.T) {
 	sort.Float64s(tail)
 	med := tail[len(tail)/2]
 	// Require the settled median to close at least a quarter of the
-	// start→equilibrium gap — a fifth under the race detector, whose
+	// start→equilibrium gap — a sixth under the race detector, whose
 	// instrumentation slows the poll/rebalance cadence enough that the loop
 	// lands fewer best responses inside the window.
 	closeBy := 4.0
 	if raceEnabled {
-		closeBy = 5.0
+		closeBy = 6.0
 	}
 	want := costPS - (costPS-costNash)/closeBy
 	if med > want {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -103,6 +104,12 @@ type GatewayConfig struct {
 	// and sheds the rest with 503 + Retry-After (default 0.9).
 	DegradedRho float64
 
+	// MaxIdleConnsPerHost sizes each backend's connection pool: the gateway
+	// keeps one pooled http.Transport per backend, so forwarded requests
+	// reuse warm connections instead of paying a dial per request (reuse
+	// counters are exported on /metrics). Default 512.
+	MaxIdleConnsPerHost int
+
 	// OnWeights puts the gateway in managed mode: instead of re-solving the
 	// game locally when the health layer's effective machine set changes,
 	// the gateway reports the new weight vector to this callback and waits
@@ -117,26 +124,35 @@ type GatewayConfig struct {
 	Addr string
 }
 
-// routeTable is an immutable routing state: the profile and one O(1) alias
-// sampler per user, swapped atomically by the re-equilibration loop. Users
-// with identical strategy rows — the common case, since equilibrium rows
-// depend only on a user's class — share one sampler, so a table over
-// n_classes distinct rows builds n_classes alias structures, not n_users.
-// Sharing is safe: an Alias is immutable after construction and Pick draws
-// all randomness from the caller's per-user stream.
+// routeTable is an immutable, fully pre-resolved routing state, swapped
+// atomically by the re-equilibration loop. Resolution happens once at table
+// install, never per request: users with identical strategy rows — the
+// common case, since equilibrium rows depend only on a user's class — are
+// mapped to one shared class (classOf), each class owns one O(1) alias
+// sampler and one precomputed fallback order (its positive-weight backends
+// by descending weight), so the request path is two array loads and a Pick.
+// A table over n_classes distinct rows builds n_classes alias structures,
+// not n_users. Sharing is safe: an Alias is immutable after construction
+// and Pick draws all randomness from the caller's per-user stream.
 type routeTable struct {
-	profile  game.Profile
+	profile game.Profile
+	// classOf maps each user to its class index.
+	classOf []int32
+	// samplers and fallback are per class: the alias sampler over the
+	// class's strategy row, and the row's positive-weight backends in
+	// descending weight order (the steer-around-dead-machines path).
 	samplers []*rng.Alias
+	fallback [][]int32
 	// classes is the number of distinct strategy rows (== alias tables
 	// actually built); exposed on /routing as alias_classes.
 	classes int
 }
 
 func newRouteTable(p game.Profile, n int) (*routeTable, error) {
-	t := &routeTable{profile: p.Clone(), samplers: make([]*rng.Alias, len(p))}
+	t := &routeTable{profile: p.Clone(), classOf: make([]int32, len(p))}
 	row := make([]float64, n)
 	key := make([]byte, 0, n*8)
-	shared := make(map[string]*rng.Alias)
+	index := make(map[string]int32)
 	for i := range p {
 		if err := game.CheckStrategy(p[i], n); err != nil {
 			return nil, err
@@ -145,8 +161,8 @@ func newRouteTable(p game.Profile, n int) (*routeTable, error) {
 		for _, f := range p[i] {
 			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(f))
 		}
-		if a, ok := shared[string(key)]; ok {
-			t.samplers[i] = a
+		if c, ok := index[string(key)]; ok {
+			t.classOf[i] = c
 			continue
 		}
 		// CheckStrategy tolerates fractions down to -FeasibilityTol;
@@ -158,11 +174,31 @@ func newRouteTable(p game.Profile, n int) (*routeTable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: user %d: %w", i, err)
 		}
-		shared[string(key)] = a
-		t.samplers[i] = a
+		c := int32(len(t.samplers))
+		index[string(key)] = c
+		t.classOf[i] = c
+		t.samplers = append(t.samplers, a)
+		t.fallback = append(t.fallback, weightOrder(t.profile[i], true))
 	}
-	t.classes = len(shared)
+	t.classes = len(t.samplers)
 	return t, nil
+}
+
+// weightOrder returns backend indices ordered by descending weight, stably
+// (ties keep index order, matching the old first-max scan). With
+// positiveOnly, zero-weight backends are dropped — the per-class fallback
+// list; the gateway's rate order keeps every machine.
+func weightOrder(weights []float64, positiveOnly bool) []int32 {
+	ord := make([]int32, 0, len(weights))
+	for j, f := range weights {
+		if !positiveOnly || f > 0 {
+			ord = append(ord, int32(j))
+		}
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return weights[ord[a]] > weights[ord[b]]
+	})
+	return ord
 }
 
 // Gateway is the serving gateway: it admits requests, routes each one to a
@@ -175,18 +211,23 @@ func newRouteTable(p game.Profile, n int) (*routeTable, error) {
 type Gateway struct {
 	cfg GatewayConfig
 
-	table    atomic.Pointer[routeTable]
-	userMu   []sync.Mutex
-	userRng  []*rng.Stream
-	bucket   *TokenBucket
-	met      *gatewayMetrics
-	client   *http.Client
-	balancer *online.Balancer
-	policy   func(now float64, queueLens []int, current game.Profile) game.Profile
-	sys      *game.System
-	est      estimate.RunQueue
-	smooth   []*estimate.Smoother
-	satur    atomic.Bool
+	table   atomic.Pointer[routeTable]
+	userMu  []sync.Mutex
+	userRng []*rng.Stream
+	bucket  *ShardedTokenBucket
+	met     *gatewayMetrics
+	clients []*http.Client           // per backend, own pooled transport
+	workURL []string                 // pre-resolved backend /work URLs
+	// rateOrder holds all backends by descending service rate — the
+	// precomputed last-resort fallback when a user's whole row is dead.
+	rateOrder []int32
+	scratch   sync.Pool // *fwdScratch
+	balancer  *online.Balancer
+	policy    func(now float64, queueLens []int, current game.Profile) game.Profile
+	sys       *game.System
+	est       estimate.RunQueue
+	smooth    []*estimate.Smoother
+	satur     atomic.Bool
 
 	health      *healthTracker
 	budget      *retryBudget
@@ -271,6 +312,9 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.DegradedRho <= 0 || cfg.DegradedRho >= 1 {
 		cfg.DegradedRho = 0.9
 	}
+	if cfg.MaxIdleConnsPerHost <= 0 {
+		cfg.MaxIdleConnsPerHost = 512
+	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
@@ -281,7 +325,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		sys:        sys,
 		userMu:     make([]sync.Mutex, m),
 		userRng:    make([]*rng.Stream, m),
-		bucket:     NewTokenBucket(cfg.FillRate, cfg.Burst),
+		bucket:     NewShardedTokenBucket(cfg.FillRate, cfg.Burst),
 		met:        newGatewayMetrics(n, m),
 		est:        estimate.RunQueue{Rates: append([]float64(nil), cfg.Rates...)},
 		smooth:     make([]*estimate.Smoother, n),
@@ -291,14 +335,32 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		ctx:        ctx,
 		cancel:     cancel,
 		quit:       make(chan struct{}),
-		client: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConns:        4 * n * 64,
-				MaxIdleConnsPerHost: 256,
-				IdleConnTimeout:     30 * time.Second,
-			},
-		},
+		clients:    make([]*http.Client, n),
+		workURL:    make([]string, n),
+		rateOrder:  weightOrder(cfg.Rates, false),
 	}
+	// One pooled transport per backend: connection reuse never competes
+	// across backends. Fresh dials are counted in the transport's dialer —
+	// off the request hot path — and /metrics derives warm reuses as
+	// attempts minus dials, so reuse accounting costs the forward path one
+	// atomic add instead of a per-request httptrace context.
+	dialer := &net.Dialer{Timeout: 30 * time.Second, KeepAlive: 30 * time.Second}
+	for j := 0; j < n; j++ {
+		j := j
+		g.clients[j] = &http.Client{
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+					g.met.connOpened[j].Add(1)
+					return dialer.DialContext(ctx, network, addr)
+				},
+				MaxIdleConns:        cfg.MaxIdleConnsPerHost,
+				MaxIdleConnsPerHost: cfg.MaxIdleConnsPerHost,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+		g.workURL[j] = cfg.Backends[j] + "/work"
+	}
+	g.scratch.New = func() any { return &fwdScratch{} }
 	src := rng.NewSource(cfg.Seed)
 	for i := 0; i < m; i++ {
 		g.userRng[i] = src.Stream(fmt.Sprintf("route/%d", i))
@@ -401,6 +463,7 @@ func (g *Gateway) Profile() game.Profile {
 // with the health layer's per-backend state when enabled.
 func (g *Gateway) Metrics() *Snapshot {
 	s := g.met.snapshot()
+	s.Admission = g.bucket.Stats()
 	if g.health != nil {
 		s.BreakerStates = make([]string, len(g.health.brs))
 		for j, br := range g.health.brs {
@@ -442,7 +505,9 @@ func (g *Gateway) Close() error {
 		err = errors.Join(err, g.srv.Close())
 	}
 	g.wg.Wait()
-	g.client.CloseIdleConnections()
+	for _, c := range g.clients {
+		c.CloseIdleConnections()
+	}
 	g.srv = nil
 	return err
 }
@@ -462,7 +527,9 @@ func (g *Gateway) Kill() error {
 	g.cancel()
 	err := g.srv.Close()
 	g.wg.Wait()
-	g.client.CloseIdleConnections()
+	for _, c := range g.clients {
+		c.CloseIdleConnections()
+	}
 	g.srv = nil
 	return err
 }
@@ -507,7 +574,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "gateway draining", http.StatusServiceUnavailable)
 		return
 	}
-	if !g.bucket.Allow() {
+	if !g.bucket.Admit() {
 		g.met.rejectedRate.Add(1)
 		http.Error(w, "rate limited", http.StatusTooManyRequests)
 		return
@@ -534,8 +601,14 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The forward itself runs on pooled scratch: the backend body is read
+	// into a reused buffer and the response JSON is appended into another,
+	// so the gateway's own work around the proxied call allocates nothing
+	// in the steady state (TestForwardPathAllocs gates the pieces).
+	sc := g.scratch.Get().(*fwdScratch)
+	defer g.scratch.Put(sc)
 	start := time.Now()
-	res := g.dispatch(r.Context(), user, backend)
+	res := g.dispatch(r.Context(), user, backend, sc)
 	elapsed := time.Since(start)
 	switch {
 	case res.err != nil:
@@ -555,17 +628,10 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	g.met.backendRequests[res.backend].Add(1)
 	g.met.observe(user, elapsed.Seconds())
 
-	var work struct {
-		ServiceSeconds float64 `json:"service_s"`
-	}
-	_ = json.Unmarshal(res.body, &work)
+	service, _ := parseServiceSeconds(res.body)
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(SubmitResponse{
-		User:           user,
-		Backend:        res.backend,
-		ServiceSeconds: work.ServiceSeconds,
-		ElapsedSeconds: elapsed.Seconds(),
-	})
+	sc.out = appendSubmitResponse(sc.out[:0], user, res.backend, service, elapsed.Seconds())
+	_, _ = w.Write(sc.out)
 }
 
 // routable reports whether backend j may receive traffic: not drained by
@@ -582,60 +648,50 @@ func (g *Gateway) routable(j int) bool {
 // pickBackend samples the user's routing strategy and steers around
 // unroutable machines (tripped breakers, control-plane drains): if the
 // sampled backend is cut off (a table swap is in flight), the request falls
-// back to the user's highest-weight routable backend, then to the fastest
-// routable machine. The second return value is false only when no backend
-// is routable at all.
+// back down the class's pre-resolved fallback order (highest routed weight
+// first), then down the precomputed rate order (fastest machine first). The
+// second return value is false only when no backend is routable at all.
+// Everything on this path was resolved at table install: the per-request
+// work is two array loads, one alias Pick, and the routable check.
 func (g *Gateway) pickBackend(user int) (int, bool) {
 	table := g.table.Load()
+	c := table.classOf[user]
 	g.userMu[user].Lock()
-	backend := table.samplers[user].Pick(g.userRng[user])
+	backend := table.samplers[c].Pick(g.userRng[user])
 	g.userMu[user].Unlock()
 	if g.routable(backend) {
 		return backend, true
 	}
-	best, bw := -1, 0.0
-	for j, f := range table.profile[user] {
-		if g.routable(j) && f > bw {
-			best, bw = j, f
+	for _, j := range table.fallback[c] {
+		if int(j) != backend && g.routable(int(j)) {
+			return int(j), true
 		}
 	}
-	if best >= 0 {
-		return best, true
-	}
-	for j, mu := range g.cfg.Rates {
-		if g.routable(j) && (best < 0 || mu > g.cfg.Rates[best]) {
-			best = j
+	for _, j := range g.rateOrder {
+		if g.routable(int(j)) {
+			return int(j), true
 		}
 	}
-	return best, best >= 0
+	return -1, false
 }
 
 // hedgeTarget returns the backend for a tail hedge: the caller's
 // second-preferred routable machine by routed weight (falling back to the
-// fastest routable machine), or -1 when there is no alternative.
+// fastest routable machine), or -1 when there is no alternative. Both
+// preference orders are pre-resolved at table install.
 func (g *Gateway) hedgeTarget(user, primary int) int {
 	table := g.table.Load()
-	best, bw := -1, 0.0
-	for j, f := range table.profile[user] {
-		if j == primary || !g.routable(j) {
-			continue
-		}
-		if f > bw {
-			best, bw = j, f
+	for _, j := range table.fallback[table.classOf[user]] {
+		if int(j) != primary && g.routable(int(j)) {
+			return int(j)
 		}
 	}
-	if best >= 0 {
-		return best
-	}
-	for j, mu := range g.cfg.Rates {
-		if j == primary || !g.routable(j) {
-			continue
-		}
-		if best < 0 || mu > g.cfg.Rates[best] {
-			best = j
+	for _, j := range g.rateOrder {
+		if int(j) != primary && g.routable(int(j)) {
+			return int(j)
 		}
 	}
-	return best
+	return -1
 }
 
 // fwdResult is one dispatch outcome, tagged with the backend that produced
@@ -650,18 +706,22 @@ type fwdResult struct {
 // dispatch forwards the request, optionally hedging the tail: if the
 // primary has not answered within HedgeAfter, a duplicate goes to the
 // caller's second-best machine and the first success wins (the loser is
-// cancelled). Without hedging it is a plain forward.
-func (g *Gateway) dispatch(ctx context.Context, user, backend int) fwdResult {
+// cancelled). Without hedging it is a plain forward on the caller's pooled
+// scratch; hedge attempts run on their own buffers (two goroutines must
+// never share one scratch).
+func (g *Gateway) dispatch(ctx context.Context, user, backend int, sc *fwdScratch) fwdResult {
 	if g.cfg.HedgeAfter <= 0 {
-		status, body, err := g.forward(ctx, backend)
-		return fwdResult{status: status, body: body, err: err, backend: backend}
+		var status int
+		var err error
+		status, sc.body, err = g.forward(ctx, backend, sc.body[:0])
+		return fwdResult{status: status, body: sc.body, err: err, backend: backend}
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan fwdResult, 2)
 	launch := func(j int) {
 		go func() {
-			status, body, err := g.forward(hctx, j)
+			status, body, err := g.forward(hctx, j, nil)
 			results <- fwdResult{status: status, body: body, err: err, backend: j}
 		}()
 	}
@@ -757,7 +817,14 @@ func (g *Gateway) reportHealth(backend int, ok bool, errText string) {
 // caller without retry: the job may already have consumed queue space, and
 // admission decisions are the caller's to surface. Every attempt outcome
 // feeds the backend's breaker as a passive health signal.
-func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error) {
+//
+// The call runs on the backend's own pooled transport (fresh dials counted
+// by its DialContext wrapper) against its pre-resolved /work URL, and the
+// body is append-read into buf, so a steady-state forward reuses the
+// caller's scratch instead of allocating per request. The returned slice
+// aliases buf's (possibly grown) array; hedge attempts pass nil and get a
+// private allocation.
+func (g *Gateway) forward(ctx context.Context, backend int, buf []byte) (int, []byte, error) {
 	backoff := dist.Backoff{Base: g.cfg.RetryBase, Max: g.cfg.RetryMax}
 	retries := g.cfg.Retries
 	if lim := backoff.AttemptsFor(g.cfg.Timeout); retries > lim {
@@ -779,13 +846,14 @@ func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error)
 			}
 		}
 		attempts++
+		g.met.connAttempts[backend].Add(1)
 		callCtx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
-		req, err := http.NewRequestWithContext(callCtx, http.MethodGet, g.cfg.Backends[backend]+"/work", nil)
+		req, err := http.NewRequestWithContext(callCtx, http.MethodGet, g.workURL[backend], nil)
 		if err != nil {
 			cancel()
 			return 0, nil, err
 		}
-		resp, err := g.client.Do(req)
+		resp, err := g.clients[backend].Do(req)
 		if err != nil {
 			cancel()
 			if ctx.Err() != nil {
@@ -796,7 +864,7 @@ func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error)
 			lastErr = err
 			continue
 		}
-		body, err := io.ReadAll(resp.Body)
+		body, err := readAppend(buf[:0], resp.Body)
 		resp.Body.Close()
 		cancel()
 		if err != nil {
@@ -821,9 +889,30 @@ func (g *Gateway) forward(ctx context.Context, backend int) (int, []byte, error)
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	g.met.render(&b)
+	g.renderAdmission(&b)
 	g.renderHealth(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// renderAdmission appends the sharded token bucket's merged counters
+// (nothing when admission is disabled).
+func (g *Gateway) renderAdmission(b *strings.Builder) {
+	if g.bucket == nil {
+		return
+	}
+	st := g.bucket.Stats()
+	w := func(format string, args ...any) { fmt.Fprintf(b, format, args...) }
+	w("# HELP nashgate_admission_total Sharded-bucket admission outcomes.\n")
+	w("# TYPE nashgate_admission_total counter\n")
+	w("nashgate_admission_total{outcome=%q} %d\n", "admitted", st.Admitted)
+	w("nashgate_admission_total{outcome=%q} %d\n", "denied", st.Denied)
+	w("# HELP nashgate_admission_refills_total Reservoir chunk grants pulled by shards.\n")
+	w("# TYPE nashgate_admission_refills_total counter\n")
+	w("nashgate_admission_refills_total %d\n", st.Refills)
+	w("# HELP nashgate_admission_cached_tokens Tokens currently cached across shards.\n")
+	w("# TYPE nashgate_admission_cached_tokens gauge\n")
+	w("nashgate_admission_cached_tokens %g\n", st.CachedTokens)
 }
 
 // renderHealth appends the health layer's Prometheus-style exposition:
@@ -1121,7 +1210,8 @@ func (g *Gateway) probe(j int) (bool, string) {
 			cancel()
 			return false, err.Error()
 		}
-		resp, err := g.client.Do(req)
+		g.met.connAttempts[j].Add(1)
+		resp, err := g.clients[j].Do(req)
 		if err != nil {
 			cancel()
 			lastErr = err.Error()
@@ -1265,7 +1355,8 @@ func (g *Gateway) pollDepths() ([]int, bool) {
 				errs[j] = err
 				return
 			}
-			resp, err := g.client.Do(req)
+			g.met.connAttempts[j].Add(1)
+			resp, err := g.clients[j].Do(req)
 			if err != nil {
 				errs[j] = err
 				return

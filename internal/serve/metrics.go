@@ -46,6 +46,8 @@ type gatewayMetrics struct {
 	backendRejects  []atomic.Int64 // backend said queue-full (503)
 	backendErrors   []atomic.Int64 // transport failures after retries
 	queueDepth      []atomic.Int64 // last polled depth gauge
+	connOpened      []atomic.Int64 // fresh dials per backend pool (transport dialer)
+	connAttempts    []atomic.Int64 // requests entering each backend pool
 	userAdmitted    []atomic.Int64 // admitted requests per user (arrival estimation)
 	admitted        atomic.Int64
 	rejectedRate    atomic.Int64 // token bucket said no
@@ -89,6 +91,8 @@ func newGatewayMetrics(nBackends, nUsers int) *gatewayMetrics {
 		backendRejects:  make([]atomic.Int64, nBackends),
 		backendErrors:   make([]atomic.Int64, nBackends),
 		queueDepth:      make([]atomic.Int64, nBackends),
+		connOpened:      make([]atomic.Int64, nBackends),
+		connAttempts:    make([]atomic.Int64, nBackends),
 		userAdmitted:    make([]atomic.Int64, nUsers),
 		shards:          make([]metricShard, shardCount()),
 		nUsers:          nUsers,
@@ -157,6 +161,16 @@ type Snapshot struct {
 	BackendErrors  []int64
 	// QueueDepth is the last polled jobs-in-system gauge per backend.
 	QueueDepth []int64
+	// ConnOpened and ConnReused count, per backend pool, connections dialed
+	// fresh and warm reuses off the idle pool (attempts minus dials — the
+	// dialer counts opens, so the forward path pays one atomic add, not a
+	// per-request httptrace context). A healthy steady state reuses nearly
+	// always.
+	ConnOpened []int64
+	ConnReused []int64
+	// Admission is the sharded token bucket's merged view (zero when
+	// admission is disabled).
+	Admission AdmissionStats
 	// Admitted counts requests past admission control; the Rejected*
 	// fields split the refusals by reason. UserAdmitted breaks Admitted
 	// down per user — the raw material for per-gateway arrival-rate
@@ -205,6 +219,8 @@ func (m *gatewayMetrics) snapshot() *Snapshot {
 		BackendRejects:   make([]int64, len(m.backendRejects)),
 		BackendErrors:    make([]int64, len(m.backendErrors)),
 		QueueDepth:       make([]int64, len(m.queueDepth)),
+		ConnOpened:       make([]int64, len(m.connOpened)),
+		ConnReused:       make([]int64, len(m.connAttempts)),
 		Admitted:         m.admitted.Load(),
 		UserAdmitted:     make([]int64, m.nUsers),
 		RejectedRate:     m.rejectedRate.Load(),
@@ -226,6 +242,8 @@ func (m *gatewayMetrics) snapshot() *Snapshot {
 		s.BackendRejects[j] = m.backendRejects[j].Load()
 		s.BackendErrors[j] = m.backendErrors[j].Load()
 		s.QueueDepth[j] = m.queueDepth[j].Load()
+		s.ConnOpened[j] = m.connOpened[j].Load()
+		s.ConnReused[j] = connReusedOf(m.connAttempts[j].Load(), s.ConnOpened[j])
 	}
 	hists, moments := m.mergeUsers()
 	s.UserCount = make([]int64, len(hists))
@@ -279,6 +297,13 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 	for j := range m.queueDepth {
 		w("nashgate_backend_queue_depth{backend=\"%d\"} %d\n", j, m.queueDepth[j].Load())
 	}
+	w("# HELP nashgate_backend_conns_total Backend-pool connections by state (opened = dialed fresh, reused = warm from the idle pool).\n")
+	w("# TYPE nashgate_backend_conns_total counter\n")
+	for j := range m.connOpened {
+		opened := m.connOpened[j].Load()
+		w("nashgate_backend_conns_total{backend=\"%d\",state=%q} %d\n", j, "opened", opened)
+		w("nashgate_backend_conns_total{backend=\"%d\",state=%q} %d\n", j, "reused", connReusedOf(m.connAttempts[j].Load(), opened))
+	}
 
 	w("# HELP nashgate_rebalances_total Routing-table hot swaps installed.\n")
 	w("# TYPE nashgate_rebalances_total counter\n")
@@ -321,6 +346,16 @@ func (m *gatewayMetrics) render(b *strings.Builder) {
 		w("nashgate_response_seconds_sum{user=\"%d\"} %g\n", i, h.Sum())
 		w("nashgate_response_seconds_count{user=\"%d\"} %d\n", i, h.N())
 	}
+}
+
+// connReusedOf derives warm reuses from the attempt and dial counters; a
+// failed dial consumes its attempt, so the difference never goes negative
+// in steady state, but clamp anyway against mid-flight counter reads.
+func connReusedOf(attempts, opened int64) int64 {
+	if reused := attempts - opened; reused > 0 {
+		return reused
+	}
+	return 0
 }
 
 func formatBound(x float64) string {

@@ -1,0 +1,88 @@
+package serve
+
+import "fmt"
+
+// RampPoint is one step of a throughput ramp: the offered rate, what the
+// system actually achieved, and the latency picture at that load.
+type RampPoint struct {
+	// Factor is the multiplier applied to the base arrival rates.
+	Factor float64
+	// OfferedRate is the scheduled request rate (sum of scaled arrivals),
+	// AchievedRate the post-warmup OK responses per second.
+	OfferedRate  float64
+	AchievedRate float64
+	// Goodput is AchievedRate/OfferedRate — the knee detector's signal.
+	Goodput float64
+	// Corrected and Uncorrected are the step's latency summaries.
+	Corrected   LatencySummary
+	Uncorrected LatencySummary
+}
+
+// RampResult is a full throughput ramp with its knee.
+type RampResult struct {
+	Points []RampPoint
+	// Knee indexes the last step before goodput first fell below
+	// KneeGoodput (len-1 when the system kept up everywhere, -1 when even
+	// the first step collapsed). The knee's AchievedRate is the honest
+	// "requests per second this stack sustains" number.
+	Knee int
+}
+
+// KneeGoodput is the goodput threshold below which a ramp step counts as
+// past the knee: the system is no longer keeping up with the offered load.
+const KneeGoodput = 0.9
+
+// RunRamp sweeps the offered load over the given factors (multipliers of
+// cfg.Arrivals, ascending), running one RunLoad per step with a per-step
+// derived seed, and locates the throughput knee. Each step reuses cfg's
+// duration and warmup; keep them short — the ramp's cost is steps ×
+// duration.
+func RunRamp(cfg LoadConfig, factors []float64) (*RampResult, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("serve: ramp needs at least one factor")
+	}
+	var base float64
+	for _, phi := range cfg.Arrivals {
+		base += phi
+	}
+	window := cfg.Duration - cfg.Warmup
+	if window <= 0 {
+		return nil, fmt.Errorf("serve: ramp needs duration > warmup")
+	}
+	res := &RampResult{Points: make([]RampPoint, 0, len(factors)), Knee: -1}
+	for k, f := range factors {
+		if !(f > 0) {
+			return nil, fmt.Errorf("serve: invalid ramp factor %g", f)
+		}
+		step := cfg
+		step.Seed = cfg.Seed + uint64(k)
+		step.Arrivals = make([]float64, len(cfg.Arrivals))
+		for i, phi := range cfg.Arrivals {
+			step.Arrivals[i] = phi * f
+		}
+		lr, err := RunLoad(step)
+		if err != nil {
+			return nil, err
+		}
+		var ok int64
+		for _, n := range lr.OK {
+			ok += n
+		}
+		pt := RampPoint{
+			Factor:       f,
+			OfferedRate:  base * f,
+			AchievedRate: float64(ok) / window.Seconds(),
+			Corrected:    lr.Corrected,
+			Uncorrected:  lr.Uncorrected,
+		}
+		if pt.OfferedRate > 0 {
+			pt.Goodput = pt.AchievedRate / pt.OfferedRate
+		}
+		res.Points = append(res.Points, pt)
+		if pt.Goodput < KneeGoodput {
+			break // past the knee; later steps only get worse
+		}
+		res.Knee = k
+	}
+	return res, nil
+}

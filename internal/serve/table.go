@@ -55,9 +55,17 @@ func (g *Gateway) InstallTable(t Table) error {
 	if t.Active != nil && len(t.Active) != n {
 		return fmt.Errorf("serve: table has %d active flags for %d backends", len(t.Active), n)
 	}
-	table, err := newRouteTable(t.Profile, n)
-	if err != nil {
-		return err
+	// A control plane re-pushing an unchanged equilibrium (anti-entropy
+	// refresh) should not pay alias re-resolution: when the incoming profile
+	// is bitwise-identical to the installed one, the pre-resolved table is
+	// reused and only the fence, active set and admission state advance.
+	table := g.table.Load()
+	if table == nil || !table.profile.Equal(t.Profile) {
+		var err error
+		table, err = newRouteTable(t.Profile, n)
+		if err != nil {
+			return err
+		}
 	}
 
 	g.installMu.Lock()

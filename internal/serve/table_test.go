@@ -192,16 +192,20 @@ func TestRouteTableAliasSharing(t *testing.T) {
 		t.Fatalf("classes = %d, want %d", table.classes, len(rows))
 	}
 	for i := range p {
-		if table.samplers[i] != table.samplers[i%len(rows)] {
-			t.Fatalf("user %d does not share its class's sampler", i)
+		if table.classOf[i] != table.classOf[i%len(rows)] {
+			t.Fatalf("user %d does not share its class (got %d, want %d)",
+				i, table.classOf[i], table.classOf[i%len(rows)])
 		}
 	}
-	// Distinct rows must not share.
-	if table.samplers[0] == table.samplers[1] || table.samplers[1] == table.samplers[2] {
-		t.Fatal("distinct rows share a sampler")
+	// Distinct rows must map to distinct classes (and samplers).
+	if table.classOf[0] == table.classOf[1] || table.classOf[1] == table.classOf[2] {
+		t.Fatal("distinct rows share a class")
 	}
-	// Samplers must still honour the row they were built for.
-	if got := len(table.samplers); got != users {
-		t.Fatalf("samplers = %d, want %d", got, users)
+	// One sampler and one fallback order per class, not per user.
+	if got := len(table.samplers); got != len(rows) {
+		t.Fatalf("samplers = %d, want %d", got, len(rows))
+	}
+	if got := len(table.fallback); got != len(rows) {
+		t.Fatalf("fallback orders = %d, want %d", got, len(rows))
 	}
 }

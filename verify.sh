@@ -31,6 +31,15 @@ go test -run '^$' -fuzz FuzzBisect -fuzztime 10s ./internal/numeric
 go test -run '^$' -fuzz FuzzQueueInversion -fuzztime 10s ./internal/estimate
 go test -run '^$' -fuzz FuzzFleetWire -fuzztime 10s ./internal/fleet
 go test -run '^$' -fuzz FuzzParseClasses -fuzztime 10s ./internal/cli
+go test -run '^$' -fuzz FuzzInstallTable -fuzztime 10s ./internal/serve
+
+# Serving-throughput regression gates: the forwarding hot path must keep
+# its >=3x advantage over the pre-PR per-request work, and the closed-loop
+# harness must keep exposing coordinated omission (corrected percentiles
+# reflect a seeded stall the uncorrected view hides). TestForwardPathAllocs
+# below holds the hot path at zero steady-state allocations.
+echo "== go test -run 'HotPathSpeedup|CoordinatedOmission' ./internal/serve"
+go test -run 'HotPathSpeedup|CoordinatedOmission' -count=1 ./internal/serve
 
 # Allocation-regression gate: the steady-state DES, cluster-job, gateway
 # record and megascale solver round paths must stay at zero allocations per
