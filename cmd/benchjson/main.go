@@ -8,12 +8,12 @@
 // memory curves next to the microbenchmarks they explain.
 //
 // With -serve FILE the tool switches to merge mode for BENCH_serve.json
-// (schema 4): the parsed benchmarks are placed under the "throughput" key
+// (schema 5): the parsed benchmarks are placed under the "throughput" key
 // of FILE, preserving every other key the serving experiments wrote
-// (ext8/ext9/ext10). If FILE already exists with a different schema
-// version, benchjson refuses with an error instead of silently
-// overwriting it — a stale or foreign document is a bug to surface, not
-// data to clobber.
+// (ext8/ext9/ext10/ext12). A schema-4 document (schema 5 minus the ext12
+// key) is migrated to 5 in place with all keys preserved; any other schema
+// version is refused with an error instead of silently overwritten — a
+// stale or foreign document is a bug to surface, not data to clobber.
 //
 // Repeated runs of the same benchmark are folded into a single entry
 // keeping the fastest ns/op (the standard best-of-N reading, least noise)
@@ -85,13 +85,19 @@ type document struct {
 	Ext11 json.RawMessage `json:"ext11,omitempty"`
 }
 
-// serveSchema is the BENCH_serve.json schema version the merge mode
-// understands (schema 4 = serving experiments plus the "throughput" key).
-const serveSchema = 4
+// serveSchema is the BENCH_serve.json schema version the merge mode writes
+// (schema 5 = serving experiments incl. ext12_partition plus the
+// "throughput" key). serveSchemaPrev documents the one older version the
+// merge migrates in place: schema 4 is schema 5 minus the ext12 key, so
+// upgrading it loses nothing.
+const (
+	serveSchema     = 5
+	serveSchemaPrev = 4
+)
 
 func main() {
 	ext11Flag := flag.String("ext11", "", "EXT11 sweep JSON (from `experiments -benchcore`) to embed under the ext11 key")
-	serveFlag := flag.String("serve", "", "merge the parsed benchmarks into this BENCH_serve.json (schema 4) under the throughput key")
+	serveFlag := flag.String("serve", "", "merge the parsed benchmarks into this BENCH_serve.json (schema 5; schema 4 is migrated) under the throughput key")
 	flag.Parse()
 
 	doc, err := scanBench(os.Stdin)
@@ -216,9 +222,10 @@ type throughputSection struct {
 
 // mergeServe folds doc's benchmarks into an existing BENCH_serve.json body
 // (nil or empty when the file does not exist yet) under the "throughput"
-// key, keeping every other top-level key intact. A document whose schema
-// is not serveSchema — or that is not a JSON object at all — is refused:
-// the caller must not overwrite data it does not understand.
+// key, keeping every other top-level key intact. A schema-serveSchemaPrev
+// document is migrated to serveSchema in place (the newer schema only adds
+// keys); any other schema — or a body that is not a JSON object at all — is
+// refused: the caller must not overwrite data it does not understand.
 func mergeServe(existing []byte, doc *document) ([]byte, error) {
 	top := map[string]json.RawMessage{}
 	if len(existing) > 0 {
@@ -230,8 +237,14 @@ func mergeServe(existing []byte, doc *document) ([]byte, error) {
 			if err := json.Unmarshal(raw, &schema); err != nil {
 				return nil, fmt.Errorf("existing document has a non-numeric schema %s", raw)
 			}
-			if schema != serveSchema {
-				return nil, fmt.Errorf("existing document has schema %d, this tool writes schema %d — regenerate it (experiments -run ext8,ext9,ext10 -benchjson FILE) or delete it first", schema, serveSchema)
+			switch schema {
+			case serveSchema:
+			case serveSchemaPrev:
+				// Schema 4 is a strict subset of schema 5 (no
+				// ext12_partition key): migrate in place, preserving every
+				// key the old document carried.
+			default:
+				return nil, fmt.Errorf("existing document has schema %d, this tool writes schema %d (and migrates only schema %d) — regenerate it (experiments -run ext8,ext9,ext10,ext12 -benchjson FILE) or delete it first", schema, serveSchema, serveSchemaPrev)
 			}
 		}
 	}

@@ -32,8 +32,31 @@ func TestMergeServeSchemaMismatch(t *testing.T) {
 	if err == nil {
 		t.Fatal("schema-3 document was merged, want refusal")
 	}
-	if !strings.Contains(err.Error(), "schema 3") || !strings.Contains(err.Error(), "schema 4") {
+	if !strings.Contains(err.Error(), "schema 3") || !strings.Contains(err.Error(), "schema 5") {
 		t.Fatalf("refusal %q does not name both schema versions", err)
+	}
+}
+
+// TestMergeServeMigratesSchema4: a schema-4 document (schema 5 minus the
+// ext12 key) is upgraded in place, every key preserved.
+func TestMergeServeMigratesSchema4(t *testing.T) {
+	existing := []byte(`{"schema": 4, "ext8_live_serving": {"experiment": "ext8"}, "ext10_fleet": {"experiment": "ext10"}}`)
+	out, err := mergeServe(existing, scanServe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(out, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ext8_live_serving", "ext10_fleet", "throughput"} {
+		if _, ok := top[key]; !ok {
+			t.Fatalf("migration lost key %q", key)
+		}
+	}
+	var schema int
+	if err := json.Unmarshal(top["schema"], &schema); err != nil || schema != serveSchema {
+		t.Fatalf("migrated schema %s, want %d", top["schema"], serveSchema)
 	}
 }
 
@@ -50,7 +73,7 @@ func TestMergeServeRejectsGarbage(t *testing.T) {
 // TestMergeServePreservesKeys: merging into a matching-schema document
 // keeps the serving-experiment keys and adds throughput.
 func TestMergeServePreservesKeys(t *testing.T) {
-	existing := []byte(`{"schema": 4, "ext8_live_serving": {"experiment": "ext8"}, "ext9_self_healing": {"experiment": "ext9"}}`)
+	existing := []byte(`{"schema": 5, "ext8_live_serving": {"experiment": "ext8"}, "ext9_self_healing": {"experiment": "ext9"}, "ext12_partition": {"experiment": "ext12"}}`)
 	out, err := mergeServe(existing, scanServe(t))
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +82,7 @@ func TestMergeServePreservesKeys(t *testing.T) {
 	if err := json.Unmarshal(out, &top); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"schema", "ext8_live_serving", "ext9_self_healing", "throughput"} {
+	for _, key := range []string{"schema", "ext8_live_serving", "ext9_self_healing", "ext12_partition", "throughput"} {
 		if _, ok := top[key]; !ok {
 			t.Fatalf("merged document lost key %q", key)
 		}
@@ -89,7 +112,7 @@ func TestMergeServePreservesKeys(t *testing.T) {
 }
 
 // TestMergeServeFreshFile: with no existing document, merge mode starts a
-// schema-4 document from scratch.
+// schema-5 document from scratch.
 func TestMergeServeFreshFile(t *testing.T) {
 	out, err := mergeServe(nil, scanServe(t))
 	if err != nil {

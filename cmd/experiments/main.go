@@ -1,11 +1,11 @@
 // Command experiments regenerates the paper's evaluation artifacts — Table
 // 1 and Figures 2-6 — plus the DESIGN.md ablations ABL1-ABL6 and extensions
-// EXT1-EXT10. Results print as aligned text tables; -csv writes one CSV per
+// EXT1-EXT12. Results print as aligned text tables; -csv writes one CSV per
 // artifact into a directory and -plot adds ASCII charts for the figures.
-// EXT8-EXT10 serve real HTTP traffic through the nashgate gateway (EXT10
-// through a whole gateway fleet) and so take their live windows in
-// wall-clock time; -benchjson additionally writes their results in
-// machine-readable form (BENCH_serve.json).
+// EXT8-EXT10 and EXT12 serve real HTTP traffic through the nashgate gateway
+// (EXT10 and EXT12 through a whole gateway fleet) and so take their live
+// windows in wall-clock time; -benchjson additionally writes their results
+// in machine-readable form (BENCH_serve.json).
 //
 // Usage:
 //
@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext11 or all")
+		runFlag     = flag.String("run", "all", "comma list of artifacts: tab1,fig2,fig3,fig4,fig5,fig6,abl1..abl6,ext1..ext12 or all")
 		simFlag     = flag.Bool("sim", false, "use discrete-event simulation for fig4/fig5/fig6 (slower, adds CIs)")
 		quickFlag   = flag.Bool("quick", false, "reduced simulation fidelity (short runs, 3 replications)")
 		csvFlag     = flag.String("csv", "", "directory to write CSV files into (created if missing)")
@@ -40,7 +40,7 @@ func main() {
 		utilFlag    = flag.Float64("util", 0.6, "system utilization for fig2/fig5/fig6 and the ablations")
 		seedFlag    = flag.Uint64("seed", 2002, "random seed for simulated runs")
 		workersFlag = flag.Int("workers", 0, "replication-engine pool size (0 = GOMAXPROCS); results are identical for any value")
-		benchFlag   = flag.String("benchjson", "", "file to write the machine-readable EXT8+EXT9 results into (implies live serving)")
+		benchFlag   = flag.String("benchjson", "", "file to write the machine-readable EXT8/EXT9/EXT10/EXT12 results into (implies live serving)")
 		coreFlag    = flag.String("benchcore", "", "file to write the machine-readable EXT11 scaling sweep into (implies ext11)")
 	)
 	flag.Parse()
@@ -231,6 +231,7 @@ func main() {
 	var ext8Res *experiments.Ext8Result
 	var ext9Res *experiments.Ext9Result
 	var ext10Res *experiments.Ext10Result
+	var ext12Res *experiments.Ext12Result
 	if selected("ext8") || *benchFlag != "" {
 		res, err := experiments.Ext8(params.Seed, *quickFlag)
 		if err != nil {
@@ -258,6 +259,15 @@ func main() {
 		ext10Res = res
 		ran++
 	}
+	if selected("ext12") || *benchFlag != "" {
+		res, err := experiments.Ext12(params.Seed, *quickFlag)
+		if err != nil {
+			log.Fatalf("ext12: %v", err)
+		}
+		emit("ext12_partition", res.Table())
+		ext12Res = res
+		ran++
+	}
 	if selected("ext11") || *coreFlag != "" {
 		res, err := experiments.Ext11(*quickFlag)
 		if err != nil {
@@ -277,7 +287,7 @@ func main() {
 		ran++
 	}
 	if *benchFlag != "" {
-		data, err := experiments.ServeBenchJSON(ext8Res, ext9Res, ext10Res)
+		data, err := experiments.ServeBenchJSON(ext8Res, ext9Res, ext10Res, ext12Res)
 		if err != nil {
 			log.Fatalf("benchjson: %v", err)
 		}

@@ -112,6 +112,8 @@ func main() {
 		scaleHighFlag    = flag.Float64("scale-high", 0.8, "fleet: utilization above which the autoscaler activates")
 		scaleSustainFlag = flag.Int("scale-sustain", 3, "fleet: consecutive epochs a threshold must hold before scaling")
 		minActiveFlag    = flag.Int("min-active", 1, "fleet: floor on active machines")
+		quorumFlag       = flag.Int("quorum", 0, "fleet: nodes (self included) this replica must heartbeat to lead (0 = strict majority)")
+		durableFlag      = flag.String("fleet-durable-dir", "", "fleet: directory for the crash-durable control-plane snapshot (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -129,6 +131,9 @@ func main() {
 			arrivals:   *arrivalsFlag,
 			heartbeat:  *heartbeatFlag,
 			solveEvery: *solveEveryFlag,
+			quorum:     *quorumFlag,
+			durableDir: *durableFlag,
+			seed:       *seedFlag,
 			autoscale: fleet.AutoscaleConfig{
 				Enabled:   *autoscaleFlag,
 				Low:       *scaleLowFlag,
@@ -312,6 +317,9 @@ type fleetArgs struct {
 	arrivals   string
 	heartbeat  time.Duration
 	solveEvery time.Duration
+	quorum     int
+	durableDir string
+	seed       uint64
 	autoscale  fleet.AutoscaleConfig
 	gateway    serve.GatewayConfig
 }
@@ -359,6 +367,9 @@ func runFleet(a fleetArgs) {
 		Gateway:        a.gateway,
 		HeartbeatEvery: a.heartbeat,
 		SolveEvery:     a.solveEvery,
+		Quorum:         a.quorum,
+		DurableDir:     a.durableDir,
+		Seed:           a.seed,
 		Autoscale:      a.autoscale,
 		Addr:           a.listen,
 	})

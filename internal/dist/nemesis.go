@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nashlb/internal/rng"
+)
+
+// LinkPolicy decides whether a control-plane message from node `from` may
+// reach node `to` right now. The fleet consults it before every outbound
+// control call (heartbeat, report, table push, leadership claim), so a
+// policy that answers false behaves exactly like a cut network link: the
+// caller sees a transport failure and its liveness view decays.
+type LinkPolicy interface {
+	Allow(from, to int) bool
+}
+
+// NemesisEvent is one scheduled step of a partition nemesis, applied from
+// At (relative to Start) until the next event takes over.
+//
+// Partition lists symmetric netsplit groups: two nodes communicate only if
+// they are in the same group. Nodes not named in any group implicitly share
+// one residual group with each other. A nil Partition with no Cuts is a
+// heal.
+//
+// Cuts are asymmetric one-way link failures ({from, to} blocks only that
+// direction), layered on top of the partition — the classic "A can reach B
+// but B cannot reach A" fault heartbeat protocols must survive.
+//
+// Loss drops each otherwise-allowed message independently with this
+// probability, drawn from the nemesis's seeded stream (partial link loss).
+type NemesisEvent struct {
+	At        time.Duration
+	Partition [][]int
+	Cuts      [][2]int
+	Loss      float64
+}
+
+// Nemesis is a deterministic, schedule-driven partition fault injector: the
+// control-plane sibling of the message-level Chaos transport and the
+// HTTP-level ChaosProxy. The schedule is fixed up front and every random
+// choice (partial loss) comes from a seeded stream, so a run is replayable
+// from (schedule, seed); it composes freely with crash/restart harnesses
+// (Crasher, fleet Kill) because it only gates links, never processes.
+type Nemesis struct {
+	n      int
+	events []nemesisEvent
+
+	allowed atomic.Int64
+	blocked atomic.Int64
+	lost    atomic.Int64
+
+	mu      sync.Mutex
+	started bool
+	start   time.Time
+	r       *rng.Stream
+}
+
+// nemesisEvent is a compiled NemesisEvent: group membership and cuts are
+// resolved to O(1) lookups so Allow stays cheap on the probe path.
+type nemesisEvent struct {
+	at      time.Duration
+	groupOf []int // 0 = unlisted (residual group), else group index + 1
+	split   bool  // whether a partition is active at all
+	cuts    map[[2]int]bool
+	loss    float64
+}
+
+// NewNemesis compiles a schedule over a fleet of n nodes. Events must be
+// sorted by At; node IDs must be in [0, n) and appear in at most one group
+// per event; Loss must be in [0, 1).
+func NewNemesis(n int, seed uint64, events []NemesisEvent) (*Nemesis, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: nemesis over %d nodes", n)
+	}
+	if !sort.SliceIsSorted(events, func(a, b int) bool { return events[a].At < events[b].At }) {
+		return nil, fmt.Errorf("dist: nemesis events not sorted by At")
+	}
+	nm := &Nemesis{n: n, r: rng.NewSource(seed).Stream("nemesis/loss")}
+	for k, ev := range events {
+		ce := nemesisEvent{at: ev.At, groupOf: make([]int, n), loss: ev.Loss}
+		if !(ev.Loss >= 0 && ev.Loss < 1) {
+			return nil, fmt.Errorf("dist: nemesis event %d loss %g outside [0, 1)", k, ev.Loss)
+		}
+		for gi, group := range ev.Partition {
+			for _, id := range group {
+				if id < 0 || id >= n {
+					return nil, fmt.Errorf("dist: nemesis event %d names node %d outside [0, %d)", k, id, n)
+				}
+				if ce.groupOf[id] != 0 {
+					return nil, fmt.Errorf("dist: nemesis event %d puts node %d in two groups", k, id)
+				}
+				ce.groupOf[id] = gi + 1
+				ce.split = true
+			}
+		}
+		if len(ev.Cuts) > 0 {
+			ce.cuts = make(map[[2]int]bool, len(ev.Cuts))
+		}
+		for _, cut := range ev.Cuts {
+			if cut[0] < 0 || cut[0] >= n || cut[1] < 0 || cut[1] >= n || cut[0] == cut[1] {
+				return nil, fmt.Errorf("dist: nemesis event %d has invalid cut %v", k, cut)
+			}
+			ce.cuts[cut] = true
+		}
+		nm.events = append(nm.events, ce)
+	}
+	return nm, nil
+}
+
+// Start arms the schedule clock. Before Start every link is up.
+func (nm *Nemesis) Start() {
+	nm.mu.Lock()
+	nm.started = true
+	nm.start = time.Now()
+	nm.mu.Unlock()
+}
+
+// Allow implements LinkPolicy against the active schedule step. Self-links
+// and IDs outside the compiled universe are always allowed.
+func (nm *Nemesis) Allow(from, to int) bool {
+	if from == to || from < 0 || from >= nm.n || to < 0 || to >= nm.n {
+		return true
+	}
+	nm.mu.Lock()
+	if !nm.started {
+		nm.mu.Unlock()
+		nm.allowed.Add(1)
+		return true
+	}
+	elapsed := time.Since(nm.start)
+	var ev *nemesisEvent
+	for i := range nm.events {
+		if nm.events[i].at <= elapsed {
+			ev = &nm.events[i]
+		} else {
+			break
+		}
+	}
+	var loseIt bool
+	if ev != nil && ev.loss > 0 {
+		loseIt = nm.r.Float64() < ev.loss
+	}
+	nm.mu.Unlock()
+
+	if ev == nil {
+		nm.allowed.Add(1)
+		return true
+	}
+	if ev.split && ev.groupOf[from] != ev.groupOf[to] {
+		nm.blocked.Add(1)
+		return false
+	}
+	if ev.cuts[[2]int{from, to}] {
+		nm.blocked.Add(1)
+		return false
+	}
+	if loseIt {
+		nm.lost.Add(1)
+		return false
+	}
+	nm.allowed.Add(1)
+	return true
+}
+
+// Counts reports delivered, partition/cut-blocked and loss-dropped
+// decisions since construction.
+func (nm *Nemesis) Counts() (allowed, blocked, lost int64) {
+	return nm.allowed.Load(), nm.blocked.Load(), nm.lost.Load()
+}

@@ -791,11 +791,11 @@ func TestExt9SelfHealing(t *testing.T) {
 		t.Error("table mismatch")
 	}
 
-	data, err := ServeBenchJSON(nil, res, nil)
+	data, err := ServeBenchJSON(nil, res, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema": 4`, `"ext9_self_healing"`, `"crash+recover"`} {
+	for _, want := range []string{`"schema": 5`, `"ext9_self_healing"`, `"crash+recover"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("bench json missing %s", want)
 		}
@@ -867,11 +867,82 @@ func TestExt10Fleet(t *testing.T) {
 		t.Error("table mismatch")
 	}
 
-	data, err := ServeBenchJSON(nil, nil, res)
+	data, err := ServeBenchJSON(nil, nil, res, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema": 4`, `"ext10_fleet"`, `"leader kill"`, `"split_dev_post"`} {
+	for _, want := range []string{`"schema": 5`, `"ext10_fleet"`, `"leader kill"`, `"split_dev_post"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench json missing %s", want)
+		}
+	}
+}
+
+func TestExt12PartitionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live fleet serving run")
+	}
+	res, err := Ext12(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Ext12Row{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+		if row.Sent == 0 {
+			t.Fatalf("%s: no load sent", row.Scenario)
+		}
+		if row.AuditEvents == 0 {
+			t.Fatalf("%s: empty audit trace", row.Scenario)
+		}
+		// The safety invariants must hold under every fault pattern.
+		if row.AuditViolations != 0 {
+			t.Errorf("%s: %d audit violations", row.Scenario, row.AuditViolations)
+		}
+	}
+	clean := byName["clean"]
+	if clean.Availability < 0.99 || clean.Elections != 1 || clean.QuorumLossObserved {
+		t.Errorf("clean run not clean: %+v", clean)
+	}
+	// A minority partition touches only control links: the data plane must
+	// not notice (this is the 2-point acceptance bound) and the isolated
+	// follower must observe its quorum loss.
+	minority := byName["minority partition"]
+	if minority.Availability < 0.99 {
+		t.Errorf("minority partition availability %.4f < 0.99", minority.Availability)
+	}
+	if !minority.QuorumLossObserved {
+		t.Errorf("isolated follower never degraded: %+v", minority)
+	}
+	leader := byName["leader partition"]
+	if leader.Availability < 0.99 || !leader.QuorumLossObserved {
+		t.Errorf("leader partition: %+v", leader)
+	}
+	if leader.FailoverSeconds < 0 || leader.FailoverSeconds > 3 {
+		t.Errorf("leader partition failover took %vs", leader.FailoverSeconds)
+	}
+	if leader.Elections < 2 || leader.FinalEpoch < 2 {
+		t.Errorf("leader partition never re-elected: %+v", leader)
+	}
+	compound := byName["partition+crash"]
+	if compound.Availability < 0.97 || !compound.QuorumLossObserved {
+		t.Errorf("compound scenario: %+v", compound)
+	}
+	if compound.FailoverSeconds < 0 || compound.FailoverSeconds > 4 {
+		t.Errorf("compound failover took %vs", compound.FailoverSeconds)
+	}
+	if res.Table().Rows() != 4 {
+		t.Error("table mismatch")
+	}
+
+	data, err := ServeBenchJSON(nil, nil, nil, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": 5`, `"ext12_partition"`, `"minority partition"`, `"audit_violations"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("bench json missing %s", want)
 		}

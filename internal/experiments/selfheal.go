@@ -296,17 +296,19 @@ func (r *Ext9Result) bench() ext9Bench {
 	return out
 }
 
-// ServeBenchJSON combines the EXT8, EXT9 and EXT10 results into the
-// BENCH_serve.json document (schema 4: one key per serving experiment,
-// plus the "throughput" key merged in afterwards by cmd/benchjson -serve).
-// Any result may be nil; its key is then omitted.
-func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result, ext10 *Ext10Result) ([]byte, error) {
+// ServeBenchJSON combines the EXT8, EXT9, EXT10 and EXT12 results into the
+// BENCH_serve.json document (schema 5: one key per serving experiment,
+// plus the "throughput" key merged in afterwards by cmd/benchjson -serve;
+// schema 5 added ext12_partition to schema 4's keys). Any result may be
+// nil; its key is then omitted.
+func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result, ext10 *Ext10Result, ext12 *Ext12Result) ([]byte, error) {
 	doc := struct {
 		Schema int         `json:"schema"`
 		Ext8   *ext8Bench  `json:"ext8_live_serving,omitempty"`
 		Ext9   *ext9Bench  `json:"ext9_self_healing,omitempty"`
 		Ext10  *ext10Bench `json:"ext10_fleet,omitempty"`
-	}{Schema: 4}
+		Ext12  *ext12Bench `json:"ext12_partition,omitempty"`
+	}{Schema: 5}
 	if ext8 != nil {
 		b := ext8.bench()
 		doc.Ext8 = &b
@@ -318,6 +320,10 @@ func ServeBenchJSON(ext8 *Ext8Result, ext9 *Ext9Result, ext10 *Ext10Result) ([]b
 	if ext10 != nil {
 		b := ext10.bench()
 		doc.Ext10 = &b
+	}
+	if ext12 != nil {
+		b := ext12.bench()
+		doc.Ext12 = &b
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }

@@ -1,0 +1,212 @@
+// Package audit is the fleet's Jepsen-lite safety checker: every node
+// records its control-plane transitions into a shared Trace while a chaos
+// schedule (partitions, crashes, link loss) runs, and Check replays the
+// merged history offline against the invariants the control plane claims:
+//
+//   - at most one node acquires leadership in any one generation (the
+//     quorum-claim protocol's majority-intersection guarantee);
+//   - no replica ever installs a routing table that is not strictly newer
+//     than the one it already has (fenced installs are applied in order,
+//     epochs never regress);
+//   - a node only distributes tables during a reign it actually acquired
+//     (no stale leader re-pushing after deposition);
+//   - a node that has lost its quorum distributes nothing until the quorum
+//     is regained.
+//
+// Record serializes all nodes through one mutex, so the trace is a single
+// total order consistent with each node's own transition order — the
+// checker needs no vector clocks.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the audited control-plane transitions.
+type Kind uint8
+
+const (
+	// LeaderAcquire: the node won a quorum of grants for generation Gen and
+	// began a reign.
+	LeaderAcquire Kind = iota + 1
+	// LeaderStepDown: the node abandoned the reign Gen (deposed by a newer
+	// generation, fenced out, or quorum lost).
+	LeaderStepDown
+	// Install: the node's gateway accepted a fenced table at (Epoch,
+	// Version).
+	Install
+	// Distribute: the node, as leader of generation Gen, released table
+	// (Epoch, Version) to the fleet.
+	Distribute
+	// QuorumLost / QuorumGained: the node's connectivity dropped below /
+	// recovered to a strict majority of the provisioned universe.
+	QuorumLost
+	QuorumGained
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LeaderAcquire:
+		return "leader-acquire"
+	case LeaderStepDown:
+		return "leader-stepdown"
+	case Install:
+		return "install"
+	case Distribute:
+		return "distribute"
+	case QuorumLost:
+		return "quorum-lost"
+	case QuorumGained:
+		return "quorum-gained"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded transition. Seq is the trace-global order; Gen is
+// the leadership generation, (Epoch, Version) the table fence mark (zero
+// where not applicable).
+type Event struct {
+	Seq     uint64
+	At      time.Time
+	Node    int
+	Kind    Kind
+	Gen     uint64
+	Epoch   uint64
+	Version uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d node %d %s gen=%d table=(%d,%d)",
+		e.Seq, e.Node, e.Kind, e.Gen, e.Epoch, e.Version)
+}
+
+// Trace is the shared, concurrency-safe event log all fleet nodes record
+// into. The zero value is ready to use; a nil *Trace discards records, so
+// tracing is free to leave un-plumbed.
+type Trace struct {
+	mu     sync.Mutex
+	seq    uint64
+	events []Event
+}
+
+// Record appends one event, stamping the global sequence number.
+func (t *Trace) Record(node int, k Kind, gen, epoch, version uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	t.events = append(t.events, Event{
+		Seq: t.seq, At: time.Now(), Node: node, Kind: k,
+		Gen: gen, Epoch: epoch, Version: version,
+	})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the trace in record order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len reports how many events have been recorded.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Violation is one invariant breach found by Check.
+type Violation struct {
+	// Rule names the broken invariant: "unique-leader",
+	// "install-regression", "unfenced-distribute" or
+	// "minority-distribute".
+	Rule   string
+	Detail string
+	Event  Event
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (%s)", v.Rule, v.Detail, v.Event)
+}
+
+// Check replays a trace against the safety invariants and returns every
+// breach. An empty result is the pass verdict.
+func Check(events []Event) []Violation {
+	var out []Violation
+	leaderOf := make(map[uint64]int)  // generation -> acquiring node
+	reign := make(map[int]uint64)     // node -> current reign gen (0 = none)
+	lastEpoch := make(map[int]uint64) // node -> last installed epoch
+	lastVer := make(map[int]uint64)
+	installed := make(map[int]bool)
+	noQuorum := make(map[int]bool)
+
+	for _, e := range events {
+		switch e.Kind {
+		case LeaderAcquire:
+			if prev, ok := leaderOf[e.Gen]; ok {
+				detail := fmt.Sprintf("generation %d already acquired by node %d", e.Gen, prev)
+				if prev == e.Node {
+					detail = fmt.Sprintf("node %d acquired generation %d twice", e.Node, e.Gen)
+				}
+				out = append(out, Violation{Rule: "unique-leader", Detail: detail, Event: e})
+			} else {
+				leaderOf[e.Gen] = e.Node
+			}
+			reign[e.Node] = e.Gen
+		case LeaderStepDown:
+			delete(reign, e.Node)
+		case Install:
+			if installed[e.Node] {
+				ep, v := lastEpoch[e.Node], lastVer[e.Node]
+				// An exact replay of the current mark is a crash-restarted
+				// node resuming its persisted table — idempotent, not a
+				// regression. Anything strictly older is.
+				if e.Epoch == ep && e.Version == v {
+					continue
+				}
+				if e.Epoch < ep || (e.Epoch == ep && e.Version < v) {
+					out = append(out, Violation{
+						Rule: "install-regression",
+						Detail: fmt.Sprintf("node %d installed (%d,%d) after (%d,%d)",
+							e.Node, e.Epoch, e.Version, ep, v),
+						Event: e,
+					})
+					continue
+				}
+			}
+			installed[e.Node] = true
+			lastEpoch[e.Node], lastVer[e.Node] = e.Epoch, e.Version
+		case Distribute:
+			if g, ok := reign[e.Node]; !ok || g != e.Gen {
+				out = append(out, Violation{
+					Rule: "unfenced-distribute",
+					Detail: fmt.Sprintf("node %d distributed for generation %d outside an acquired reign",
+						e.Node, e.Gen),
+					Event: e,
+				})
+			}
+			if noQuorum[e.Node] {
+				out = append(out, Violation{
+					Rule:   "minority-distribute",
+					Detail: fmt.Sprintf("node %d distributed a table while below quorum", e.Node),
+					Event:  e,
+				})
+			}
+		case QuorumLost:
+			noQuorum[e.Node] = true
+		case QuorumGained:
+			noQuorum[e.Node] = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// rules collects the distinct rule names in a verdict.
+func rules(vs []Violation) map[string]int {
+	out := make(map[string]int)
+	for _, v := range vs {
+		out[v.Rule]++
+	}
+	return out
+}
+
+func TestCheckCleanHistory(t *testing.T) {
+	tr := &Trace{}
+	// A healthy failover: node 0 reigns gen 1, distributes, dies; node 1
+	// claims gen 2 and takes over. Every replica installs in fence order.
+	tr.Record(0, LeaderAcquire, 1, 0, 0)
+	tr.Record(0, Distribute, 1, 1, 1)
+	tr.Record(0, Install, 1, 1, 1)
+	tr.Record(1, Install, 1, 1, 1)
+	tr.Record(1, LeaderAcquire, 2, 0, 0)
+	tr.Record(1, Distribute, 2, 2, 1)
+	tr.Record(1, Install, 2, 2, 1)
+	tr.Record(1, Distribute, 2, 2, 2)
+	tr.Record(1, Install, 2, 2, 2)
+	if vs := Check(tr.Events()); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestCheckTwoLeadersOneGeneration(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(0, LeaderAcquire, 3, 0, 0)
+	tr.Record(2, LeaderAcquire, 3, 0, 0)
+	vs := Check(tr.Events())
+	if rules(vs)["unique-leader"] != 1 {
+		t.Fatalf("split-brain not flagged: %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "node 0") {
+		t.Errorf("detail %q does not name the first holder", vs[0].Detail)
+	}
+	// Same node re-acquiring the same generation is flagged too.
+	tr2 := &Trace{}
+	tr2.Record(1, LeaderAcquire, 5, 0, 0)
+	tr2.Record(1, LeaderStepDown, 5, 0, 0)
+	tr2.Record(1, LeaderAcquire, 5, 0, 0)
+	if rules(Check(tr2.Events()))["unique-leader"] != 1 {
+		t.Fatal("generation reuse by the same node not flagged")
+	}
+}
+
+func TestCheckInstallRegression(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(0, Install, 2, 2, 3)
+	tr.Record(0, Install, 2, 1, 9) // epoch regression
+	tr.Record(0, Install, 2, 2, 2) // version regression within the epoch
+	tr.Record(0, Install, 2, 2, 3) // exact replay: crash-recovery resume, idempotent and allowed
+	tr.Record(1, Install, 2, 1, 9) // fine on another node
+	vs := Check(tr.Events())
+	if rules(vs)["install-regression"] != 2 {
+		t.Fatalf("want 2 install regressions, got %v", vs)
+	}
+	// A rejected install does not poison the node's watermark.
+	tr.Record(0, Install, 2, 2, 4)
+	if vs := Check(tr.Events()); rules(vs)["install-regression"] != 2 {
+		t.Fatalf("monotone follow-up flagged: %v", vs)
+	}
+}
+
+func TestCheckUnfencedDistribute(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(0, LeaderAcquire, 1, 0, 0)
+	tr.Record(0, LeaderStepDown, 1, 0, 0)
+	tr.Record(0, Distribute, 1, 1, 4) // stale leader re-pushing
+	tr.Record(1, Distribute, 2, 2, 1) // never acquired at all
+	vs := Check(tr.Events())
+	if rules(vs)["unfenced-distribute"] != 2 {
+		t.Fatalf("stale distributes not flagged: %v", vs)
+	}
+}
+
+func TestCheckMinorityDistribute(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(0, LeaderAcquire, 1, 0, 0)
+	tr.Record(0, QuorumLost, 0, 0, 0)
+	tr.Record(0, Distribute, 1, 1, 2)
+	tr.Record(0, QuorumGained, 0, 0, 0)
+	tr.Record(0, Distribute, 1, 1, 3)
+	vs := Check(tr.Events())
+	if rules(vs)["minority-distribute"] != 1 {
+		t.Fatalf("want exactly the below-quorum distribute flagged: %v", vs)
+	}
+}
+
+func TestTraceNilSafeAndConcurrent(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Record(0, Install, 0, 1, 1) // must not panic
+	if nilTrace.Len() != 0 || nilTrace.Events() != nil {
+		t.Fatal("nil trace not empty")
+	}
+
+	tr := &Trace{}
+	var wg sync.WaitGroup
+	for node := 0; node < 4; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(node, QuorumGained, 0, 0, 0)
+			}
+		}(node)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 400 || tr.Len() != 400 {
+		t.Fatalf("recorded %d events, want 400", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: trace order broken", i, e.Seq)
+		}
+	}
+}

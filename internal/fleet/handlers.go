@@ -23,6 +23,14 @@ type FleetStatus struct {
 	Epoch    uint64 `json:"epoch"`
 	Version  uint64 `json:"version"`
 	Draining bool   `json:"draining"`
+	// Gen is the highest leadership generation this node has seen or
+	// granted. QuorumOK reports whether it currently heartbeats a strict
+	// majority of the provisioned universe; false means degraded mode —
+	// serving the last-installed table, never solving or distributing.
+	// Durable says a crash-safe snapshot backs this node's control state.
+	Gen      uint64 `json:"gen"`
+	QuorumOK bool   `json:"quorum_ok"`
+	Durable  bool   `json:"durable"`
 	// Elections counts this node's leadership assumptions; Solves counts
 	// the supervision epochs it has led; TableSkips counts led epochs whose
 	// re-solve matched the distributed table so no push went out.
@@ -46,6 +54,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (n *Node) handleFleet(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
+	gen := n.maxEpoch
+	if n.grantGen > gen {
+		gen = n.grantGen
+	}
 	st := FleetStatus{
 		ID:               n.cfg.ID,
 		Leader:           n.leader,
@@ -53,6 +65,9 @@ func (n *Node) handleFleet(w http.ResponseWriter, r *http.Request) {
 		Epoch:            n.epoch,
 		Version:          n.version,
 		Draining:         n.draining,
+		Gen:              gen,
+		QuorumOK:         n.quorumOK,
+		Durable:          n.wal != nil,
 		Elections:        n.elections.Load(),
 		Solves:           n.solves.Load(),
 		TableSkips:       n.distSkips.Load(),
@@ -74,10 +89,15 @@ func (n *Node) handleFleet(w http.ResponseWriter, r *http.Request) {
 
 func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
+	gen := n.maxEpoch
+	if n.grantGen > gen {
+		gen = n.grantGen
+	}
 	hb := Heartbeat{
 		ID:       n.cfg.ID,
 		Epoch:    n.epoch,
 		Version:  n.version,
+		Gen:      gen,
 		Leader:   n.leader,
 		Draining: n.draining,
 	}
@@ -135,14 +155,14 @@ func (n *Node) handleTable(w http.ResponseWriter, r *http.Request) {
 		}
 		active[j] = m.Active
 	}
-	err = n.gw.InstallTable(serve.Table{
+	err = n.installAndCommit(serve.Table{
 		Epoch:       t.Epoch,
 		Version:     t.Version,
 		Profile:     t.Profile,
 		Active:      active,
 		AdmitFrac:   t.AdmitFrac,
 		OfferedRate: t.OfferedRate,
-	})
+	}, t.Leader)
 	if errors.Is(err, serve.ErrStaleTable) {
 		epoch, version := n.gw.TableEpoch()
 		writeJSON(w, http.StatusConflict, map[string]uint64{"epoch": epoch, "version": version})
@@ -152,8 +172,39 @@ func (n *Node) handleTable(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	n.commitTable(t.Epoch, t.Version, active, t.Leader)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "installed"})
+}
+
+// handleClaim answers a leadership claim: grant if and only if the proposed
+// generation is strictly beyond every generation this node has ever
+// granted. The grant hits the durable snapshot before the reply leaves, so
+// a crash cannot un-promise it — the persistence that makes "at most one
+// leader per generation" hold across restarts.
+func (n *Node) handleClaim(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxMessage))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := DecodeClaim(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	granted := c.Gen > n.grantGen
+	if granted {
+		n.grantGen = c.Gen
+		if c.Gen > n.maxEpoch {
+			n.maxEpoch = c.Gen
+		}
+	}
+	cur := n.grantGen
+	n.mu.Unlock()
+	if granted {
+		n.persist()
+	}
+	writeJSON(w, http.StatusOK, ClaimReply{Granted: granted, Gen: cur})
 }
 
 // handleMachines serves elastic membership: join activates a provisioned
@@ -190,6 +241,10 @@ func (n *Node) handleMachines(w http.ResponseWriter, r *http.Request) {
 			// A forwarded request landing on a non-leader means the
 			// leadership view is churning; let the client retry.
 			http.Error(w, "fleet: leadership changed, retry", http.StatusServiceUnavailable)
+			return
+		}
+		if !n.linkUp(leader) {
+			http.Error(w, "fleet: leader unreachable", http.StatusServiceUnavailable)
 			return
 		}
 		n.forwardMachines(w, leaderURL, body)

@@ -9,13 +9,17 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nashlb/internal/core"
+	"nashlb/internal/dist"
+	"nashlb/internal/fleet/audit"
 	"nashlb/internal/game"
 	"nashlb/internal/megascale"
+	"nashlb/internal/rng"
 	"nashlb/internal/serve"
 )
 
@@ -61,6 +65,29 @@ type Config struct {
 	Autoscale AutoscaleConfig
 	// Addr is the control listener address ("127.0.0.1:0" when empty).
 	Addr string
+
+	// Quorum is how many fleet nodes (itself included) a node must be able
+	// to heartbeat to assume or retain leadership. Zero means a strict
+	// majority of the provisioned universe (peers that advertised a
+	// graceful drain leave the denominator; crashed peers do not). A node
+	// below quorum keeps serving its last-installed table in degraded mode
+	// but stops solving and distributing.
+	Quorum int
+	// DurableDir, when non-empty, persists the control-plane snapshot
+	// (generations, grants, membership, estimator EWMAs, last installed
+	// table) through crash-safe atomic renames; on restart the node resumes
+	// from it instead of the nominal game and refuses epoch regressions.
+	DurableDir string
+	// Seed roots the control-plane jitter stream: co-started nodes probe
+	// and solve out of lockstep, reproducibly per (Seed, ID).
+	Seed uint64
+	// Link, when non-nil, gates every outbound control-plane call — the
+	// partition-nemesis hook. A blocked link behaves like a dead network
+	// path: probes miss, pushes fail, claims go unanswered.
+	Link dist.LinkPolicy
+	// Trace, when non-nil, receives the safety-audit event stream (nil
+	// disables tracing at zero cost).
+	Trace *audit.Trace
 }
 
 // fleetSaturationRho mirrors the serve-layer saturation threshold: offered
@@ -84,6 +111,13 @@ type Node struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 	solveMu  sync.Mutex // serializes solveAndDistribute across triggers
+	// installMu serializes gateway installs with their commit records, so
+	// the audited install order matches the fence's accept order.
+	installMu sync.Mutex
+
+	wal  *WAL      // nil without a durable dir
+	snap *Snapshot // state loaded at construction (nil on first boot)
+	jr   *rng.Stream
 
 	mu           sync.Mutex
 	peers        []string // control URLs indexed by node ID ("" = self)
@@ -92,12 +126,15 @@ type Node struct {
 	misses       []int
 	leader       int // believed leader ID, -1 while unknown
 	wasLeader    bool
-	maxEpoch     uint64 // highest epoch observed anywhere in the fleet
+	quorumOK     bool
+	maxEpoch     uint64 // highest leadership generation observed anywhere
+	grantGen     uint64 // highest generation granted to any candidate
 	leadEpoch    uint64 // our own reign's epoch while leading
 	leadVersion  uint64
 	epoch        uint64 // (epoch, version) of the last installed table
 	version      uint64
 	active       []bool // active flags of the last installed table
+	lastTable    serve.Table
 	draining     bool
 	estRates     []float64
 	estInit      bool
@@ -172,13 +209,19 @@ func NewNode(cfg Config) (*Node, error) {
 		rho = 0.9
 	}
 
+	if cfg.Quorum < 0 {
+		return nil, fmt.Errorf("fleet: negative quorum %d", cfg.Quorum)
+	}
+
 	n := &Node{
-		cfg:    cfg,
-		rho:    rho,
-		quit:   make(chan struct{}),
-		kick:   make(chan struct{}, 1),
-		leader: -1,
-		active: make([]bool, len(cfg.Machines)),
+		cfg:      cfg,
+		rho:      rho,
+		quit:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+		leader:   -1,
+		quorumOK: true, // optimistic, like the liveness view at cold start
+		active:   make([]bool, len(cfg.Machines)),
+		jr:       rng.NewSource(cfg.Seed).Stream(fmt.Sprintf("fleet/jitter/%d", cfg.ID)),
 		client: &http.Client{
 			Transport: &http.Transport{
 				MaxIdleConns:        256,
@@ -191,6 +234,29 @@ func NewNode(cfg Config) (*Node, error) {
 		n.active[j] = m.Active
 	}
 
+	if cfg.DurableDir != "" {
+		wal, snap, err := OpenWAL(cfg.DurableDir)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			if err := snap.compatible(cfg); err != nil {
+				return nil, err
+			}
+			// Resume: generations and grants must survive the crash (a
+			// forgotten grant could hand one generation to two candidates),
+			// and membership + leader-side smoothing pick up where the last
+			// reign left them.
+			n.maxEpoch = snap.Gen
+			n.grantGen = snap.GrantGen
+			copy(n.active, snap.Active)
+			if len(snap.AggSmooth) == len(cfg.Arrivals) {
+				n.aggSmooth = append([]float64(nil), snap.AggSmooth...)
+			}
+		}
+		n.wal, n.snap = wal, snap
+	}
+
 	gwCfg := cfg.Gateway
 	gwCfg.Backends = make([]string, len(cfg.Machines))
 	gwCfg.Rates = make([]float64, len(cfg.Machines))
@@ -201,6 +267,7 @@ func NewNode(cfg Config) (*Node, error) {
 	gwCfg.Arrivals = append([]float64(nil), cfg.Arrivals...)
 	gwCfg.Profile = nil // the initial table install carries the equilibrium
 	gwCfg.OnWeights = n.onWeights
+	gwCfg.ExtraMetrics = n.renderMetrics
 	gw, err := serve.NewGateway(gwCfg)
 	if err != nil {
 		return nil, err
@@ -229,6 +296,25 @@ func (n *Node) Leader() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.leader
+}
+
+// QuorumOK reports whether this node currently heartbeats a quorum of the
+// provisioned universe (false = degraded minority mode).
+func (n *Node) QuorumOK() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quorumOK
+}
+
+// Generation returns the highest leadership generation this node has seen
+// or granted.
+func (n *Node) Generation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.grantGen > n.maxEpoch {
+		return n.grantGen
+	}
+	return n.maxEpoch
 }
 
 // TableEpoch returns the (epoch, version) of the node's installed table.
@@ -267,6 +353,9 @@ func (n *Node) Start(peers []string) error {
 	if n.cfg.ID >= len(peers) {
 		return fmt.Errorf("fleet: node id %d outside peer list of %d", n.cfg.ID, len(peers))
 	}
+	if n.cfg.Quorum > len(peers) {
+		return fmt.Errorf("fleet: quorum %d larger than the %d-node universe", n.cfg.Quorum, len(peers))
+	}
 	n.mu.Lock()
 	n.peers = append([]string(nil), peers...)
 	n.peers[n.cfg.ID] = ""
@@ -280,28 +369,44 @@ func (n *Node) Start(peers []string) error {
 		n.alive[i] = true
 	}
 	n.estRates = make([]float64, len(n.cfg.Arrivals))
+	if n.snap != nil && len(n.snap.EstRates) == len(n.estRates) {
+		copy(n.estRates, n.snap.EstRates)
+		n.estInit = true
+	}
 	n.mu.Unlock()
 
 	if err := n.gw.Start(); err != nil {
 		return err
 	}
 
-	// Seed routing with the nominal full-game equilibrium at (epoch 0,
-	// version 1): identical on every replica (the solver is deterministic),
-	// superseded by the first elected leader's epoch >= 1 table.
-	profile, admitFrac := solveFleet(n.cfg.Machines, n.active, nil, n.cfg.Arrivals, n.rho)
-	if profile != nil {
-		offered := sum(n.cfg.Arrivals)
-		if err := n.gw.InstallTable(serve.Table{
-			Epoch: 0, Version: 1,
-			Profile:     profile,
-			Active:      append([]bool(nil), n.active...),
-			AdmitFrac:   admitFrac,
-			OfferedRate: offered / float64(len(peers)),
-		}); err == nil {
-			n.mu.Lock()
-			n.epoch, n.version = 0, 1
-			n.mu.Unlock()
+	if n.snap != nil && n.snap.Profile != nil {
+		// Resume from last-known-good: the persisted table goes back into
+		// the gateway at its original fence mark before the control plane
+		// answers anyone, so a rejoining node serves the last equilibrium
+		// it had — not the nominal game — and 409s any stale reign's push.
+		if err := n.installAndCommit(serve.Table{
+			Epoch: n.snap.Epoch, Version: n.snap.Version,
+			Profile:     n.snap.Profile,
+			Active:      append([]bool(nil), n.snap.Active...),
+			AdmitFrac:   n.snap.AdmitFrac,
+			OfferedRate: n.snap.OfferedRate,
+		}, n.snap.Leader); err != nil {
+			return fmt.Errorf("fleet: resume from snapshot: %w", err)
+		}
+	} else {
+		// Seed routing with the nominal full-game equilibrium at (epoch 0,
+		// version 1): identical on every replica (the solver is
+		// deterministic), superseded by the first elected leader's table.
+		profile, admitFrac := solveFleet(n.cfg.Machines, n.active, nil, n.cfg.Arrivals, n.rho)
+		if profile != nil {
+			offered := sum(n.cfg.Arrivals)
+			_ = n.installAndCommit(serve.Table{
+				Epoch: 0, Version: 1,
+				Profile:     profile,
+				Active:      append([]bool(nil), n.active...),
+				AdmitFrac:   admitFrac,
+				OfferedRate: offered / float64(len(peers)),
+			}, -1)
 		}
 	}
 
@@ -310,6 +415,7 @@ func (n *Node) Start(peers []string) error {
 	mux.HandleFunc("GET /fleet/heartbeat", n.handleHeartbeat)
 	mux.HandleFunc("GET /fleet/report", n.handleReport)
 	mux.HandleFunc("POST /fleet/table", n.handleTable)
+	mux.HandleFunc("POST /fleet/claim", n.handleClaim)
 	mux.HandleFunc("POST /fleet/machines", n.handleMachines)
 	n.srv = &http.Server{Handler: mux}
 	n.wg.Add(1)
@@ -379,60 +485,255 @@ func (n *Node) onWeights([]float64) {
 	}
 }
 
+// jitterSpan is the fractional spread of the seeded timer jitter: each
+// heartbeat and solve interval is drawn from [1 - span/2, 1 + span/2) of
+// its nominal period, so co-started nodes drift out of lockstep instead of
+// probing and solving in phase forever.
+const jitterSpan = 0.3
+
+// jitter scales one timer period by a seeded factor. Only the run loop
+// draws from the stream, so no lock is needed.
+func (n *Node) jitter(d time.Duration) time.Duration {
+	f := 1 - jitterSpan/2 + jitterSpan*n.jr.Float64()
+	return time.Duration(f * float64(d))
+}
+
+// linkUp consults the partition nemesis (if any) for the control link from
+// this node to peer id.
+func (n *Node) linkUp(to int) bool {
+	return n.cfg.Link == nil || n.cfg.Link.Allow(n.cfg.ID, to)
+}
+
+// traceLocked records one audit event. Callers hold n.mu, so the trace
+// order is exactly the node's state-transition order.
+func (n *Node) traceLocked(k audit.Kind, gen, epoch, version uint64) {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.Record(n.cfg.ID, k, gen, epoch, version)
+	}
+}
+
 // run is the supervision loop: probe peers, refresh arrival estimates,
-// elect, and solve when leading — immediately on assumption, then every
-// SolveEvery, plus whenever the health layer kicks.
+// check quorum, claim leadership when this node is the designated
+// candidate, and solve when leading — immediately on assumption, then
+// every (jittered) SolveEvery, plus whenever the health layer kicks.
 func (n *Node) run() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
-	defer ticker.Stop()
-	var lastSolve time.Time
+	timer := time.NewTimer(n.jitter(n.cfg.HeartbeatEvery))
+	defer timer.Stop()
+	var nextSolve time.Time
 	for {
 		select {
 		case <-n.quit:
 			return
-		case <-ticker.C:
+		case <-timer.C:
+			timer.Reset(n.jitter(n.cfg.HeartbeatEvery))
 		case <-n.kick:
 		}
 		n.probePeers()
 		n.updateEstimates()
 
 		n.mu.Lock()
-		lead := n.electLocked()
-		isLeader := lead == n.cfg.ID && !n.draining
-		becoming := isLeader && !n.wasLeader
-		if becoming {
-			n.maxEpoch++
-			n.leadEpoch = n.maxEpoch
-			n.leadVersion = 0
-			n.elections.Add(1)
+		reachable, need := n.quorumLocked()
+		qOK := reachable >= need
+		qChanged := qOK != n.quorumOK
+		n.quorumOK = qOK
+		if qChanged {
+			if qOK {
+				n.traceLocked(audit.QuorumGained, 0, 0, 0)
+			} else {
+				n.traceLocked(audit.QuorumLost, 0, 0, 0)
+			}
 		}
-		n.wasLeader = isLeader
+		cand := n.electLocked(qOK)
+		amLeader := n.wasLeader
+		deposedBy := uint64(0)
+		if amLeader && n.maxEpoch > n.leadEpoch {
+			deposedBy = n.maxEpoch
+		}
+		draining := n.draining
 		n.mu.Unlock()
 
-		if isLeader && (becoming || time.Since(lastSolve) >= n.cfg.SolveEvery) {
+		if qChanged {
+			// Surface control-plane degradation on the data plane: the
+			// gateway keeps serving its last table, flagged on /backends.
+			n.gw.SetControlDegraded(!qOK)
+		}
+		if amLeader && (deposedBy > 0 || !qOK) {
+			// Retention gate: leadership ends the moment a newer generation
+			// is seen or the majority is gone.
+			n.stepDown(deposedBy)
+			amLeader = false
+		}
+		if !amLeader && qOK && !draining && cand == n.cfg.ID {
+			if n.claimLeadership() {
+				amLeader = true
+				nextSolve = time.Time{} // solve immediately on assumption
+			}
+		}
+		if amLeader && !time.Now().Before(nextSolve) {
 			n.solveAndDistribute()
-			lastSolve = time.Now()
+			nextSolve = time.Now().Add(n.jitter(n.cfg.SolveEvery))
 		}
 	}
 }
 
-// electLocked returns the lowest alive, non-draining node ID — the same
-// deterministic lowest-survivor rule the dist ring uses for token recovery.
-func (n *Node) electLocked() int {
-	lead := -1
-	for i := range n.alive {
-		ok := n.alive[i] && !n.drainingPeer[i]
+// quorumLocked counts this node's connectivity against the provisioned
+// universe: reachable is itself plus every alive peer; the denominator is
+// the whole universe minus peers that advertised a graceful drain (polite
+// deregistration shrinks the fleet, a crash or partition does not). need is
+// the configured quorum, defaulting to a strict majority, clamped to the
+// (possibly drained-down) universe.
+func (n *Node) quorumLocked() (reachable, need int) {
+	universe := 0
+	for i := range n.peers {
 		if i == n.cfg.ID {
-			ok = !n.draining
+			universe++
+			reachable++
+			continue
 		}
-		if ok {
-			lead = i
-			break
+		if n.drainingPeer[i] {
+			continue
+		}
+		universe++
+		if n.alive[i] {
+			reachable++
+		}
+	}
+	need = n.cfg.Quorum
+	if need <= 0 {
+		need = universe/2 + 1
+	}
+	if need > universe {
+		need = universe
+	}
+	return reachable, need
+}
+
+// electLocked updates the believed leader: the lowest alive, non-draining
+// node ID — the same deterministic lowest-survivor rule the dist ring uses
+// for token recovery — or nobody while this node cannot see a quorum (its
+// view of "lowest alive" is then worthless by construction).
+func (n *Node) electLocked(quorumOK bool) int {
+	lead := -1
+	if quorumOK {
+		for i := range n.alive {
+			ok := n.alive[i] && !n.drainingPeer[i]
+			if i == n.cfg.ID {
+				ok = !n.draining
+			}
+			if ok {
+				lead = i
+				break
+			}
 		}
 	}
 	n.leader = lead
 	return lead
+}
+
+// claimLeadership runs one generation-claim round, the quorum gate on
+// assuming power. The candidate proposes gen = 1 + max(everything seen or
+// granted), grants it to itself — persisted before a word leaves the node —
+// and asks every reachable peer for a grant. Leadership requires grants
+// from a strict quorum (self included). Any two majorities intersect and a
+// peer grants a generation at most once, so no generation ever has two
+// leaders, even under asymmetric partitions where heartbeat views disagree.
+func (n *Node) claimLeadership() bool {
+	n.mu.Lock()
+	gen := n.maxEpoch
+	if n.grantGen > gen {
+		gen = n.grantGen
+	}
+	gen++
+	n.grantGen = gen
+	if gen > n.maxEpoch {
+		n.maxEpoch = gen
+	}
+	type target struct {
+		id  int
+		url string
+	}
+	var targets []target
+	for i, url := range n.peers {
+		if url != "" && n.alive[i] && !n.drainingPeer[i] {
+			targets = append(targets, target{i, url})
+		}
+	}
+	_, need := n.quorumLocked()
+	n.mu.Unlock()
+	n.persist()
+
+	var granted atomic.Int64
+	granted.Add(1) // self-grant
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		wg.Add(1)
+		go func(t target) {
+			defer wg.Done()
+			if !n.linkUp(t.id) {
+				return
+			}
+			rep, err := n.postClaim(t.url, Claim{ID: n.cfg.ID, Gen: gen})
+			if err != nil {
+				return
+			}
+			if rep.Granted {
+				granted.Add(1)
+			} else if rep.Gen > gen {
+				// Refused: someone holds a newer generation. Fold it in so
+				// the next proposal leapfrogs it.
+				n.mu.Lock()
+				if rep.Gen > n.maxEpoch {
+					n.maxEpoch = rep.Gen
+				}
+				n.mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	if int(granted.Load()) < need {
+		return false
+	}
+
+	n.mu.Lock()
+	n.leadEpoch = gen
+	n.leadVersion = 0
+	n.wasLeader = true
+	n.leader = n.cfg.ID
+	n.elections.Add(1)
+	n.traceLocked(audit.LeaderAcquire, gen, 0, 0)
+	n.mu.Unlock()
+	n.persist()
+	return true
+}
+
+// postClaim sends one leadership claim to one peer.
+func (n *Node) postClaim(url string, c Claim) (ClaimReply, error) {
+	data, err := EncodeClaim(c)
+	if err != nil {
+		return ClaimReply{}, err
+	}
+	timeout := n.cfg.HeartbeatEvery
+	if timeout < 25*time.Millisecond {
+		timeout = 25 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/fleet/claim", bytes.NewReader(data))
+	if err != nil {
+		return ClaimReply{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return ClaimReply{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxMessage+1))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return ClaimReply{}, fmt.Errorf("fleet: claim status %d: %v", resp.StatusCode, err)
+	}
+	return DecodeClaimReply(body)
 }
 
 // probePeers heartbeats every peer concurrently and folds the answers into
@@ -455,6 +756,9 @@ func (n *Node) probePeers() {
 		wg.Add(1)
 		go func(i int, url string) {
 			defer wg.Done()
+			if !n.linkUp(i) {
+				return // a cut link is a missed probe, instantly
+			}
 			hb, err := n.fetchHeartbeat(url)
 			results[i] = outcome{ok: err == nil, hb: hb}
 		}(i, url)
@@ -479,6 +783,9 @@ func (n *Node) probePeers() {
 		n.drainingPeer[i] = results[i].hb.Draining
 		if results[i].hb.Epoch > n.maxEpoch {
 			n.maxEpoch = results[i].hb.Epoch
+		}
+		if results[i].hb.Gen > n.maxEpoch {
+			n.maxEpoch = results[i].hb.Gen
 		}
 	}
 }
@@ -582,6 +889,9 @@ func (n *Node) gatherReports() []Report {
 		wg.Add(1)
 		go func(k int, t target) {
 			defer wg.Done()
+			if !n.linkUp(t.id) {
+				return
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.SolveEvery/2+50*time.Millisecond)
 			defer cancel()
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url+"/fleet/report", nil)
@@ -623,7 +933,9 @@ func (n *Node) solveAndDistribute() {
 	defer n.solveMu.Unlock()
 
 	n.mu.Lock()
-	if n.leader != n.cfg.ID || n.draining {
+	if n.leader != n.cfg.ID || !n.wasLeader || n.draining || !n.quorumOK {
+		// Not (or no longer) an acting leader with a quorum behind it:
+		// minority-side nodes serve their last table, they never distribute.
 		n.mu.Unlock()
 		return
 	}
@@ -753,8 +1065,18 @@ func (n *Node) solveAndDistribute() {
 	n.lastDistAt = time.Now()
 
 	n.mu.Lock()
+	if !n.quorumOK || !n.wasLeader {
+		// Quorum fell (or a deposition landed) between the solve's start
+		// and now: releasing this table would be a minority distribution.
+		n.mu.Unlock()
+		return
+	}
 	n.leadVersion++
 	version := n.leadVersion
+	// The release decision is made here, under the same lock that orders
+	// quorum transitions, so the audit trace can never show a distribute
+	// after a quorum loss.
+	n.traceLocked(audit.Distribute, epoch, epoch, version)
 	n.mu.Unlock()
 
 	machines := make([]Machine, len(n.cfg.Machines))
@@ -769,13 +1091,13 @@ func (n *Node) solveAndDistribute() {
 
 	// Install locally first: if even our own gateway fences us out, a newer
 	// reign exists and stepping down beats spraying stale tables.
-	err := n.gw.InstallTable(serve.Table{
+	err := n.installAndCommit(serve.Table{
 		Epoch: epoch, Version: version,
 		Profile:     profile,
 		Active:      append([]bool(nil), active...),
 		AdmitFrac:   admitFrac,
 		OfferedRate: offeredBy[n.cfg.ID],
-	})
+	}, n.cfg.ID)
 	if errors.Is(err, serve.ErrStaleTable) {
 		n.stepDown(0)
 		return
@@ -783,7 +1105,6 @@ func (n *Node) solveAndDistribute() {
 	if err != nil {
 		return
 	}
-	n.commitTable(epoch, version, active, n.cfg.ID)
 
 	t := Table{
 		Epoch: epoch, Version: version, Leader: n.cfg.ID,
@@ -791,7 +1112,7 @@ func (n *Node) solveAndDistribute() {
 		Profile: profile,
 	}
 	for i, url := range peers {
-		if url == "" || !alive[i] {
+		if url == "" || !alive[i] || !n.linkUp(i) {
 			continue
 		}
 		t.OfferedRate = offeredBy[i]
@@ -833,27 +1154,120 @@ func (n *Node) pushTable(url string, t Table) (uint64, bool) {
 	return 0, false
 }
 
-// stepDown abandons leadership after meeting a newer reign.
+// stepDown abandons leadership after meeting a newer reign or losing the
+// quorum behind this one.
 func (n *Node) stepDown(newerEpoch uint64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if newerEpoch > n.maxEpoch {
 		n.maxEpoch = newerEpoch
 	}
+	was := n.wasLeader
+	gen := n.leadEpoch
 	n.leader = -1
 	n.wasLeader = false
+	if was {
+		n.traceLocked(audit.LeaderStepDown, gen, 0, 0)
+	}
+	n.mu.Unlock()
+	if was {
+		n.persist()
+	}
 }
 
-// commitTable records an installed table in the node's replica state.
-func (n *Node) commitTable(epoch, version uint64, active []bool, leader int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.epoch, n.version = epoch, version
-	copy(n.active, active)
-	n.leader = leader
-	if epoch > n.maxEpoch {
-		n.maxEpoch = epoch
+// installAndCommit pushes one table through the gateway fence and, on
+// acceptance, records it in the replica state, the audit trace and the
+// durable snapshot. installMu serializes concurrent installs (leader-local
+// and handler-side) so the committed order is the fence's accept order.
+func (n *Node) installAndCommit(st serve.Table, leader int) error {
+	n.installMu.Lock()
+	err := n.gw.InstallTable(st)
+	if err != nil {
+		n.installMu.Unlock()
+		return err
 	}
+	n.mu.Lock()
+	n.epoch, n.version = st.Epoch, st.Version
+	copy(n.active, st.Active)
+	n.leader = leader
+	if st.Epoch > n.maxEpoch {
+		n.maxEpoch = st.Epoch
+	}
+	n.lastTable = st
+	n.traceLocked(audit.Install, st.Epoch, st.Epoch, st.Version)
+	n.mu.Unlock()
+	n.installMu.Unlock()
+	n.persist()
+	return nil
+}
+
+// persist writes the control-plane snapshot through the WAL (no-op without
+// a durable dir). Called wherever forgetting state across a crash would
+// break an invariant: after grants (a grant is a promise), elections,
+// installs and step-downs.
+func (n *Node) persist() {
+	if n.wal == nil {
+		return
+	}
+	n.mu.Lock()
+	s := Snapshot{
+		Gen:      n.maxEpoch,
+		GrantGen: n.grantGen,
+		Epoch:    n.epoch,
+		Version:  n.version,
+		Leader:   n.leader,
+		Active:   append([]bool(nil), n.active...),
+	}
+	if n.estInit {
+		s.EstRates = append([]float64(nil), n.estRates...)
+	}
+	if n.aggSmooth != nil {
+		s.AggSmooth = append([]float64(nil), n.aggSmooth...)
+	}
+	if n.lastTable.Profile != nil {
+		// The profile and Active slice are immutable once installed, so
+		// sharing them outside the lock is safe.
+		s.Profile = n.lastTable.Profile
+		s.AdmitFrac = n.lastTable.AdmitFrac
+		s.OfferedRate = n.lastTable.OfferedRate
+	}
+	n.mu.Unlock()
+	_ = n.wal.Save(s)
+}
+
+// renderMetrics appends the fleet control-plane gauges to the gateway's
+// Prometheus /metrics exposition (the ExtraMetrics hook).
+func (n *Node) renderMetrics(b *strings.Builder) {
+	n.mu.Lock()
+	leader := n.leader
+	epoch := n.epoch
+	gen := n.maxEpoch
+	if n.grantGen > gen {
+		gen = n.grantGen
+	}
+	quorumOK := 0
+	if n.quorumOK {
+		quorumOK = 1
+	}
+	n.mu.Unlock()
+	w := func(format string, args ...any) { fmt.Fprintf(b, format, args...) }
+	w("# HELP fleet_leader_id Believed leader's node ID (-1 while unknown).\n")
+	w("# TYPE fleet_leader_id gauge\n")
+	w("fleet_leader_id %d\n", leader)
+	w("# HELP fleet_generation Highest leadership generation seen or granted.\n")
+	w("# TYPE fleet_generation gauge\n")
+	w("fleet_generation %d\n", gen)
+	w("# HELP fleet_table_epoch Epoch of the installed routing table.\n")
+	w("# TYPE fleet_table_epoch gauge\n")
+	w("fleet_table_epoch %d\n", epoch)
+	w("# HELP fleet_table_skips Led supervision epochs whose re-solve matched the distributed table.\n")
+	w("# TYPE fleet_table_skips counter\n")
+	w("fleet_table_skips %d\n", n.distSkips.Load())
+	w("# HELP fleet_elections Leadership assumptions by this node.\n")
+	w("# TYPE fleet_elections counter\n")
+	w("fleet_elections %d\n", n.elections.Load())
+	w("# HELP fleet_quorum_ok Whether this node currently heartbeats a strict majority (1) or is in degraded minority mode (0).\n")
+	w("# TYPE fleet_quorum_ok gauge\n")
+	w("fleet_quorum_ok %d\n", quorumOK)
 }
 
 // solveFleet solves the aggregate game over the active machines at their

@@ -68,6 +68,10 @@ type Heartbeat struct {
 	ID      int    `json:"id"`
 	Epoch   uint64 `json:"epoch"`
 	Version uint64 `json:"version"`
+	// Gen is the highest leadership generation this node has seen or
+	// granted: heartbeats gossip it so a leader partitioned away learns of
+	// its deposition the moment it can reach anyone again.
+	Gen uint64 `json:"gen"`
 	// Leader is the believed leader's ID (-1 while unknown).
 	Leader int `json:"leader"`
 	// Draining nodes still answer in-flight work but must not be elected
@@ -92,6 +96,24 @@ type Report struct {
 type MachineOp struct {
 	Op  string `json:"op"` // "join" or "leave"
 	URL string `json:"url"`
+}
+
+// Claim asks a peer for a leadership grant: the candidate proposes to lead
+// generation Gen. A peer grants a given generation to at most one candidate
+// ever (the grant is persisted before the reply leaves the node), so any
+// two successful claims — each backed by a strict majority — would have to
+// share a granter, which is impossible: at most one leader per generation.
+type Claim struct {
+	ID  int    `json:"id"`
+	Gen uint64 `json:"gen"`
+}
+
+// ClaimReply answers a Claim: Granted says this peer promised Gen to the
+// candidate; Gen echoes the peer's highest granted generation either way,
+// letting a refused candidate fast-forward its next proposal.
+type ClaimReply struct {
+	Granted bool   `json:"granted"`
+	Gen     uint64 `json:"gen"`
 }
 
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
@@ -282,4 +304,46 @@ func (op MachineOp) validate() error {
 		return fmt.Errorf("fleet: machine op without URL")
 	}
 	return nil
+}
+
+// EncodeClaim serializes a leadership claim.
+func EncodeClaim(c Claim) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(c)
+}
+
+// DecodeClaim parses and validates a leadership claim.
+func DecodeClaim(data []byte) (Claim, error) {
+	var c Claim
+	if err := decodeStrict(data, &c); err != nil {
+		return Claim{}, err
+	}
+	if err := c.validate(); err != nil {
+		return Claim{}, err
+	}
+	return c, nil
+}
+
+func (c Claim) validate() error {
+	if c.ID < 0 {
+		return fmt.Errorf("fleet: negative node id %d", c.ID)
+	}
+	if c.Gen == 0 {
+		return fmt.Errorf("fleet: claim for generation 0")
+	}
+	return nil
+}
+
+// EncodeClaimReply serializes a claim answer.
+func EncodeClaimReply(r ClaimReply) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeClaimReply parses a claim answer.
+func DecodeClaimReply(data []byte) (ClaimReply, error) {
+	var r ClaimReply
+	if err := decodeStrict(data, &r); err != nil {
+		return ClaimReply{}, err
+	}
+	return r, nil
 }

@@ -120,6 +120,12 @@ type GatewayConfig struct {
 	// backends per request, so they stay safe on a stale table.
 	OnWeights func(weights []float64)
 
+	// ExtraMetrics, when non-nil, appends additional Prometheus-style
+	// exposition to /metrics after the gateway's own sections — the hook
+	// the fleet control plane hangs its fleet_* gauges on. Called once per
+	// scrape; it must be safe for concurrent use.
+	ExtraMetrics func(*strings.Builder)
+
 	// Addr is the listen address ("127.0.0.1:0" when empty).
 	Addr string
 }
@@ -238,11 +244,14 @@ type Gateway struct {
 	// Control-plane state: drained backends are administratively out of
 	// rotation (distinct from breaker-dead), draining refuses new admissions
 	// while in-flight work finishes, and the fence orders InstallTable
-	// against superseded leaders.
-	drained   []atomic.Bool
-	draining  atomic.Bool
-	fence     dist.Fence
-	installMu sync.Mutex
+	// against superseded leaders. ctrlDegraded marks a degraded control
+	// plane (fleet quorum lost): the gateway keeps serving its last table
+	// but no fresh equilibria are coming until the fleet heals.
+	drained      []atomic.Bool
+	draining     atomic.Bool
+	ctrlDegraded atomic.Bool
+	fence        dist.Fence
+	installMu    sync.Mutex
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -486,6 +495,15 @@ func (g *Gateway) Saturated() bool { return g.satur.Load() }
 
 // Degraded reports whether degraded-mode admission shedding is active.
 func (g *Gateway) Degraded() bool { return g.shed.Load() != nil }
+
+// SetControlDegraded flags (or clears) control-plane degradation: the fleet
+// node behind this gateway lost (or regained) its quorum. The gateway keeps
+// serving its last-installed table either way; the flag is surfaced on
+// /backends so operators can tell "stale by partition" from healthy.
+func (g *Gateway) SetControlDegraded(v bool) { g.ctrlDegraded.Store(v) }
+
+// ControlDegraded reports the control-plane degradation flag.
+func (g *Gateway) ControlDegraded() bool { return g.ctrlDegraded.Load() }
 
 // Close stops the re-equilibration and health loops and the HTTP server.
 // The gateway context is cancelled first so an epoch in flight (a queue
@@ -891,6 +909,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.met.render(&b)
 	g.renderAdmission(&b)
 	g.renderHealth(&b)
+	if g.cfg.ExtraMetrics != nil {
+		g.cfg.ExtraMetrics(&b)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, b.String())
 }
@@ -1018,6 +1039,10 @@ type BackendsStatus struct {
 	// Draining reports whether the gateway is refusing new admissions while
 	// in-flight requests finish.
 	Draining bool `json:"draining"`
+	// FleetDegraded reports a degraded control plane: the fleet node behind
+	// this gateway lost its quorum, so the routing table is the last
+	// installed one and will not refresh until the fleet heals.
+	FleetDegraded bool `json:"fleet_degraded"`
 }
 
 func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
@@ -1027,6 +1052,7 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 		Reequilibrations: g.met.reequils.Load(),
 		TableInstalls:    g.met.tableInstalls.Load(),
 		Draining:         g.draining.Load(),
+		FleetDegraded:    g.ctrlDegraded.Load(),
 	}
 	st.TableEpoch, st.TableVersion = g.fence.Current()
 	if sh := g.shed.Load(); sh != nil {

@@ -23,13 +23,14 @@ echo "== go test -race ./internal/dist/... ./internal/online/... ./internal/serv
 go test -race ./internal/dist/... ./internal/online/... ./internal/serve/... ./internal/replicate/... ./internal/cluster/... ./internal/fleet/... ./internal/megascale/...
 
 # Fuzz smoke: a short randomized run of each native fuzz target (bisection
-# root finder, M/M/1 queue-depth inversion, fleet wire codec, user-class
-# spec parser). Regressions show up as crasher inputs; Go allows one -fuzz
-# target per invocation.
+# root finder, M/M/1 queue-depth inversion, fleet wire codec, durable
+# snapshot decoder, user-class spec parser). Regressions show up as crasher
+# inputs; Go allows one -fuzz target per invocation.
 echo "== go test -fuzz (smoke, 10s each)"
 go test -run '^$' -fuzz FuzzBisect -fuzztime 10s ./internal/numeric
 go test -run '^$' -fuzz FuzzQueueInversion -fuzztime 10s ./internal/estimate
 go test -run '^$' -fuzz FuzzFleetWire -fuzztime 10s ./internal/fleet
+go test -run '^$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/fleet
 go test -run '^$' -fuzz FuzzParseClasses -fuzztime 10s ./internal/cli
 go test -run '^$' -fuzz FuzzInstallTable -fuzztime 10s ./internal/serve
 
